@@ -1,0 +1,216 @@
+//! Regenerate every table and figure of the paper (plus extensions).
+//!
+//! ```text
+//! usage: repro [experiment ...] [--csv DIR]
+//!   experiments: stats table1 coverage consistency fig1 fig2 fig3 fig4
+//!                fig5 arin split validate method recommend
+//!                majority endpoints cbg temporal hloc all  (default: all)
+//!   --csv DIR: additionally write every table as a CSV file into DIR
+//!   --gt-out FILE: export the ground-truth dataset (the paper's released
+//!                  artifact) as CSV
+//! environment:
+//!   ROUTERGEO_SCALE = tiny | small | tenth (default) | paper
+//!   ROUTERGEO_SEED  = u64 (default 20170301)
+//! ```
+
+use routergeo_bench::{experiments as exp, Lab, LabConfig};
+use routergeo_core::report::TextTable;
+use std::path::PathBuf;
+
+/// Output sink: prints tables and optionally mirrors them as CSV files.
+struct Emitter {
+    csv_dir: Option<PathBuf>,
+    counter: usize,
+}
+
+impl Emitter {
+    fn emit(&mut self, slug: &str, table: &TextTable) {
+        println!("{}", table.render());
+        if let Some(dir) = &self.csv_dir {
+            self.counter += 1;
+            let path = dir.join(format!("{:02}_{slug}.csv", self.counter));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut gt_out: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--csv" {
+            match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--gt-out" {
+            match args.next() {
+                Some(file) => gt_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--gt-out requires a file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            wanted.push(arg);
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let want = |name: &str| {
+        wanted.iter().any(|w| w == name) || wanted.iter().any(|w| w == "all")
+    };
+    let want_exactly = |name: &str| wanted.iter().any(|w| w == name);
+    let mut out = Emitter {
+        csv_dir,
+        counter: 0,
+    };
+
+    let seed = std::env::var("ROUTERGEO_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_170_301u64);
+    let config = LabConfig::from_env(seed);
+    eprintln!(
+        "building lab: seed={} scale={:?} (ROUTERGEO_SCALE to change)…",
+        seed, config.scale
+    );
+    let t0 = std::time::Instant::now();
+    let lab = Lab::build(config);
+    eprintln!(
+        "lab ready in {:.1?}: {} interfaces, {} routers, Ark set {}, GT {} ({} DNS / {} RTT), overlap {}",
+        t0.elapsed(),
+        lab.world.interfaces.len(),
+        lab.world.routers.len(),
+        lab.ark.len(),
+        lab.gt.len(),
+        lab.gt
+            .of_method(routergeo_core::GtMethod::DnsBased)
+            .count(),
+        lab.gt
+            .of_method(routergeo_core::GtMethod::RttProximity)
+            .count(),
+        lab.gt.overlap.len(),
+    );
+
+    if let Some(path) = &gt_out {
+        match std::fs::write(path, lab.gt.to_csv()) {
+            Ok(()) => eprintln!(
+                "wrote ground-truth dataset ({} addresses) to {}",
+                lab.gt.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+
+    if want_exactly("stats") {
+        out.emit("diag_world", &exp::world_stats(&lab));
+        out.emit("diag_probes", &exp::probe_stats(&lab));
+        out.emit("diag_gt_domains", &exp::gt_domain_stats(&lab));
+    }
+    if want("table1") {
+        let (_, _, t) = exp::table1(&lab);
+        out.emit("table1", &t);
+    }
+    if want("coverage") {
+        let (_, t) = exp::ark_coverage(&lab);
+        out.emit("coverage", &t);
+    }
+    if want("consistency") || want("fig1") {
+        let (_, tables) = exp::ark_consistency(&lab);
+        out.emit("consistency_country", &tables[0]);
+        out.emit("fig1_summary", &tables[1]);
+        if want_exactly("fig1") {
+            for (i, t) in tables.iter().enumerate().skip(2) {
+                out.emit(&format!("fig1_cdf_{i}"), t);
+            }
+        }
+    }
+
+    // The remaining §5.2 experiments share one accuracy report.
+    let needs_accuracy = ["fig2", "fig3", "fig4", "fig5", "split", "recommend"]
+        .iter()
+        .any(|e| want(e));
+    if needs_accuracy {
+        let (report, tables) = exp::gt_accuracy(&lab);
+        if want("fig2") {
+            out.emit("fig2_summary", &tables[0]);
+            if want_exactly("fig2") {
+                for (i, t) in tables.iter().enumerate().skip(1) {
+                    out.emit(&format!("fig2_cdf_{i}"), t);
+                }
+            }
+        }
+        if want("fig3") {
+            out.emit("fig3_rir", &exp::fig3(&report));
+        }
+        if want("fig4") {
+            let (common_wrong, t) = exp::fig4(&lab, &report);
+            out.emit("fig4_countries", &t);
+            println!(
+                "S5.2.2: the three registry-fed databases agree on the same wrong country \
+                 for {common_wrong} ground-truth addresses\n"
+            );
+        }
+        if want("fig5") {
+            for (i, t) in exp::fig5(&report).into_iter().enumerate() {
+                out.emit(&format!("fig5_db{i}"), &t);
+            }
+        }
+        if want("split") {
+            out.emit("split_method", &exp::method_split(&report));
+        }
+        if want("recommend") {
+            println!("{}", exp::recommend(&report));
+        }
+    }
+
+    if want("arin") {
+        let (_, t) = exp::arin(&lab);
+        out.emit("arin_case", &t);
+    }
+    if want("validate") {
+        let (_, _, tables) = exp::validation(&lab);
+        for (i, t) in tables.iter().enumerate() {
+            out.emit(&format!("validate_{i}"), t);
+        }
+    }
+    if want("method") {
+        let (_, t) = exp::methodology(&lab);
+        out.emit("methodology", &t);
+    }
+
+    // Extensions beyond the paper.
+    if want("majority") {
+        out.emit("ext_majority", &exp::majority(&lab));
+    }
+    if want("endpoints") {
+        out.emit("ext_endpoints", &exp::endpoints(&lab));
+    }
+    if want("cbg") {
+        out.emit("ext_cbg", &exp::cbg(&lab));
+    }
+    if want("hloc") {
+        out.emit("ext_hloc", &exp::hloc(&lab));
+    }
+    if want("temporal") {
+        let (drift, acc) = exp::temporal(&lab);
+        out.emit("ext_temporal_drift", &drift);
+        out.emit("ext_temporal_accuracy", &acc);
+    }
+}

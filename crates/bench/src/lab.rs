@@ -1,0 +1,195 @@
+//! Lab assembly: build the whole pipeline once, reuse across experiments.
+
+use routergeo_core::groundtruth::GroundTruth;
+use routergeo_cymru::MappingService;
+use routergeo_db::synth::{build_vendor, SignalWorld, VendorProfile};
+use routergeo_db::InMemoryDb;
+use routergeo_dns::RuleEngine;
+use routergeo_gazetteer::Gazetteer;
+use routergeo_rtt::{build_dataset, ProximityConfig, QaReport, RttProximityDataset};
+use routergeo_trace::{
+    ArkCampaign, ArkConfig, ArkDataset, AtlasBuiltins, AtlasConfig, Topology, TracerouteRecord,
+};
+use routergeo_world::{Scale, World, WorldConfig};
+
+/// Lab construction knobs.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// World size preset.
+    pub scale: Scale,
+    /// Scale factor on the paper's per-domain DNS ground-truth targets
+    /// (1.0 = the paper's counts; small worlds need less).
+    pub dns_gt_scale: f64,
+    /// Ark traceroute count (`None`: three passes over every /24).
+    pub ark_traceroutes: Option<usize>,
+    /// Ark monitor count.
+    pub ark_monitors: usize,
+    /// Atlas anycast services.
+    pub atlas_targets: usize,
+    /// Instances per service.
+    pub atlas_instances: usize,
+    /// RTT-proximity thresholds and QA knobs.
+    pub proximity: ProximityConfig,
+}
+
+impl LabConfig {
+    /// Paper-shaped defaults at the given scale.
+    pub fn new(seed: u64, scale: Scale) -> LabConfig {
+        LabConfig {
+            seed,
+            scale,
+            dns_gt_scale: match scale {
+                Scale::Tiny => 0.02,
+                Scale::Small => 0.05,
+                Scale::Tenth | Scale::Paper => 1.0,
+            },
+            ark_traceroutes: None,
+            ark_monitors: 40,
+            atlas_targets: match scale {
+                Scale::Tiny => 4,
+                Scale::Small => 6,
+                _ => 13,
+            },
+            atlas_instances: match scale {
+                Scale::Tiny | Scale::Small => 4,
+                _ => 8,
+            },
+            proximity: ProximityConfig::default(),
+        }
+    }
+
+    /// Resolve the scale from `ROUTERGEO_SCALE`, defaulting to `Tenth`
+    /// (the benchmark default; `paper` runs the full 1.6 M-interface
+    /// world).
+    pub fn from_env(seed: u64) -> LabConfig {
+        LabConfig::new(seed, Scale::from_env(Scale::Tenth))
+    }
+}
+
+/// The assembled lab.
+pub struct Lab {
+    /// Construction knobs used.
+    pub config: LabConfig,
+    /// The synthetic world (oracle).
+    pub world: World,
+    /// The four vendor databases in the paper's order:
+    /// IP2Location-Lite, MaxMind-GeoLite, MaxMind-Paid, NetAcuity.
+    pub dbs: Vec<InMemoryDb>,
+    /// IP→ASN/RIR mapping (Team Cymru substitute).
+    pub whois: MappingService,
+    /// DRoP rule engine with the seven ground-truth domains.
+    pub engine: RuleEngine,
+    /// Ark-topo-router dataset (§2.1).
+    pub ark: ArkDataset,
+    /// RTT-proximity dataset after QA (§2.3.2, §3.2).
+    pub rtt: RttProximityDataset,
+    /// Independent later snapshot at a 1 ms threshold, without QA — the
+    /// Giotsas et al. comparison dataset of §3.1/§3.2.
+    pub rtt_1ms: RttProximityDataset,
+    /// Probe-QA counters (§3.2).
+    pub qa: QaReport,
+    /// The raw Atlas built-in measurement records (kept for the CBG
+    /// extension experiment, which reuses the probes as landmarks).
+    pub atlas_records: Vec<TracerouteRecord>,
+    /// Combined ground truth (§2.3.3).
+    pub gt: GroundTruth,
+    /// GeoNames-like gazetteer (§4).
+    pub gazetteer: Gazetteer,
+}
+
+impl Lab {
+    /// Build everything. The construction order mirrors the paper's
+    /// pipeline; every stage is deterministic in `config`.
+    pub fn build(config: LabConfig) -> Lab {
+        let world = World::generate(WorldConfig::new(config.seed, config.scale));
+        let topo = Topology::build(&world);
+
+        // §2.1 Ark campaign → router interface dataset.
+        let ark = ArkCampaign::new(
+            &world,
+            &topo,
+            ArkConfig {
+                seed: config.seed ^ 0xA4C,
+                monitors: config.ark_monitors,
+                traceroutes: config.ark_traceroutes,
+            },
+        )
+        .extract_dataset();
+
+        // §2.3.2 Atlas built-ins → RTT-proximity ground truth.
+        let records = AtlasBuiltins::new(
+            &world,
+            &topo,
+            AtlasConfig {
+                seed: config.seed ^ 0xA71A5,
+                targets: config.atlas_targets,
+                instances_per_target: config.atlas_instances,
+            },
+        )
+        .run();
+        let (rtt, qa) = build_dataset(&world, &records, &config.proximity);
+
+        // The 1ms-RTT-proximity comparison set: a *different* measurement
+        // campaign (later snapshot, different flows) at a 1 ms threshold,
+        // accepted without QA — as the externally-provided dataset was.
+        let records_1ms = AtlasBuiltins::new(
+            &world,
+            &topo,
+            AtlasConfig {
+                seed: config.seed ^ 0x16_1A5,
+                targets: config.atlas_targets,
+                instances_per_target: config.atlas_instances,
+            },
+        )
+        .run();
+        let onems_cfg = ProximityConfig {
+            threshold_ms: 1.0,
+            centroid_radius_km: 0.0,
+            nearby_max_km: f64::MAX,
+            ..config.proximity.clone()
+        };
+        let (rtt_1ms, _) = build_dataset(&world, &records_1ms, &onems_cfg);
+
+        // §2.3.1 DNS-based ground truth + §2.3.3 combination.
+        let engine = RuleEngine::with_gt_rules(&world);
+        let whois = MappingService::build(&world);
+        let dns = GroundTruth::dns_based(&world, &engine, &whois, config.dns_gt_scale);
+        let gt = GroundTruth::combine(dns, GroundTruth::from_rtt(&rtt, &whois));
+
+        // §2.2 the four databases.
+        let signals = SignalWorld::new(&world);
+        let dbs = VendorProfile::all_presets()
+            .iter()
+            .map(|p| build_vendor(&signals, p))
+            .collect();
+
+        let gazetteer = Gazetteer::from_world(&world, config.seed ^ 0x6E0, 3.0);
+
+        Lab {
+            config,
+            world,
+            dbs,
+            whois,
+            engine,
+            ark,
+            rtt,
+            rtt_1ms,
+            qa,
+            atlas_records: records,
+            gt,
+            gazetteer,
+        }
+    }
+
+    /// Convenience: a small lab for tests.
+    pub fn small(seed: u64) -> Lab {
+        Lab::build(LabConfig::new(seed, Scale::Small))
+    }
+
+    /// Convenience: a tiny lab for unit tests.
+    pub fn tiny(seed: u64) -> Lab {
+        Lab::build(LabConfig::new(seed, Scale::Tiny))
+    }
+}

@@ -1,0 +1,323 @@
+//! Accuracy against ground truth (§5.2, Figures 2–5).
+
+use crate::groundtruth::{GroundTruth, GtEntry, GtMethod};
+use routergeo_db::GeoDatabase;
+use routergeo_geo::stats::ratio;
+use routergeo_geo::{CountryCode, EmpiricalCdf, Rir, CITY_RANGE_KM};
+use std::collections::HashMap;
+
+/// Accuracy of one database over one set of ground-truth entries.
+#[derive(Debug, Clone)]
+pub struct VendorAccuracy {
+    /// Database name.
+    pub database: String,
+    /// Ground-truth entries evaluated.
+    pub total: usize,
+    /// Entries the database has a country for.
+    pub country_covered: usize,
+    /// Of those, entries where the country matches the ground truth.
+    pub country_correct: usize,
+    /// Entries the database answers at city level.
+    pub city_covered: usize,
+    /// Of those, entries within the 40 km city range of the ground truth.
+    pub city_correct: usize,
+    /// Geolocation-error samples (km) for the city-covered entries —
+    /// the Figure 2 CDF for this database.
+    pub error_cdf: EmpiricalCdf,
+}
+
+impl VendorAccuracy {
+    /// Country coverage fraction.
+    pub fn country_coverage(&self) -> f64 {
+        ratio(self.country_covered, self.total)
+    }
+
+    /// Country accuracy among covered entries.
+    pub fn country_accuracy(&self) -> f64 {
+        ratio(self.country_correct, self.country_covered)
+    }
+
+    /// City coverage fraction.
+    pub fn city_coverage(&self) -> f64 {
+        ratio(self.city_covered, self.total)
+    }
+
+    /// City accuracy (≤ 40 km) among city-covered entries.
+    pub fn city_accuracy(&self) -> f64 {
+        ratio(self.city_correct, self.city_covered)
+    }
+}
+
+/// Evaluate one database over a set of ground-truth entries.
+pub fn evaluate_entries<'a, D: GeoDatabase>(
+    db: &D,
+    entries: impl IntoIterator<Item = &'a GtEntry>,
+) -> VendorAccuracy {
+    let mut total = 0usize;
+    let mut country_covered = 0usize;
+    let mut country_correct = 0usize;
+    let mut city_covered = 0usize;
+    let mut city_correct = 0usize;
+    let mut errors = Vec::new();
+    for e in entries {
+        total += 1;
+        let Some(rec) = db.lookup(e.ip) else { continue };
+        if let Some(cc) = rec.country {
+            country_covered += 1;
+            if cc == e.country {
+                country_correct += 1;
+            }
+        }
+        if rec.has_city() {
+            city_covered += 1;
+            let d = rec.coord.expect("has_city implies coord").distance_km(&e.coord);
+            errors.push(d);
+            if d <= CITY_RANGE_KM {
+                city_correct += 1;
+            }
+        }
+    }
+    VendorAccuracy {
+        database: db.name().to_string(),
+        total,
+        country_covered,
+        country_correct,
+        city_covered,
+        city_correct,
+        error_cdf: EmpiricalCdf::from_iter_lossy(errors),
+    }
+}
+
+/// Full accuracy report: overall, by RIR, by country, by method.
+#[derive(Debug)]
+pub struct AccuracyReport {
+    /// Database names in evaluation order.
+    pub databases: Vec<String>,
+    /// Overall accuracy per database (Figure 2 + §5.2.1 numbers).
+    pub overall: Vec<VendorAccuracy>,
+    /// Per-RIR accuracy, `by_rir[db][rir]` with RIRs in Table 1 order
+    /// (Figures 3, 5).
+    pub by_rir: Vec<Vec<VendorAccuracy>>,
+    /// Per-country accuracy for the top-N ground-truth countries
+    /// (Figure 4), as `(country, gt_count, per-db accuracy)`.
+    pub by_country: Vec<(CountryCode, usize, Vec<VendorAccuracy>)>,
+    /// Per-method accuracy, `[DnsBased, RttProximity]` per database
+    /// (§5.2.4).
+    pub by_method: Vec<[VendorAccuracy; 2]>,
+}
+
+/// Evaluate all databases over the full ground truth with every breakdown
+/// the paper reports. `top_countries` bounds the Figure 4 x-axis (the
+/// paper uses 20).
+pub fn evaluate<D: GeoDatabase>(
+    dbs: &[D],
+    gt: &GroundTruth,
+    top_countries: usize,
+) -> AccuracyReport {
+    let overall: Vec<VendorAccuracy> =
+        dbs.iter().map(|d| evaluate_entries(d, &gt.entries)).collect();
+
+    let by_rir = dbs
+        .iter()
+        .map(|d| {
+            Rir::TABLE1_ORDER
+                .iter()
+                .map(|rir| {
+                    evaluate_entries(
+                        d,
+                        gt.entries.iter().filter(|e| e.rir == Some(*rir)),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Figure 4: top countries by ground-truth address count.
+    let mut counts: HashMap<CountryCode, usize> = HashMap::new();
+    for e in &gt.entries {
+        *counts.entry(e.country).or_default() += 1;
+    }
+    let mut ranked: Vec<(CountryCode, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(top_countries);
+    let by_country = ranked
+        .into_iter()
+        .map(|(cc, n)| {
+            let accs = dbs
+                .iter()
+                .map(|d| evaluate_entries(d, gt.entries.iter().filter(|e| e.country == cc)))
+                .collect();
+            (cc, n, accs)
+        })
+        .collect();
+
+    let by_method = dbs
+        .iter()
+        .map(|d| {
+            [
+                evaluate_entries(d, gt.of_method(GtMethod::DnsBased)),
+                evaluate_entries(d, gt.of_method(GtMethod::RttProximity)),
+            ]
+        })
+        .collect();
+
+    AccuracyReport {
+        databases: dbs.iter().map(|d| d.name().to_string()).collect(),
+        overall,
+        by_rir,
+        by_country,
+        by_method,
+    }
+}
+
+/// The three registry-fed databases' common-wrong-answer count (§5.2.2:
+/// 2,277 addresses wrong in IP2Location-Lite, MaxMind-GeoLite, and
+/// MaxMind-Paid simultaneously, with the same wrong country).
+pub fn common_wrong_country<D: GeoDatabase>(dbs: &[D; 3], gt: &GroundTruth) -> usize {
+    gt.entries
+        .iter()
+        .filter(|e| {
+            let answers: Vec<Option<CountryCode>> = dbs
+                .iter()
+                .map(|d| d.lookup(e.ip).and_then(|r| r.country))
+                .collect();
+            match (&answers[0], &answers[1], &answers[2]) {
+                (Some(a), Some(b), Some(c)) => a == b && b == c && *a != e.country,
+                _ => false,
+            }
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_db::inmem::{InMemoryDb, InMemoryDbBuilder};
+    use routergeo_db::{Granularity, LocationRecord};
+    use routergeo_geo::Coordinate;
+
+    fn gt_entry(ip: &str, cc: &str, lat: f64, lon: f64, rir: Rir, method: GtMethod) -> GtEntry {
+        GtEntry {
+            ip: ip.parse().unwrap(),
+            coord: Coordinate::new(lat, lon).unwrap(),
+            country: cc.parse().unwrap(),
+            rir: Some(rir),
+            method,
+            domain: None,
+        }
+    }
+
+    fn simple_db(name: &str, rows: &[(&str, &str, f64, f64)]) -> InMemoryDb {
+        let mut b = InMemoryDbBuilder::new(name);
+        for (prefix, cc, lat, lon) in rows {
+            b.push_prefix(
+                prefix.parse().unwrap(),
+                LocationRecord {
+                    country: Some(cc.parse().unwrap()),
+                    region: None,
+                    city: Some("X".into()),
+                    coord: Some(Coordinate::new(*lat, *lon).unwrap()),
+                    granularity: Granularity::Block24,
+                },
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn sample_gt() -> GroundTruth {
+        GroundTruth {
+            entries: vec![
+                gt_entry("6.0.0.1", "US", 40.0, -100.0, Rir::Arin, GtMethod::DnsBased),
+                gt_entry("6.0.1.1", "CA", 55.0, -100.0, Rir::Arin, GtMethod::DnsBased),
+                gt_entry(
+                    "31.0.0.1",
+                    "DE",
+                    51.5,
+                    9.5,
+                    Rir::RipeNcc,
+                    GtMethod::RttProximity,
+                ),
+            ],
+            overlap: vec![],
+        }
+    }
+
+    #[test]
+    fn perfect_database_scores_perfectly() {
+        let db = simple_db(
+            "perfect",
+            &[
+                ("6.0.0.0/24", "US", 40.0, -100.0),
+                ("6.0.1.0/24", "CA", 55.0, -100.0),
+                ("31.0.0.0/24", "DE", 51.5, 9.5),
+            ],
+        );
+        let gt = sample_gt();
+        let acc = evaluate_entries(&db, &gt.entries);
+        assert_eq!(acc.total, 3);
+        assert_eq!(acc.country_accuracy(), 1.0);
+        assert_eq!(acc.city_accuracy(), 1.0);
+        assert_eq!(acc.country_coverage(), 1.0);
+        assert_eq!(acc.error_cdf.len(), 3);
+    }
+
+    #[test]
+    fn wrong_country_and_distance_counted() {
+        // Database sends the Canadian router to the US, 1700+ km away.
+        let db = simple_db(
+            "biased",
+            &[
+                ("6.0.0.0/24", "US", 40.0, -100.0),
+                ("6.0.1.0/24", "US", 40.0, -100.0),
+            ],
+        );
+        let gt = sample_gt();
+        let acc = evaluate_entries(&db, &gt.entries);
+        assert_eq!(acc.total, 3);
+        assert_eq!(acc.country_covered, 2);
+        assert_eq!(acc.country_correct, 1);
+        assert_eq!(acc.city_covered, 2);
+        assert_eq!(acc.city_correct, 1);
+        assert!(acc.error_cdf.max().unwrap() > 1000.0);
+    }
+
+    #[test]
+    fn report_breaks_down_by_rir_and_method() {
+        let db = simple_db("d", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let gt = sample_gt();
+        let report = evaluate(&[db], &gt, 20);
+        assert_eq!(report.overall.len(), 1);
+        // ARIN slice has 2 entries, RIPE 1.
+        assert_eq!(report.by_rir[0][0].total, 2);
+        assert_eq!(report.by_rir[0][4].total, 1);
+        assert_eq!(report.by_rir[0][2].total, 0); // AFRINIC empty
+        // Methods: 2 DNS, 1 RTT.
+        assert_eq!(report.by_method[0][0].total, 2);
+        assert_eq!(report.by_method[0][1].total, 1);
+        // Figure 4 ranking: US/CA/DE with one address each... counts.
+        assert_eq!(report.by_country.len(), 3);
+    }
+
+    #[test]
+    fn common_wrong_requires_all_three_to_agree_on_wrong() {
+        let gt = sample_gt();
+        let wrong_us = simple_db("w1", &[("6.0.1.0/24", "US", 40.0, -100.0)]);
+        let wrong_us2 = simple_db("w2", &[("6.0.1.0/24", "US", 41.0, -100.0)]);
+        let right = simple_db("r", &[("6.0.1.0/24", "CA", 55.0, -100.0)]);
+        assert_eq!(
+            common_wrong_country(&[&wrong_us, &wrong_us2, &wrong_us], &gt),
+            1
+        );
+        assert_eq!(common_wrong_country(&[&wrong_us, &wrong_us2, &right], &gt), 0);
+    }
+
+    #[test]
+    fn uncovered_entries_do_not_poison_accuracy() {
+        let db = simple_db("sparse", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let gt = sample_gt();
+        let acc = evaluate_entries(&db, &gt.entries);
+        assert_eq!(acc.country_covered, 1);
+        assert_eq!(acc.country_accuracy(), 1.0);
+        assert!((acc.country_coverage() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

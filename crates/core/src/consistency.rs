@@ -1,0 +1,240 @@
+//! Cross-database consistency (§5.1, Figure 1).
+//!
+//! Country-level: fraction of addresses two databases place in the same
+//! country, plus the all-database agreement. City-level: the paper
+//! compares *coordinates* rather than city names, so each database pair
+//! yields a distance distribution over the addresses that are city-level
+//! in **all** participating databases (the paper's Figure 1 population).
+
+use routergeo_db::GeoDatabase;
+use routergeo_geo::stats::ratio;
+use routergeo_geo::{EmpiricalCdf, CITY_RANGE_KM};
+use std::net::Ipv4Addr;
+
+/// Pairwise and overall consistency over an address set.
+#[derive(Debug)]
+pub struct ConsistencyReport {
+    /// Database names, defining index order for the matrices.
+    pub databases: Vec<String>,
+    /// Addresses queried.
+    pub total: usize,
+    /// `country_agree[i][j]`: addresses where databases i and j both have
+    /// a country and agree, over addresses where both have a country.
+    pub country_agree: Vec<Vec<f64>>,
+    /// Addresses where **all** databases have a country and agree.
+    pub all_country_agree: usize,
+    /// Addresses where all databases have a country.
+    pub all_country_covered: usize,
+    /// Addresses that are city-level in all databases — Figure 1's
+    /// population.
+    pub city_in_all: usize,
+    /// Pairwise distance CDFs over that population, keyed `(i, j)`, i < j.
+    pub pair_distance: Vec<((usize, usize), EmpiricalCdf)>,
+}
+
+impl ConsistencyReport {
+    /// Overall country agreement fraction (the paper's 95.8%).
+    pub fn all_agreement(&self) -> f64 {
+        ratio(self.all_country_agree, self.all_country_covered)
+    }
+
+    /// The CDF for a database pair, if computed.
+    pub fn pair(&self, i: usize, j: usize) -> Option<&EmpiricalCdf> {
+        let key = (i.min(j), i.max(j));
+        self.pair_distance
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, cdf)| cdf)
+    }
+
+    /// Fraction of Figure-1 addresses a pair geolocates more than the
+    /// city range apart — the paper's "city-level disagreement".
+    pub fn pair_disagreement(&self, i: usize, j: usize) -> Option<f64> {
+        self.pair(i, j).map(|cdf| cdf.fraction_gt(CITY_RANGE_KM))
+    }
+}
+
+/// Compute the consistency report for a set of databases over `ips`.
+pub fn consistency<D: GeoDatabase>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyReport {
+    let n = dbs.len();
+    let mut both_have = vec![vec![0usize; n]; n];
+    let mut agree = vec![vec![0usize; n]; n];
+    let mut all_have = 0usize;
+    let mut all_agree = 0usize;
+    let mut pair_samples: Vec<Vec<f64>> = vec![Vec::new(); n * n];
+    let mut city_in_all = 0usize;
+
+    for ip in ips {
+        let records: Vec<_> = dbs.iter().map(|d| d.lookup(*ip)).collect();
+        let countries: Vec<_> = records
+            .iter()
+            .map(|r| r.as_ref().and_then(|r| r.country))
+            .collect();
+
+        for i in 0..n {
+            for j in i + 1..n {
+                if let (Some(a), Some(b)) = (countries[i], countries[j]) {
+                    both_have[i][j] += 1;
+                    if a == b {
+                        agree[i][j] += 1;
+                    }
+                }
+            }
+        }
+        if countries.iter().all(|c| c.is_some()) {
+            all_have += 1;
+            let first = countries[0];
+            if countries.iter().all(|c| *c == first) {
+                all_agree += 1;
+            }
+        }
+
+        // Figure 1 population: city-level coordinates in every database.
+        let coords: Vec<_> = records
+            .iter()
+            .map(|r| {
+                r.as_ref()
+                    .filter(|r| r.has_city())
+                    .and_then(|r| r.coord)
+            })
+            .collect();
+        if coords.iter().all(|c| c.is_some()) {
+            city_in_all += 1;
+            for i in 0..n {
+                for j in i + 1..n {
+                    let d = coords[i]
+                        .as_ref()
+                        .unwrap()
+                        .distance_km(coords[j].as_ref().unwrap());
+                    pair_samples[i * n + j].push(d);
+                }
+            }
+        }
+    }
+
+    let country_agree = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        let (a, b) = (i.min(j), i.max(j));
+                        ratio(agree[a][b], both_have[a][b])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut pair_distance = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            let samples = std::mem::take(&mut pair_samples[i * n + j]);
+            pair_distance.push(((i, j), EmpiricalCdf::from_iter_lossy(samples)));
+        }
+    }
+
+    ConsistencyReport {
+        databases: dbs.iter().map(|d| d.name().to_string()).collect(),
+        total: ips.len(),
+        country_agree,
+        all_country_agree: all_agree,
+        all_country_covered: all_have,
+        city_in_all,
+        pair_distance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_db::inmem::{InMemoryDb, InMemoryDbBuilder};
+    use routergeo_db::{Granularity, LocationRecord};
+    use routergeo_geo::Coordinate;
+
+    fn db(name: &str, specs: &[(&str, &str, f64, f64)]) -> InMemoryDb {
+        let mut b = InMemoryDbBuilder::new(name);
+        for (prefix, cc, lat, lon) in specs {
+            b.push_prefix(
+                prefix.parse().unwrap(),
+                LocationRecord {
+                    country: Some(cc.parse().unwrap()),
+                    region: None,
+                    city: Some("C".into()),
+                    coord: Some(Coordinate::new(*lat, *lon).unwrap()),
+                    granularity: Granularity::Block24,
+                },
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let a = db("a", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let b = db("b", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let ips = vec!["6.0.0.1".parse().unwrap()];
+        let rep = consistency(&[a, b], &ips);
+        assert_eq!(rep.all_agreement(), 1.0);
+        assert_eq!(rep.city_in_all, 1);
+        assert_eq!(rep.pair_disagreement(0, 1), Some(0.0));
+    }
+
+    #[test]
+    fn country_disagreement_detected() {
+        let a = db("a", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let b = db("b", &[("6.0.0.0/24", "CA", 55.0, -100.0)]);
+        let ips = vec!["6.0.0.1".parse().unwrap()];
+        let rep = consistency(&[a, b], &ips);
+        assert_eq!(rep.all_agreement(), 0.0);
+        assert_eq!(rep.country_agree[0][1], 0.0);
+        // ~1668 km apart → city-level disagreement too.
+        assert_eq!(rep.pair_disagreement(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn city_population_requires_all_databases() {
+        let a = db("a", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        // b has only country-level for the address.
+        let mut bb = InMemoryDbBuilder::new("b");
+        bb.push_prefix(
+            "6.0.0.0/24".parse().unwrap(),
+            LocationRecord::country_level("US".parse().unwrap(), Granularity::Aggregate),
+        );
+        let b = bb.build().unwrap();
+        let ips = vec!["6.0.0.1".parse().unwrap()];
+        let rep = consistency(&[a, b], &ips);
+        assert_eq!(rep.city_in_all, 0);
+        assert!(rep.pair(0, 1).unwrap().is_empty());
+        // Country still agrees.
+        assert_eq!(rep.country_agree[0][1], 1.0);
+    }
+
+    #[test]
+    fn missing_records_shrink_denominators() {
+        let a = db("a", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let b = db("b", &[]); // empty
+        let ips = vec!["6.0.0.1".parse().unwrap(), "7.0.0.1".parse().unwrap()];
+        let rep = consistency(&[a, b], &ips);
+        assert_eq!(rep.all_country_covered, 0);
+        assert_eq!(rep.all_agreement(), 0.0);
+        assert_eq!(rep.country_agree[0][1], 0.0);
+    }
+
+    #[test]
+    fn three_way_agreement_counts() {
+        let a = db("a", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let b = db("b", &[("6.0.0.0/24", "US", 40.1, -100.0)]);
+        let c = db("c", &[("6.0.0.0/24", "DE", 51.0, 9.0)]);
+        let ips = vec!["6.0.0.1".parse().unwrap()];
+        let rep = consistency(&[a, b, c], &ips);
+        assert_eq!(rep.all_country_covered, 1);
+        assert_eq!(rep.all_country_agree, 0);
+        assert_eq!(rep.country_agree[0][1], 1.0);
+        assert_eq!(rep.country_agree[0][2], 0.0);
+        // a-b are ~11 km apart (same city), a-c across the ocean.
+        assert!(rep.pair_disagreement(0, 1).unwrap() < 1e-12);
+        assert_eq!(rep.pair_disagreement(0, 2), Some(1.0));
+    }
+}

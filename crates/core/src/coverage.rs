@@ -1,0 +1,106 @@
+//! Coverage: what fraction of an address set a database can answer for,
+//! at country and at city level (§5.1, §5.2.1).
+
+use routergeo_db::GeoDatabase;
+use routergeo_geo::stats::ratio;
+use std::net::Ipv4Addr;
+
+/// Coverage of one database over one address set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Database display name.
+    pub database: String,
+    /// Addresses queried.
+    pub total: usize,
+    /// Addresses with any record.
+    pub with_record: usize,
+    /// Addresses with a country.
+    pub with_country: usize,
+    /// Addresses with city-level resolution.
+    pub with_city: usize,
+}
+
+impl CoverageReport {
+    /// Country-level coverage fraction.
+    pub fn country_coverage(&self) -> f64 {
+        ratio(self.with_country, self.total)
+    }
+
+    /// City-level coverage fraction.
+    pub fn city_coverage(&self) -> f64 {
+        ratio(self.with_city, self.total)
+    }
+}
+
+/// Measure coverage of `db` over `ips`.
+pub fn coverage<D: GeoDatabase>(db: &D, ips: &[Ipv4Addr]) -> CoverageReport {
+    let mut with_record = 0usize;
+    let mut with_country = 0usize;
+    let mut with_city = 0usize;
+    for ip in ips {
+        let Some(rec) = db.lookup(*ip) else { continue };
+        with_record += 1;
+        if rec.has_country() {
+            with_country += 1;
+        }
+        if rec.has_city() {
+            with_city += 1;
+        }
+    }
+    CoverageReport {
+        database: db.name().to_string(),
+        total: ips.len(),
+        with_record,
+        with_country,
+        with_city,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_db::inmem::InMemoryDbBuilder;
+    use routergeo_db::{Granularity, LocationRecord};
+    use routergeo_geo::Coordinate;
+
+    #[test]
+    fn counts_resolutions_separately() {
+        let mut b = InMemoryDbBuilder::new("t");
+        b.push_prefix(
+            "6.0.0.0/24".parse().unwrap(),
+            LocationRecord {
+                country: Some("US".parse().unwrap()),
+                region: None,
+                city: Some("X".into()),
+                coord: Some(Coordinate::new(1.0, 1.0).unwrap()),
+                granularity: Granularity::Block24,
+            },
+        );
+        b.push_prefix(
+            "6.0.1.0/24".parse().unwrap(),
+            LocationRecord::country_level("US".parse().unwrap(), Granularity::Aggregate),
+        );
+        let db = b.build().unwrap();
+        let ips: Vec<Ipv4Addr> = vec![
+            "6.0.0.1".parse().unwrap(),
+            "6.0.1.1".parse().unwrap(),
+            "9.9.9.9".parse().unwrap(),
+        ];
+        let rep = coverage(&db, &ips);
+        assert_eq!(rep.total, 3);
+        assert_eq!(rep.with_record, 2);
+        assert_eq!(rep.with_country, 2);
+        assert_eq!(rep.with_city, 1);
+        assert!((rep.country_coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rep.city_coverage() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let db = InMemoryDbBuilder::new("t").build().unwrap();
+        let rep = coverage(&db, &[]);
+        assert_eq!(rep.total, 0);
+        assert_eq!(rep.country_coverage(), 0.0);
+        assert_eq!(rep.city_coverage(), 0.0);
+    }
+}

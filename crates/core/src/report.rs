@@ -1,0 +1,245 @@
+//! Text rendering for the benchmark harness: fixed-width tables and CSV.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title and column headers. Columns default to
+    /// left alignment for the first column, right for the rest.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        let aligns = (0..headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments.
+    pub fn aligns(mut self, aligns: &[Align]) -> TextTable {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row. Panics if the column count differs from the headers.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of `&str`s.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..n {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(widths[i] - cell.len()));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(widths[i] - cell.len()));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths, &self.aligns));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown table (title as a heading).
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | ")
+        );
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":--",
+                Align::Right => "--:",
+            })
+            .collect();
+        let _ = writeln!(out, "| {} |", seps.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Render as CSV (title omitted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format a fraction as the paper prints percentages (`29.4%`).
+pub fn pct(fraction: f64) -> String {
+    routergeo_geo::stats::pct(fraction)
+}
+
+/// Render a CDF as an x/y series table for plotting, sampled on a log
+/// grid — the console stand-in for the paper's figures.
+pub fn cdf_series(
+    name: &str,
+    cdf: &routergeo_geo::EmpiricalCdf,
+    lo_exp: i32,
+    hi_exp: i32,
+) -> TextTable {
+    let mut t = TextTable::new(
+        format!("CDF: {name} (n={})", cdf.len()),
+        &["distance_km", "fraction_leq"],
+    );
+    for (x, y) in cdf.series(&routergeo_geo::EmpiricalCdf::log_grid(lo_exp, hi_exp, 2)) {
+        t.row(&[format!("{x:.2}"), format!("{y:.4}")]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Demo", &["name", "count"]);
+        t.row_str(&["alpha", "5"]);
+        t.row_str(&["b", "12345"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+        // Right-aligned numbers share their last column.
+        let c5 = lines[3].rfind('5').unwrap();
+        let c12345 = lines[4].rfind('5').unwrap();
+        assert_eq!(c5, c12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn markdown_renders_with_alignment_row() {
+        let mut t = TextTable::new("MD", &["name", "count"]);
+        t.row_str(&["a|b", "5"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### MD"));
+        assert!(md.contains("| :-- | --: |"));
+        assert!(md.contains("a\\|b") || md.contains("a\\|b"), "{md}");
+        assert_eq!(md.lines().filter(|l| l.starts_with('|')).count(), 3);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row_str(&["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn cdf_series_renders() {
+        let cdf =
+            routergeo_geo::EmpiricalCdf::new(vec![1.0, 10.0, 100.0, 5000.0]).unwrap();
+        let t = cdf_series("test", &cdf, 0, 4);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains("n=4"));
+    }
+}

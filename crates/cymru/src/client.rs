@@ -1,0 +1,162 @@
+//! Bulk whois client.
+
+use crate::CymruRecord;
+use routergeo_geo::Rir;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+
+/// A parsed bulk-lookup answer for one address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BulkAnswer {
+    /// The service mapped the address.
+    Found(Ipv4Addr, CymruRecord),
+    /// The service had no mapping (`NA` row).
+    NotFound(Ipv4Addr),
+}
+
+/// Errors from the bulk client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something unparseable.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "whois I/O error: {e}"),
+            ClientError::Protocol(s) => write!(f, "whois protocol error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Query the bulk whois service for a batch of addresses.
+///
+/// Opens one connection, sends the whole batch between `begin`/`end`, and
+/// parses the pipe-separated answer rows.
+pub fn bulk_lookup(addr: SocketAddr, ips: &[Ipv4Addr]) -> Result<Vec<BulkAnswer>, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut request = String::with_capacity(ips.len() * 16 + 16);
+    request.push_str("begin\nverbose\n");
+    for ip in ips {
+        request.push_str(&ip.to_string());
+        request.push('\n');
+    }
+    request.push_str("end\n");
+    stream.write_all(request.as_bytes())?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+
+    let reader = BufReader::new(stream);
+    let mut answers = Vec::with_capacity(ips.len());
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 {
+            if !line.starts_with("Bulk mode;") {
+                return Err(ClientError::Protocol(format!("bad banner: {line:?}")));
+            }
+            continue;
+        }
+        answers.push(parse_row(&line)?);
+    }
+    Ok(answers)
+}
+
+fn parse_row(line: &str) -> Result<BulkAnswer, ClientError> {
+    if line.starts_with("Error:") {
+        return Err(ClientError::Protocol(line.to_string()));
+    }
+    let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+    if parts.len() != 5 {
+        return Err(ClientError::Protocol(format!("bad row: {line:?}")));
+    }
+    let ip: Ipv4Addr = parts[1]
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad ip in row: {line:?}")))?;
+    if parts[0] == "NA" {
+        return Ok(BulkAnswer::NotFound(ip));
+    }
+    let asn: u32 = parts[0]
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad asn in row: {line:?}")))?;
+    let prefix = parts[2]
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad prefix in row: {line:?}")))?;
+    let country = parts[3]
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad country in row: {line:?}")))?;
+    let rir: Rir = parts[4]
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad registry in row: {line:?}")))?;
+    Ok(BulkAnswer::Found(
+        ip,
+        CymruRecord {
+            asn,
+            prefix,
+            country,
+            rir,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MappingService, WhoisServer};
+    use routergeo_world::{WorldConfig, World};
+    use std::sync::Arc;
+
+    #[test]
+    fn end_to_end_bulk_lookup() {
+        let w = World::generate(WorldConfig::tiny(151));
+        let svc = Arc::new(MappingService::build(&w));
+        let mut srv = WhoisServer::spawn(Arc::clone(&svc)).unwrap();
+
+        let ips: Vec<Ipv4Addr> = w
+            .interfaces
+            .iter()
+            .step_by(97)
+            .take(50)
+            .map(|i| i.ip)
+            .chain(std::iter::once("203.0.113.1".parse().unwrap()))
+            .collect();
+        let answers = bulk_lookup(srv.addr(), &ips).unwrap();
+        assert_eq!(answers.len(), ips.len());
+        for (answer, ip) in answers.iter().zip(&ips) {
+            match answer {
+                BulkAnswer::Found(aip, rec) => {
+                    assert_eq!(aip, ip);
+                    // Must agree with the in-process service.
+                    assert_eq!(Some(*rec), svc.lookup(*ip));
+                }
+                BulkAnswer::NotFound(aip) => {
+                    assert_eq!(aip, ip);
+                    assert!(svc.lookup(*ip).is_none());
+                }
+            }
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn parse_row_errors() {
+        assert!(parse_row("garbage").is_err());
+        assert!(parse_row("1 | 2 | 3").is_err());
+        assert!(parse_row("x | 1.2.3.4 | 1.2.3.0/24 | US | arin").is_err());
+        assert!(parse_row("1 | nope | 1.2.3.0/24 | US | arin").is_err());
+        assert!(parse_row("Error: bulk limit exceeded").is_err());
+        assert!(matches!(
+            parse_row("NA | 9.9.9.9 | NA | NA | NA"),
+            Ok(BulkAnswer::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! TCP bulk whois server.
+//!
+//! Protocol (the netcat-style interface Team Cymru documents):
+//!
+//! ```text
+//! client: begin
+//! client: verbose          (optional)
+//! client: 6.1.2.3
+//! client: 31.0.0.9
+//! client: end
+//! server: Bulk mode; whois.routergeo.test [synthetic]
+//! server: 1007 | 6.1.2.3 | 6.1.2.0/24 | US | arin
+//! server: 1012 | 31.0.0.9 | 31.0.0.0/24 | DE | ripencc
+//! ```
+//!
+//! The server answers one connection per thread and shuts down cleanly on
+//! [`WhoisServer::shutdown`] (the listener is nudged awake by a local
+//! connection so `accept` never blocks forever).
+
+use crate::MappingService;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum addresses accepted per bulk request (protocol hygiene: a
+/// misbehaving client cannot hold a worker forever).
+pub const MAX_BULK: usize = 100_000;
+
+/// Handle to a running whois server.
+pub struct WhoisServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl WhoisServer {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving the given
+    /// mapping. The service runs until [`WhoisServer::shutdown`] or drop.
+    pub fn spawn(service: Arc<MappingService>) -> std::io::Result<WhoisServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // Workers are detached and tracked by a live-connection counter:
+        // storing JoinHandles would leak a zombie thread per connection
+        // until shutdown, which a bulk client hammering the service turns
+        // into memory exhaustion.
+        let active = Arc::new(AtomicUsize::new(0));
+        let active2 = Arc::clone(&active);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let svc = Arc::clone(&service);
+                        let counter = Arc::clone(&active2);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        std::thread::spawn(move || {
+                            // A failed connection is the client's problem;
+                            // the server keeps accepting.
+                            let _ = handle_connection(stream, &svc);
+                            counter.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+        Ok(WhoisServer {
+            addr,
+            stop,
+            active,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address to connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Drain in-flight connections (bounded wait).
+        for _ in 0..200 {
+            if self.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for WhoisServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &MappingService) -> std::io::Result<()> {
+    let peer = stream.try_clone()?;
+    let mut reader = BufReader::new(peer);
+    let mut writer = BufWriter::new(stream);
+
+    // Expect `begin`.
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.trim() != "begin" {
+        writeln!(writer, "Error: expected 'begin'")?;
+        return writer.flush();
+    }
+
+    writeln!(writer, "Bulk mode; whois.routergeo.test [synthetic]")?;
+
+    let mut count = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // client hung up
+        }
+        let trimmed = line.trim();
+        if trimmed == "end" {
+            break;
+        }
+        if trimmed.is_empty() || trimmed == "verbose" {
+            continue; // verbose changes nothing in the synthetic service
+        }
+        count += 1;
+        if count > MAX_BULK {
+            writeln!(writer, "Error: bulk limit exceeded")?;
+            break;
+        }
+        match trimmed.parse::<std::net::Ipv4Addr>() {
+            Ok(ip) => writeln!(writer, "{}", service.format_row(ip))?,
+            Err(_) => writeln!(writer, "Error: bad address {trimmed:?}")?,
+        }
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_world::{WorldConfig, World};
+    use std::io::Read;
+
+    fn server() -> (World, WhoisServer) {
+        let w = World::generate(WorldConfig::tiny(141));
+        let svc = Arc::new(MappingService::build(&w));
+        let srv = WhoisServer::spawn(svc).expect("bind");
+        (w, srv)
+    }
+
+    fn talk(addr: SocketAddr, input: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(input.as_bytes()).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_bulk_queries() {
+        let (w, mut srv) = server();
+        let ip = w.interfaces[0].ip;
+        let out = talk(srv.addr(), &format!("begin\nverbose\n{ip}\nend\n"));
+        assert!(out.starts_with("Bulk mode;"), "{out}");
+        assert!(out.contains(&ip.to_string()), "{out}");
+        let info = w.block_info(ip).unwrap();
+        assert!(out.contains(&info.rir.name().to_ascii_lowercase()), "{out}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn rejects_missing_begin() {
+        let (_, mut srv) = server();
+        let out = talk(srv.addr(), "1.2.3.4\nend\n");
+        assert!(out.starts_with("Error: expected 'begin'"), "{out}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn reports_bad_addresses_without_dying() {
+        let (w, mut srv) = server();
+        let ip = w.interfaces[0].ip;
+        let out = talk(srv.addr(), &format!("begin\nnot-an-ip\n{ip}\nend\n"));
+        assert!(out.contains("Error: bad address"), "{out}");
+        assert!(out.contains(&ip.to_string()), "{out}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn handles_concurrent_clients() {
+        let (w, mut srv) = server();
+        let addr = srv.addr();
+        let ips: Vec<_> = w.interfaces.iter().take(8).map(|i| i.ip).collect();
+        let handles: Vec<_> = ips
+            .iter()
+            .map(|ip| {
+                let ip = *ip;
+                std::thread::spawn(move || talk(addr, &format!("begin\n{ip}\nend\n")))
+            })
+            .collect();
+        for (h, ip) in handles.into_iter().zip(ips) {
+            let out = h.join().unwrap();
+            assert!(out.contains(&ip.to_string()), "{out}");
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn sustains_thousands_of_sequential_connections() {
+        // Regression test: worker threads must be reaped as connections
+        // finish, not accumulated until shutdown (which exhausted memory
+        // under benchmark load).
+        let (w, mut srv) = server();
+        let ip = w.interfaces[0].ip;
+        let req = format!("begin\n{ip}\nend\n");
+        for _ in 0..2_000 {
+            let out = talk(srv.addr(), &req);
+            assert!(out.contains(&ip.to_string()));
+        }
+        // All workers drained shortly after the last connection closes.
+        for _ in 0..200 {
+            if srv.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(srv.active.load(Ordering::SeqCst), 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (_, mut srv) = server();
+        srv.shutdown();
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,283 @@
+//! IP2Location-style CSV database format.
+//!
+//! Row shape (quoted, comma-separated), matching the DB11 column layout:
+//!
+//! ```text
+//! "100663296","100663551","US","United States","USA Region 1","Springfield","39.800000","-89.600000"
+//! ```
+//!
+//! First two columns are the inclusive `u32` range; empty country renders
+//! as `"-"`; rows without city-level data carry `"-"` city and empty
+//! coordinates. A trailing granularity column (non-standard, but explicit
+//! beats sneaking state into coordinates) preserves the block-level flag.
+
+use crate::inmem::{InMemoryDb, InMemoryDbBuilder};
+use crate::record::{Granularity, LocationRecord};
+use routergeo_geo::country::lookup;
+use routergeo_geo::Coordinate;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Errors parsing a CSV database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A line had the wrong number of columns.
+    BadColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of columns found.
+        got: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field description.
+        what: &'static str,
+    },
+    /// Ranges overlap after parsing.
+    Overlap(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadColumnCount { line, got } => {
+                write!(f, "line {line}: expected 9 columns, got {got}")
+            }
+            CsvError::BadField { line, what } => write!(f, "line {line}: bad {what}"),
+            CsvError::Overlap(s) => write!(f, "overlapping ranges: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', ""))
+}
+
+/// Render one row.
+fn format_row(start: Ipv4Addr, end: Ipv4Addr, rec: &LocationRecord) -> String {
+    let country = rec.country.map(|c| c.as_str().to_string());
+    let country_name = rec
+        .country
+        .and_then(lookup)
+        .map(|i| i.name.to_string())
+        .unwrap_or_else(|| "-".to_string());
+    let (lat, lon) = match rec.coord {
+        Some(c) => (format!("{:.6}", c.lat()), format!("{:.6}", c.lon())),
+        None => (String::new(), String::new()),
+    };
+    [
+        u32::from(start).to_string(),
+        u32::from(end).to_string(),
+        country.unwrap_or_else(|| "-".to_string()),
+        country_name,
+        rec.region.clone().unwrap_or_else(|| "-".to_string()),
+        rec.city.clone().unwrap_or_else(|| "-".to_string()),
+        lat,
+        lon,
+        rec.granularity.id().to_string(),
+    ]
+    .iter()
+    .map(|f| quote(f))
+    .collect::<Vec<_>>()
+    .join(",")
+}
+
+/// Serialize a database to CSV text.
+pub fn write(db: &InMemoryDb) -> String {
+    let mut out = String::new();
+    for (start, end, rec) in db.iter() {
+        out.push_str(&format_row(start, end, rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// Split one CSV line into unquoted fields. The format never embeds commas
+/// inside fields, so this stays simple — but quotes are validated.
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    for raw in line.split(',') {
+        let raw = raw.trim();
+        let inner = raw
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or(CsvError::BadField {
+                line: lineno,
+                what: "quoting",
+            })?;
+        fields.push(inner.to_string());
+    }
+    Ok(fields)
+}
+
+/// Parse CSV text into a database named `name`.
+pub fn parse(name: &str, text: &str) -> Result<InMemoryDb, CsvError> {
+    let mut builder = InMemoryDbBuilder::new(name);
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(line, lineno)?;
+        if fields.len() != 9 {
+            return Err(CsvError::BadColumnCount {
+                line: lineno,
+                got: fields.len(),
+            });
+        }
+        let start: u32 = fields[0].parse().map_err(|_| CsvError::BadField {
+            line: lineno,
+            what: "range start",
+        })?;
+        let end: u32 = fields[1].parse().map_err(|_| CsvError::BadField {
+            line: lineno,
+            what: "range end",
+        })?;
+        let country = match fields[2].as_str() {
+            "-" | "" => None,
+            s => Some(s.parse().map_err(|_| CsvError::BadField {
+                line: lineno,
+                what: "country",
+            })?),
+        };
+        let region = match fields[4].as_str() {
+            "-" | "" => None,
+            s => Some(s.to_string()),
+        };
+        let city = match fields[5].as_str() {
+            "-" | "" => None,
+            s => Some(s.to_string()),
+        };
+        let coord = match (fields[6].as_str(), fields[7].as_str()) {
+            ("", "") => None,
+            (lat, lon) => {
+                let lat: f64 = lat.parse().map_err(|_| CsvError::BadField {
+                    line: lineno,
+                    what: "latitude",
+                })?;
+                let lon: f64 = lon.parse().map_err(|_| CsvError::BadField {
+                    line: lineno,
+                    what: "longitude",
+                })?;
+                Some(Coordinate::new(lat, lon).map_err(|_| CsvError::BadField {
+                    line: lineno,
+                    what: "coordinate range",
+                })?)
+            }
+        };
+        let granularity = fields[8]
+            .parse::<u8>()
+            .ok()
+            .and_then(Granularity::from_id)
+            .ok_or(CsvError::BadField {
+                line: lineno,
+                what: "granularity",
+            })?;
+        builder.push_range(
+            Ipv4Addr::from(start),
+            Ipv4Addr::from(end),
+            LocationRecord {
+                country,
+                region,
+                city,
+                coord,
+                granularity,
+            },
+        );
+    }
+    builder
+        .build()
+        .map_err(|e| CsvError::Overlap(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeoDatabase;
+
+    fn sample_db() -> InMemoryDb {
+        let mut b = InMemoryDbBuilder::new("csv-test");
+        b.push_prefix(
+            "6.0.0.0/24".parse().unwrap(),
+            LocationRecord {
+                country: Some("US".parse().unwrap()),
+                region: Some("USA Region 1".into()),
+                city: Some("Springfield".into()),
+                coord: Some(Coordinate::new(39.8, -89.6).unwrap()),
+                granularity: Granularity::SubBlock,
+            },
+        );
+        b.push_prefix(
+            "31.0.0.0/24".parse().unwrap(),
+            LocationRecord::country_level("DE".parse().unwrap(), Granularity::Aggregate),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample_db();
+        let text = write(&db);
+        let back = parse("csv-test", &text).unwrap();
+        assert_eq!(back.len(), db.len());
+        for ip in ["6.0.0.9", "31.0.0.77", "9.9.9.9"] {
+            let ip: Ipv4Addr = ip.parse().unwrap();
+            assert_eq!(back.lookup(ip), db.lookup(ip), "{ip}");
+        }
+    }
+
+    #[test]
+    fn row_shape() {
+        let text = write(&sample_db());
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("\"100663296\",\"100663551\",\"US\",\"United States\""));
+        assert!(first.contains("\"Springfield\""));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("x", "not,csv,at,all\n").is_err());
+        assert!(parse("x", "\"1\",\"2\"\n").is_err()); // too few columns
+        let bad_country =
+            "\"0\",\"255\",\"USA\",\"-\",\"-\",\"-\",\"\",\"\",\"1\"\n";
+        assert!(matches!(
+            parse("x", bad_country),
+            Err(CsvError::BadField { what: "country", .. })
+        ));
+        let bad_lat = "\"0\",\"255\",\"US\",\"-\",\"-\",\"C\",\"999\",\"0\",\"1\"\n";
+        assert!(matches!(
+            parse("x", bad_lat),
+            Err(CsvError::BadField {
+                what: "coordinate range",
+                ..
+            })
+        ));
+        let bad_gran = "\"0\",\"255\",\"US\",\"-\",\"-\",\"-\",\"\",\"\",\"7\"\n";
+        assert!(matches!(
+            parse("x", bad_gran),
+            Err(CsvError::BadField {
+                what: "granularity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_overlaps() {
+        let text = "\"0\",\"255\",\"US\",\"-\",\"-\",\"-\",\"\",\"\",\"1\"\n\
+                    \"128\",\"300\",\"US\",\"-\",\"-\",\"-\",\"\",\"\",\"1\"\n";
+        assert!(matches!(parse("x", text), Err(CsvError::Overlap(_))));
+    }
+
+    #[test]
+    fn empty_input_is_empty_db() {
+        let db = parse("x", "").unwrap();
+        assert!(db.is_empty());
+        let db = parse("x", "\n  \n").unwrap();
+        assert!(db.is_empty());
+    }
+}

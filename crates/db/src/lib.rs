@@ -1,0 +1,70 @@
+//! Geolocation databases: engine, formats, and synthetic vendors.
+//!
+//! The paper treats each geolocation database as a black box mapping an IP
+//! address to a location record of some resolution. This crate provides:
+//!
+//! * [`record`] — the record model: country / region / city / coordinates,
+//!   resolution, and the granularity tag behind the paper's "block-level
+//!   location" analysis (§5.2.3).
+//! * [`GeoDatabase`] — the lookup trait every backend implements.
+//! * [`inmem`] — an in-memory range database (the working representation).
+//! * [`csvdb`] — an IP2Location-style CSV format (range rows), reader and
+//!   writer.
+//! * [`rgdb`] — **RGDB**, a MaxMind-style binary format: a serialized
+//!   binary search trie over address bits plus a deduplicated data
+//!   section, with a checksummed header; reader works directly over
+//!   [`bytes::Bytes`].
+//! * [`diff`] — snapshot drift measurement: classify how answers change
+//!   between two releases of a database (the paper's §5.2 50-day
+//!   robustness argument, made testable).
+//! * [`synth`] — the four synthetic vendor profiles (IP2Location-Lite,
+//!   MaxMind-GeoLite, MaxMind-Paid, NetAcuity) that derive per-block
+//!   records from modeled signals: shared registry data, measurement
+//!   corpora, DNS hostname hints, and default-centroid fallbacks. See
+//!   DESIGN.md §4 for the mechanism-to-finding mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvdb;
+pub mod diff;
+pub mod inmem;
+pub mod record;
+pub mod rgdb;
+pub mod synth;
+
+pub use inmem::InMemoryDb;
+pub use record::{Granularity, LocationRecord};
+pub use synth::{build_vendor, SignalWorld, VendorId, VendorProfile};
+
+use std::net::Ipv4Addr;
+
+/// A geolocation database: IP in, location record out.
+pub trait GeoDatabase {
+    /// Database display name (e.g. `MaxMind-GeoLite`).
+    fn name(&self) -> &str;
+
+    /// Look up one address. `None` means the database has no record at all
+    /// for the address (no coverage even at country level).
+    fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord>;
+}
+
+impl<T: GeoDatabase + ?Sized> GeoDatabase for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
+        (**self).lookup(ip)
+    }
+}
+
+impl<T: GeoDatabase + ?Sized> GeoDatabase for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
+        (**self).lookup(ip)
+    }
+}

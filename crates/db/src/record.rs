@@ -1,0 +1,141 @@
+//! The location record model.
+
+use routergeo_geo::{CountryCode, Coordinate};
+
+/// How specific the underlying database entry is — the paper's
+/// "block-level (/24 block or larger) location" distinction (§5.2.3:
+/// ~91% of MaxMind's wrong US city answers were block-level, vs ~78% of
+/// the correct ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// The record covers a whole allocation (larger than a /24) — typical
+    /// for registry-derived entries.
+    Aggregate,
+    /// The record covers one /24 block.
+    Block24,
+    /// The record derives from host-precision evidence inside the block.
+    SubBlock,
+}
+
+impl Granularity {
+    /// The paper's "block-level" predicate: /24 or larger.
+    pub fn is_block_level(&self) -> bool {
+        matches!(self, Granularity::Aggregate | Granularity::Block24)
+    }
+
+    /// Stable id for binary serialization.
+    pub fn id(&self) -> u8 {
+        match self {
+            Granularity::Aggregate => 0,
+            Granularity::Block24 => 1,
+            Granularity::SubBlock => 2,
+        }
+    }
+
+    /// Inverse of [`Granularity::id`].
+    pub fn from_id(id: u8) -> Option<Granularity> {
+        match id {
+            0 => Some(Granularity::Aggregate),
+            1 => Some(Granularity::Block24),
+            2 => Some(Granularity::SubBlock),
+            _ => None,
+        }
+    }
+}
+
+/// One database answer.
+///
+/// Field presence encodes resolution:
+/// * `country` only → country-level record;
+/// * `city` + `coord` → city-level record;
+/// * `coord` without `city` → a coordinate fallback (e.g. a country
+///   default centroid) that does **not** count as city-level coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationRecord {
+    /// ISO country code, if known.
+    pub country: Option<CountryCode>,
+    /// Admin region name, if known.
+    pub region: Option<String>,
+    /// City name, if the record is city-level.
+    pub city: Option<String>,
+    /// Coordinates, if any.
+    pub coord: Option<Coordinate>,
+    /// Entry granularity.
+    pub granularity: Granularity,
+}
+
+impl LocationRecord {
+    /// An empty (useless) record.
+    pub fn empty() -> LocationRecord {
+        LocationRecord {
+            country: None,
+            region: None,
+            city: None,
+            coord: None,
+            granularity: Granularity::Aggregate,
+        }
+    }
+
+    /// Country-level record.
+    pub fn country_level(country: CountryCode, granularity: Granularity) -> LocationRecord {
+        LocationRecord {
+            country: Some(country),
+            region: None,
+            city: None,
+            coord: None,
+            granularity,
+        }
+    }
+
+    /// Whether the record provides country-level coverage.
+    pub fn has_country(&self) -> bool {
+        self.country.is_some()
+    }
+
+    /// Whether the record provides city-level coverage (the paper's
+    /// definition: a city name with coordinates).
+    pub fn has_city(&self) -> bool {
+        self.city.is_some() && self.coord.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_roundtrip_and_block_level() {
+        for g in [
+            Granularity::Aggregate,
+            Granularity::Block24,
+            Granularity::SubBlock,
+        ] {
+            assert_eq!(Granularity::from_id(g.id()), Some(g));
+        }
+        assert_eq!(Granularity::from_id(9), None);
+        assert!(Granularity::Aggregate.is_block_level());
+        assert!(Granularity::Block24.is_block_level());
+        assert!(!Granularity::SubBlock.is_block_level());
+    }
+
+    #[test]
+    fn resolution_predicates() {
+        let mut r = LocationRecord::country_level("US".parse().unwrap(), Granularity::Aggregate);
+        assert!(r.has_country());
+        assert!(!r.has_city());
+        r.city = Some("Springfield".to_string());
+        assert!(!r.has_city(), "city without coords is not city-level");
+        r.coord = Some(Coordinate::new(40.0, -90.0).unwrap());
+        assert!(r.has_city());
+        // Centroid-style: coords without city name.
+        let c = LocationRecord {
+            country: Some("DE".parse().unwrap()),
+            region: None,
+            city: None,
+            coord: Some(Coordinate::new(51.0, 9.0).unwrap()),
+            granularity: Granularity::Aggregate,
+        };
+        assert!(!c.has_city());
+        assert!(!LocationRecord::empty().has_country());
+    }
+}

@@ -1,0 +1,516 @@
+//! RGDB — a MaxMind-style binary geolocation database format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header (28 bytes):
+//!   0   magic        b"RGDB"
+//!   4   version      u16      (currently 1)
+//!   6   name_len     u16      database display name length
+//!   8   node_count   u32      number of trie nodes
+//!   12  record_count u32      number of deduplicated records
+//!   16  data_len     u32      byte length of the data section
+//!   20  checksum     u64      FNV-1a64 over name + nodes + data
+//! name:  name_len bytes of UTF-8
+//! nodes: node_count × 12 bytes: left u32, right u32, data u32
+//!        (child/data value 0xFFFF_FFFF = none; data is a byte offset
+//!        into the data section)
+//! data:  deduplicated records, each:
+//!   flags u8  (bit0 country, bit1 region, bit2 city, bit3 coord)
+//!   granularity u8
+//!   [country: 2 ASCII bytes]
+//!   [region:  len u8 + bytes]
+//!   [city:    len u8 + bytes]
+//!   [coord:   lat i32 micro-degrees, lon i32 micro-degrees]
+//! ```
+//!
+//! Lookup walks address bits MSB-first from the root node, remembering the
+//! deepest node carrying a data offset — longest-prefix match, same as the
+//! in-memory trie. The reader borrows a [`Bytes`] buffer and never copies
+//! the node or data sections.
+
+use crate::record::{Granularity, LocationRecord};
+use crate::GeoDatabase;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use routergeo_geo::{Coordinate, CountryCode};
+use routergeo_net::{Prefix, PrefixTrie};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+const MAGIC: &[u8; 4] = b"RGDB";
+const VERSION: u16 = 1;
+const NONE: u32 = u32::MAX;
+const HEADER_LEN: usize = 28;
+
+/// Errors reading an RGDB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RgdbError {
+    /// Buffer shorter than the advertised layout.
+    Truncated,
+    /// Magic bytes missing.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Checksum mismatch — corrupt image.
+    ChecksumMismatch,
+    /// Structural corruption (out-of-range offsets, bad UTF-8, …).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for RgdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RgdbError::Truncated => f.write_str("RGDB image truncated"),
+            RgdbError::BadMagic => f.write_str("not an RGDB image (bad magic)"),
+            RgdbError::BadVersion(v) => write!(f, "unsupported RGDB version {v}"),
+            RgdbError::ChecksumMismatch => f.write_str("RGDB checksum mismatch"),
+            RgdbError::Corrupt(what) => write!(f, "corrupt RGDB image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RgdbError {}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---- record (de)serialization ----------------------------------------------
+
+fn encode_record(rec: &LocationRecord, out: &mut BytesMut) {
+    let mut flags = 0u8;
+    if rec.country.is_some() {
+        flags |= 1;
+    }
+    if rec.region.is_some() {
+        flags |= 2;
+    }
+    if rec.city.is_some() {
+        flags |= 4;
+    }
+    if rec.coord.is_some() {
+        flags |= 8;
+    }
+    out.put_u8(flags);
+    out.put_u8(rec.granularity.id());
+    if let Some(cc) = rec.country {
+        out.put_slice(&cc.bytes());
+    }
+    if let Some(region) = &rec.region {
+        let bytes = region.as_bytes();
+        let len = bytes.len().min(255);
+        out.put_u8(len as u8);
+        out.put_slice(&bytes[..len]);
+    }
+    if let Some(city) = &rec.city {
+        let bytes = city.as_bytes();
+        let len = bytes.len().min(255);
+        out.put_u8(len as u8);
+        out.put_slice(&bytes[..len]);
+    }
+    if let Some(coord) = rec.coord {
+        out.put_i32_le((coord.lat() * 1e6).round() as i32);
+        out.put_i32_le((coord.lon() * 1e6).round() as i32);
+    }
+}
+
+fn decode_record(mut buf: &[u8]) -> Result<LocationRecord, RgdbError> {
+    if buf.len() < 2 {
+        return Err(RgdbError::Corrupt("record header"));
+    }
+    let flags = buf.get_u8();
+    let gran = Granularity::from_id(buf.get_u8()).ok_or(RgdbError::Corrupt("granularity"))?;
+    let country = if flags & 1 != 0 {
+        if buf.len() < 2 {
+            return Err(RgdbError::Corrupt("country"));
+        }
+        let a = buf.get_u8();
+        let b = buf.get_u8();
+        Some(CountryCode::new(a, b).ok_or(RgdbError::Corrupt("country code"))?)
+    } else {
+        None
+    };
+    let mut read_str = |what: &'static str| -> Result<String, RgdbError> {
+        if buf.is_empty() {
+            return Err(RgdbError::Corrupt(what));
+        }
+        let len = buf.get_u8() as usize;
+        if buf.len() < len {
+            return Err(RgdbError::Corrupt(what));
+        }
+        let s = std::str::from_utf8(&buf[..len])
+            .map_err(|_| RgdbError::Corrupt(what))?
+            .to_string();
+        buf.advance(len);
+        Ok(s)
+    };
+    let region = if flags & 2 != 0 {
+        Some(read_str("region")?)
+    } else {
+        None
+    };
+    let city = if flags & 4 != 0 {
+        Some(read_str("city")?)
+    } else {
+        None
+    };
+    let coord = if flags & 8 != 0 {
+        if buf.len() < 8 {
+            return Err(RgdbError::Corrupt("coord"));
+        }
+        let lat = buf.get_i32_le() as f64 / 1e6;
+        let lon = buf.get_i32_le() as f64 / 1e6;
+        Some(Coordinate::new(lat, lon).map_err(|_| RgdbError::Corrupt("coord range"))?)
+    } else {
+        None
+    };
+    Ok(LocationRecord {
+        country,
+        region,
+        city,
+        coord,
+        granularity: gran,
+    })
+}
+
+// ---- writer -----------------------------------------------------------------
+
+/// Serialize `(prefix, record)` entries into an RGDB image.
+///
+/// Records are deduplicated by their serialized bytes — vendors repeat the
+/// same record across thousands of blocks, so this is where the format
+/// earns its keep.
+pub fn write<'a, I>(name: &str, entries: I) -> Bytes
+where
+    I: IntoIterator<Item = (Prefix, &'a LocationRecord)>,
+{
+    // Build the trie over data offsets, deduplicating records.
+    let mut data = BytesMut::new();
+    let mut offsets: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    for (prefix, rec) in entries {
+        let mut tmp = BytesMut::new();
+        encode_record(rec, &mut tmp);
+        let key = tmp.to_vec();
+        let offset = *offsets.entry(key).or_insert_with(|| {
+            let off = data.len() as u32;
+            data.put_slice(&tmp);
+            off
+        });
+        trie.insert(prefix, offset);
+    }
+
+    // Flatten the trie into the node section. The arena in PrefixTrie is
+    // not directly accessible, so rebuild: walk prefixes and re-insert
+    // into a local arena with identical semantics.
+    let mut nodes: Vec<[u32; 3]> = vec![[NONE, NONE, NONE]];
+    trie.walk(|prefix, offset| {
+        let mut node = 0usize;
+        let addr = prefix.network_u32();
+        for depth in 0..prefix.len() {
+            let bit = ((addr >> (31 - depth as u32)) & 1) as usize;
+            let next = nodes[node][bit];
+            let next = if next == NONE {
+                let idx = nodes.len() as u32;
+                nodes.push([NONE, NONE, NONE]);
+                nodes[node][bit] = idx;
+                idx
+            } else {
+                next
+            };
+            node = next as usize;
+        }
+        nodes[node][2] = *offset;
+    });
+
+    let name_bytes = name.as_bytes();
+    let mut payload = BytesMut::with_capacity(name_bytes.len() + nodes.len() * 12 + data.len());
+    payload.put_slice(name_bytes);
+    for n in &nodes {
+        payload.put_u32_le(n[0]);
+        payload.put_u32_le(n[1]);
+        payload.put_u32_le(n[2]);
+    }
+    payload.put_slice(&data);
+    let checksum = fnv1a(&payload);
+
+    let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u16_le(name_bytes.len() as u16);
+    out.put_u32_le(nodes.len() as u32);
+    out.put_u32_le(offsets.len() as u32);
+    out.put_u32_le(data.len() as u32);
+    out.put_u64_le(checksum);
+    out.put_slice(&payload);
+    out.freeze()
+}
+
+// ---- reader -----------------------------------------------------------------
+
+/// Zero-copy reader over an RGDB image.
+pub struct RgdbReader {
+    image: Bytes,
+    name: String,
+    nodes_start: usize,
+    node_count: u32,
+    data_start: usize,
+    data_len: usize,
+    record_count: u32,
+}
+
+impl RgdbReader {
+    /// Validate and open an image.
+    pub fn open(image: Bytes) -> Result<RgdbReader, RgdbError> {
+        if image.len() < HEADER_LEN {
+            return Err(RgdbError::Truncated);
+        }
+        let mut h = &image[..HEADER_LEN];
+        let mut magic = [0u8; 4];
+        h.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(RgdbError::BadMagic);
+        }
+        let version = h.get_u16_le();
+        if version != VERSION {
+            return Err(RgdbError::BadVersion(version));
+        }
+        let name_len = h.get_u16_le() as usize;
+        let node_count = h.get_u32_le();
+        let record_count = h.get_u32_le();
+        let data_len = h.get_u32_le() as usize;
+        let checksum = h.get_u64_le();
+
+        let nodes_start = HEADER_LEN + name_len;
+        let nodes_len = node_count as usize * 12;
+        let data_start = nodes_start + nodes_len;
+        let expected_total = data_start + data_len;
+        if image.len() != expected_total {
+            return Err(RgdbError::Truncated);
+        }
+        if fnv1a(&image[HEADER_LEN..]) != checksum {
+            return Err(RgdbError::ChecksumMismatch);
+        }
+        if node_count == 0 {
+            return Err(RgdbError::Corrupt("zero nodes"));
+        }
+        let name = std::str::from_utf8(&image[HEADER_LEN..nodes_start])
+            .map_err(|_| RgdbError::Corrupt("name"))?
+            .to_string();
+        Ok(RgdbReader {
+            image,
+            name,
+            nodes_start,
+            node_count,
+            data_start,
+            data_len,
+            record_count,
+        })
+    }
+
+    /// Number of deduplicated records in the data section.
+    pub fn record_count(&self) -> u32 {
+        self.record_count
+    }
+
+    /// Total image size in bytes.
+    pub fn image_len(&self) -> usize {
+        self.image.len()
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> Result<(u32, u32, u32), RgdbError> {
+        if idx >= self.node_count {
+            return Err(RgdbError::Corrupt("node index"));
+        }
+        let at = self.nodes_start + idx as usize * 12;
+        let mut b = &self.image[at..at + 12];
+        Ok((b.get_u32_le(), b.get_u32_le(), b.get_u32_le()))
+    }
+
+    /// Longest-prefix-match lookup returning a parse error on corruption.
+    pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
+        let addr = u32::from(ip);
+        let mut node = 0u32;
+        let mut best: Option<u32> = None;
+        for depth in 0..=32u32 {
+            let (left, right, data) = self.node(node)?;
+            if data != NONE {
+                best = Some(data);
+            }
+            if depth == 32 {
+                break;
+            }
+            let bit = (addr >> (31 - depth)) & 1;
+            let next = if bit == 0 { left } else { right };
+            if next == NONE {
+                break;
+            }
+            node = next;
+        }
+        match best {
+            None => Ok(None),
+            Some(off) => {
+                let off = off as usize;
+                if off >= self.data_len {
+                    return Err(RgdbError::Corrupt("data offset"));
+                }
+                let slice = &self.image[self.data_start + off..self.data_start + self.data_len];
+                decode_record(slice).map(Some)
+            }
+        }
+    }
+}
+
+impl GeoDatabase for RgdbReader {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
+        // Images validated at open; treat latent corruption as a miss.
+        self.try_lookup(ip).ok().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<(Prefix, LocationRecord)> {
+        let city = LocationRecord {
+            country: Some("US".parse().unwrap()),
+            region: Some("USA Region 1".into()),
+            city: Some("Springfield".into()),
+            coord: Some(Coordinate::new(39.8, -89.6).unwrap()),
+            granularity: Granularity::SubBlock,
+        };
+        let country = LocationRecord::country_level("DE".parse().unwrap(), Granularity::Aggregate);
+        let centroid = LocationRecord {
+            country: Some("FR".parse().unwrap()),
+            region: None,
+            city: None,
+            coord: Some(Coordinate::new(46.2, 2.2).unwrap()),
+            granularity: Granularity::Block24,
+        };
+        vec![
+            ("6.0.0.0/24".parse().unwrap(), city),
+            ("31.0.0.0/16".parse().unwrap(), country),
+            ("31.0.1.0/24".parse().unwrap(), centroid),
+        ]
+    }
+
+    fn build() -> RgdbReader {
+        let recs = sample_records();
+        let image = write("Test-DB", recs.iter().map(|(p, r)| (*p, r)));
+        RgdbReader::open(image).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_lookups() {
+        let db = build();
+        assert_eq!(db.name(), "Test-DB");
+        let r = db.lookup("6.0.0.200".parse().unwrap()).unwrap();
+        assert_eq!(r.city.as_deref(), Some("Springfield"));
+        assert_eq!(r.granularity, Granularity::SubBlock);
+        let c = r.coord.unwrap();
+        assert!((c.lat() - 39.8).abs() < 1e-5);
+        // Longest-prefix: /24 centroid inside the /16 country record.
+        let r = db.lookup("31.0.1.7".parse().unwrap()).unwrap();
+        assert!(r.coord.is_some() && r.city.is_none());
+        let r = db.lookup("31.0.99.1".parse().unwrap()).unwrap();
+        assert_eq!(r.country.unwrap().as_str(), "DE");
+        assert!(db.lookup("99.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn records_are_deduplicated() {
+        let rec = LocationRecord::country_level("US".parse().unwrap(), Granularity::Block24);
+        let entries: Vec<(Prefix, LocationRecord)> = (0..100)
+            .map(|i| {
+                let p: Prefix = format!("6.0.{i}.0/24").parse().unwrap();
+                (p, rec.clone())
+            })
+            .collect();
+        let image = write("dedup", entries.iter().map(|(p, r)| (*p, r)));
+        let db = RgdbReader::open(image).unwrap();
+        assert_eq!(db.record_count(), 1);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let recs = sample_records();
+        let image = write("t", recs.iter().map(|(p, r)| (*p, r)));
+        for cut in [0, 3, HEADER_LEN - 1, image.len() - 1] {
+            let sliced = image.slice(..cut);
+            assert!(
+                RgdbReader::open(sliced).is_err(),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let recs = sample_records();
+        let image = write("t", recs.iter().map(|(p, r)| (*p, r)));
+        // Flip one byte in the payload.
+        let mut bytes = image.to_vec();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        assert!(matches!(
+            RgdbReader::open(Bytes::from(bytes)),
+            Err(RgdbError::ChecksumMismatch)
+        ));
+
+        // Bad magic.
+        let mut bytes = image.to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            RgdbReader::open(Bytes::from(bytes)),
+            Err(RgdbError::BadMagic)
+        ));
+
+        // Bad version.
+        let mut bytes = image.to_vec();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            RgdbReader::open(Bytes::from(bytes)),
+            Err(RgdbError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn empty_database_is_valid() {
+        let image = write("empty", std::iter::empty());
+        let db = RgdbReader::open(image).unwrap();
+        assert!(db.lookup("1.2.3.4".parse().unwrap()).is_none());
+        assert_eq!(db.record_count(), 0);
+    }
+
+    #[test]
+    fn default_route_record() {
+        let rec = LocationRecord::country_level("US".parse().unwrap(), Granularity::Aggregate);
+        let entries = [(Prefix::default_route(), rec)];
+        let image = write("all", entries.iter().map(|(p, r)| (*p, r)));
+        let db = RgdbReader::open(image).unwrap();
+        assert!(db.lookup("255.255.255.255".parse().unwrap()).is_some());
+        assert!(db.lookup("0.0.0.0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn host_route_records() {
+        let rec = LocationRecord::country_level("JP".parse().unwrap(), Granularity::SubBlock);
+        let entries = [("1.2.3.4/32".parse::<Prefix>().unwrap(), rec)];
+        let image = write("host", entries.iter().map(|(p, r)| (*p, r)));
+        let db = RgdbReader::open(image).unwrap();
+        assert!(db.lookup("1.2.3.4".parse().unwrap()).is_some());
+        assert!(db.lookup("1.2.3.5".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Hostname churn over time (§3.1).
+//!
+//! Between May 2016 and September 2017 the paper observed, over its 11,857
+//! DNS-based ground-truth addresses: 69.1% kept their hostnames, 24% got
+//! different hostnames, 6.9% lost their rDNS records. Of the changed
+//! hostnames, 67.7% still decoded to the same location, 30.8% decoded to a
+//! *different* location (the address was reassigned to a router somewhere
+//! else — the paper's `dllstx09` → `miamfl02` example), and 1.5% no longer
+//! matched any rule.
+//!
+//! [`ChurnModel`] applies that process to a synthetic hostname: it samples
+//! an outcome per interface and rewrites the location token accordingly,
+//! so the §3.1 validation analysis can run unchanged.
+
+use crate::hostname;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routergeo_world::ases::HostnameStyle;
+use routergeo_world::names::clli_code;
+use routergeo_world::{CityId, InterfaceId, World};
+
+/// Churn probabilities. Defaults reproduce §3.1's observed 16-month rates.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// RNG seed for churn decisions.
+    pub seed: u64,
+    /// P(hostname unchanged).
+    pub p_same: f64,
+    /// P(hostname changed) — split below.
+    pub p_changed: f64,
+    /// Among changed: P(still decodes to the same location).
+    pub p_changed_same_location: f64,
+    /// Among changed: P(decodes to a different location).
+    pub p_changed_moved: f64,
+    // Remaining changed mass: no decodable hint any more.
+    // P(rDNS record gone) is 1 - p_same - p_changed.
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            seed: 0xC4A2,
+            p_same: 0.691,
+            p_changed: 0.24,
+            p_changed_same_location: 0.677,
+            p_changed_moved: 0.308,
+        }
+    }
+}
+
+/// What happened to one interface's hostname after the churn interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOutcome {
+    /// Same hostname as before.
+    Same(String),
+    /// New hostname, same location token (renamed/renumbered in place).
+    RenamedSameLocation(String),
+    /// New hostname whose location token points at a different city —
+    /// the address was reassigned to a router elsewhere.
+    Moved(String, CityId),
+    /// New hostname with no decodable location hint.
+    HintLost(String),
+    /// rDNS record disappeared.
+    Gone,
+}
+
+impl ChurnOutcome {
+    /// The hostname after churn, if one still exists.
+    pub fn hostname(&self) -> Option<&str> {
+        match self {
+            ChurnOutcome::Same(h)
+            | ChurnOutcome::RenamedSameLocation(h)
+            | ChurnOutcome::Moved(h, _)
+            | ChurnOutcome::HintLost(h) => Some(h),
+            ChurnOutcome::Gone => None,
+        }
+    }
+}
+
+/// Applies hostname churn to a world's interfaces.
+pub struct ChurnModel<'w> {
+    world: &'w World,
+    config: ChurnConfig,
+}
+
+impl<'w> ChurnModel<'w> {
+    /// New model over a world.
+    pub fn new(world: &'w World, config: ChurnConfig) -> Self {
+        ChurnModel { world, config }
+    }
+
+    /// Evolve one interface's hostname across the churn interval.
+    /// Deterministic per (seed, interface). Interfaces without rDNS stay
+    /// [`ChurnOutcome::Gone`].
+    pub fn evolve(&self, iface: InterfaceId) -> ChurnOutcome {
+        let Some(original) = hostname::rdns(self.world, iface) else {
+            return ChurnOutcome::Gone;
+        };
+        let ip = u32::from(self.world.interface(iface).ip);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (ip as u64) << 16);
+
+        let roll: f64 = rng.gen();
+        if roll < self.config.p_same {
+            return ChurnOutcome::Same(original);
+        }
+        if roll < self.config.p_same + self.config.p_changed {
+            // Hostname changed: decide what the new name encodes.
+            let sub: f64 = rng.gen();
+            if sub < self.config.p_changed_same_location {
+                return ChurnOutcome::RenamedSameLocation(rename_in_place(&original, &mut rng));
+            }
+            if sub < self.config.p_changed_same_location + self.config.p_changed_moved {
+                let (new_name, new_city) = self.move_hostname(iface, &original, &mut rng);
+                return ChurnOutcome::Moved(new_name, new_city);
+            }
+            return ChurnOutcome::HintLost(hint_less(&original, &mut rng));
+        }
+        ChurnOutcome::Gone
+    }
+
+    /// Rewrite the hostname's location token to a different city of the
+    /// same operator's footprint (address reassigned to another PoP).
+    fn move_hostname(
+        &self,
+        iface: InterfaceId,
+        original: &str,
+        rng: &mut StdRng,
+    ) -> (String, CityId) {
+        let w = self.world;
+        let router = w.router(w.interface(iface).router);
+        let pop = w.pop(router.pop);
+        let op = w.operator(pop.op);
+        // Pick a different presence city.
+        let choices: Vec<CityId> = op
+            .presence
+            .iter()
+            .copied()
+            .filter(|c| *c != pop.city)
+            .collect();
+        let new_city_id = if choices.is_empty() {
+            pop.city
+        } else {
+            choices[rng.gen_range(0..choices.len())]
+        };
+        let city = w.city(new_city_id);
+        let site = rng.gen_range(1..=9u32);
+        let mut labels: Vec<String> = original.split('.').map(|s| s.to_string()).collect();
+        if labels.len() > 2 {
+            labels[2] = match op.style {
+                HostnameStyle::Iata => {
+                    format!("{}{:02}", city.airport.to_ascii_lowercase(), site)
+                }
+                HostnameStyle::Clli => format!(
+                    "{}{:02}",
+                    clli_code(&city.airport, &city.name, city.country.as_str()),
+                    site
+                ),
+                _ => format!("{}{}", city.name.to_ascii_lowercase(), site),
+            };
+            // CLLI names also carry the country label right after.
+            if op.style == HostnameStyle::Clli && labels.len() > 3 {
+                labels[3] = city.country.as_str().to_ascii_lowercase();
+            }
+        }
+        (labels.join("."), new_city_id)
+    }
+}
+
+/// New router/interface labels, same location token.
+fn rename_in_place(original: &str, rng: &mut StdRng) -> String {
+    let mut labels: Vec<String> = original.split('.').map(|s| s.to_string()).collect();
+    if labels.len() > 1 {
+        labels[1] = format!("r{:02}", rng.gen_range(0..64));
+    }
+    if !labels.is_empty() {
+        labels[0] = format!("ae-{}", rng.gen_range(0..12));
+    }
+    labels.join(".")
+}
+
+/// Replace the location label with an opaque token.
+fn hint_less(original: &str, rng: &mut StdRng) -> String {
+    let mut labels: Vec<String> = original.split('.').map(|s| s.to_string()).collect();
+    if labels.len() > 2 {
+        labels[2] = format!("pe{:04x}", rng.gen_range(0..0xFFFFu32));
+    }
+    labels.join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleEngine;
+    use routergeo_world::{WorldConfig, World};
+
+    fn gt_interfaces(w: &World) -> Vec<InterfaceId> {
+        let mut out = Vec::new();
+        for spec in routergeo_world::ases::GT_OPERATORS {
+            let op = w.operator_by_name(spec.name).unwrap();
+            out.extend(w.interfaces_of_operator(op));
+        }
+        out
+    }
+
+    #[test]
+    fn outcome_rates_match_config() {
+        let w = World::generate(WorldConfig::small(91));
+        let model = ChurnModel::new(&w, ChurnConfig::default());
+        let ifaces: Vec<_> = gt_interfaces(&w)
+            .into_iter()
+            .filter(|i| hostname::rdns(&w, *i).is_some())
+            .collect();
+        assert!(ifaces.len() > 500, "need interfaces: {}", ifaces.len());
+        let mut same = 0usize;
+        let mut changed = 0usize;
+        let mut gone = 0usize;
+        for id in &ifaces {
+            match model.evolve(*id) {
+                ChurnOutcome::Same(_) => same += 1,
+                ChurnOutcome::Gone => gone += 1,
+                _ => changed += 1,
+            }
+        }
+        let n = ifaces.len() as f64;
+        assert!((same as f64 / n - 0.691).abs() < 0.05, "same {same}/{n}");
+        assert!((changed as f64 / n - 0.24).abs() < 0.05, "changed {changed}");
+        assert!((gone as f64 / n - 0.069).abs() < 0.04, "gone {gone}");
+    }
+
+    #[test]
+    fn moved_hostnames_decode_to_the_new_city() {
+        let w = World::generate(WorldConfig::tiny(92));
+        let engine = RuleEngine::with_gt_rules(&w);
+        let model = ChurnModel::new(&w, ChurnConfig::default());
+        let mut checked = 0;
+        for id in gt_interfaces(&w) {
+            if let ChurnOutcome::Moved(name, city) = model.evolve(id) {
+                if let Some(decoded) = engine.decode(&name) {
+                    assert_eq!(decoded, city, "{name}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 5, "too few moved outcomes decoded: {checked}");
+    }
+
+    #[test]
+    fn renamed_hostnames_keep_their_location() {
+        let w = World::generate(WorldConfig::tiny(93));
+        let engine = RuleEngine::with_gt_rules(&w);
+        let model = ChurnModel::new(&w, ChurnConfig::default());
+        let mut checked = 0;
+        for id in gt_interfaces(&w) {
+            let before = match hostname::rdns(&w, id).map(|h| engine.decode(&h)) {
+                Some(Some(c)) => c,
+                _ => continue,
+            };
+            if let ChurnOutcome::RenamedSameLocation(name) = model.evolve(id) {
+                assert_eq!(engine.decode(&name), Some(before), "{name}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "too few renames: {checked}");
+    }
+
+    #[test]
+    fn hint_lost_hostnames_do_not_decode() {
+        let w = World::generate(WorldConfig::tiny(94));
+        let engine = RuleEngine::with_gt_rules(&w);
+        let model = ChurnModel::new(&w, ChurnConfig::default());
+        for id in gt_interfaces(&w) {
+            if let ChurnOutcome::HintLost(name) = model.evolve(id) {
+                assert_eq!(engine.decode(&name), None, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_is_deterministic() {
+        let w = World::generate(WorldConfig::tiny(95));
+        let model = ChurnModel::new(&w, ChurnConfig::default());
+        for id in gt_interfaces(&w).into_iter().take(100) {
+            assert_eq!(model.evolve(id), model.evolve(id));
+        }
+    }
+
+    #[test]
+    fn interfaces_without_rdns_stay_gone() {
+        let w = World::generate(WorldConfig::tiny(96));
+        let model = ChurnModel::new(&w, ChurnConfig::default());
+        let mut seen = 0;
+        for i in (0..w.interfaces.len()).step_by(7) {
+            let id = InterfaceId::from_index(i);
+            if hostname::rdns(&w, id).is_none() {
+                assert_eq!(model.evolve(id), ChurnOutcome::Gone);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+}

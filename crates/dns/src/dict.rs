@@ -1,0 +1,103 @@
+//! The hint dictionary: location token → city.
+//!
+//! DRoP's dictionary maps location strings (airport codes, CLLI codes,
+//! city names) to physical coordinates. Ours is built from the world's
+//! cities, so it is complete and correct by construction — the errors the
+//! evaluation measures then come from *stale hostnames* and *rule-less
+//! domains*, the same sources the paper identifies, not from dictionary
+//! gaps.
+
+use routergeo_world::names::clli_code;
+use routergeo_world::{CityId, World};
+use std::collections::HashMap;
+
+/// Location-token dictionary over one world's cities.
+#[derive(Debug, Clone)]
+pub struct HintDictionary {
+    by_airport: HashMap<String, CityId>,
+    by_clli: HashMap<String, CityId>,
+    by_name: HashMap<String, CityId>,
+}
+
+impl HintDictionary {
+    /// Build the dictionary from the world's cities.
+    pub fn build(world: &World) -> HintDictionary {
+        let mut by_airport = HashMap::new();
+        let mut by_clli = HashMap::new();
+        let mut by_name = HashMap::new();
+        for city in &world.cities {
+            by_airport.insert(city.airport.to_ascii_lowercase(), city.id);
+            by_clli.insert(
+                clli_code(&city.airport, &city.name, city.country.as_str()),
+                city.id,
+            );
+            // City names may collide across countries; first-in wins,
+            // mirroring the ambiguity real dictionaries face (our
+            // generator keeps names world-unique, so this is exact).
+            by_name
+                .entry(city.name.to_ascii_lowercase())
+                .or_insert(city.id);
+        }
+        HintDictionary {
+            by_airport,
+            by_clli,
+            by_name,
+        }
+    }
+
+    /// Look up an airport-style token (case-insensitive).
+    pub fn airport(&self, token: &str) -> Option<CityId> {
+        self.by_airport.get(&token.to_ascii_lowercase()).copied()
+    }
+
+    /// Look up a CLLI-style token (six letters, lower-case).
+    pub fn clli(&self, token: &str) -> Option<CityId> {
+        self.by_clli.get(token).copied()
+    }
+
+    /// Look up a city-name token (case-insensitive).
+    pub fn city_name(&self, token: &str) -> Option<CityId> {
+        self.by_name.get(&token.to_ascii_lowercase()).copied()
+    }
+
+    /// Number of airport entries (== number of cities).
+    pub fn len(&self) -> usize {
+        self.by_airport.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_airport.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_world::{WorldConfig, World};
+
+    #[test]
+    fn dictionary_covers_every_city() {
+        let w = World::generate(WorldConfig::tiny(71));
+        let d = HintDictionary::build(&w);
+        assert_eq!(d.len(), w.cities.len());
+        for city in &w.cities {
+            assert_eq!(d.airport(&city.airport), Some(city.id));
+            assert_eq!(d.airport(&city.airport.to_ascii_lowercase()), Some(city.id));
+            assert_eq!(d.city_name(&city.name), Some(city.id));
+            assert_eq!(
+                d.clli(&clli_code(&city.airport, &city.name, city.country.as_str())),
+                Some(city.id)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tokens_miss() {
+        let w = World::generate(WorldConfig::tiny(72));
+        let d = HintDictionary::build(&w);
+        assert_eq!(d.airport("qqq"), None);
+        assert_eq!(d.city_name("atlantis"), None);
+        assert_eq!(d.clli("zzzzzz"), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic hostname generation — the world's reverse DNS.
+//!
+//! Each operator follows one convention ([`HostnameStyle`]); the location
+//! token always sits in the third label from the left, matching the shape
+//! of the paper's example `ae-5.r23.dllstx09.us.bb.gin.ntt.net` (interface,
+//! router, location+index, …, domain). Whether an interface has rDNS at
+//! all is a per-interface deterministic Bernoulli draw against the
+//! operator's `rdns_coverage`.
+
+use routergeo_world::ases::HostnameStyle;
+use routergeo_world::{InterfaceId, World};
+
+/// Stateless deterministic hash for per-interface decisions.
+fn mix(seed: u64, ip: u32, salt: u64) -> u64 {
+    let mut z = seed ^ (ip as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const IF_PREFIXES: [&str; 6] = ["ae", "xe", "te", "et", "ge", "hu"];
+
+/// The interface-name label, e.g. `ae-5` or `xe-0-1`.
+fn if_label(h: u64) -> String {
+    let prefix = IF_PREFIXES[(h % 6) as usize];
+    if h & 0x40 == 0 {
+        format!("{prefix}-{}", (h >> 8) % 12)
+    } else {
+        format!("{prefix}-{}-{}", (h >> 8) % 4, (h >> 16) % 8)
+    }
+}
+
+/// Reverse-DNS lookup against the synthetic world: the hostname of the
+/// interface, or `None` when the operator publishes no record for it.
+///
+/// Deterministic: the same world and interface always yield the same name.
+pub fn rdns(world: &World, iface: InterfaceId) -> Option<String> {
+    let interface = world.interface(iface);
+    let router = world.router(interface.router);
+    let pop = world.pop(router.pop);
+    let op = world.operator(pop.op);
+    let domain = op.domain.as_deref()?;
+    if op.style == HostnameStyle::None {
+        return None;
+    }
+
+    let ip = u32::from(interface.ip);
+    let h = mix(world.config.seed, ip, 0xD05);
+    // Coverage draw: uses the /24 so whole blocks tend to be covered or
+    // not, like real operators' zones.
+    let cov = mix(world.config.seed, ip >> 8, 0xC0F);
+    if (cov % 10_000) as f64 >= op.rdns_coverage * 10_000.0 {
+        return None;
+    }
+
+    let city = world.city(pop.city);
+    let rtr_no = router.id.0 % 64;
+    let site = (pop.id.0 % 9) + 1;
+    let label = match op.style {
+        HostnameStyle::Iata => format!(
+            "{}.r{:02}.{}{:02}.{}",
+            if_label(h),
+            rtr_no,
+            city.airport.to_ascii_lowercase(),
+            site,
+            domain
+        ),
+        HostnameStyle::Clli => {
+            let cc = city.country.as_str().to_ascii_lowercase();
+            let clli = routergeo_world::names::clli_code(
+                &city.airport,
+                &city.name,
+                city.country.as_str(),
+            );
+            format!(
+                "{}.r{:02}.{}{:02}.{}.bb.{}",
+                if_label(h),
+                rtr_no,
+                clli,
+                site,
+                cc,
+                domain
+            )
+        }
+        HostnameStyle::CityName => format!(
+            "{}.core{}.{}{}.{}",
+            if_label(h),
+            rtr_no % 8 + 1,
+            city.name.to_ascii_lowercase(),
+            site,
+            domain
+        ),
+        HostnameStyle::Opaque => format!(
+            "host-{:x}.{}",
+            mix(world.config.seed, ip, 0x0FACE) & 0xFFFF_FFFF,
+            domain
+        ),
+        HostnameStyle::None => unreachable!("checked above"),
+    };
+    Some(label)
+}
+
+/// The domain suffix of a hostname (everything after the third label),
+/// used to route hostnames to per-domain rules. Falls back to the last two
+/// labels for short names.
+pub fn domain_of(hostname: &str) -> &str {
+    let labels: Vec<&str> = hostname.split('.').collect();
+    if labels.len() > 3 {
+        let skip: usize = labels[..3].iter().map(|l| l.len() + 1).sum();
+        &hostname[skip..]
+    } else if labels.len() >= 2 {
+        let skip: usize = labels[..labels.len() - 2]
+            .iter()
+            .map(|l| l.len() + 1)
+            .sum();
+        &hostname[skip..]
+    } else {
+        hostname
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_world::{WorldConfig, World};
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(61))
+    }
+
+    #[test]
+    fn rdns_is_deterministic() {
+        let w = world();
+        for i in (0..w.interfaces.len()).step_by(37) {
+            let id = InterfaceId::from_index(i);
+            assert_eq!(rdns(&w, id), rdns(&w, id));
+        }
+    }
+
+    #[test]
+    fn gt_domain_hostnames_carry_their_domain() {
+        let w = world();
+        let cogent = w.operator_by_name("cogentco").unwrap();
+        let mut seen = 0;
+        for id in w.interfaces_of_operator(cogent) {
+            if let Some(name) = rdns(&w, id) {
+                assert!(name.ends_with(".cogentco.com"), "{name}");
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "cogent has no rDNS at all");
+    }
+
+    #[test]
+    fn ntt_style_has_clli_and_country() {
+        let w = world();
+        let ntt = w.operator_by_name("ntt").unwrap();
+        let id = w.interfaces_of_operator(ntt)[0];
+        // Find any covered interface.
+        let name = w
+            .interfaces_of_operator(ntt)
+            .into_iter()
+            .find_map(|i| rdns(&w, i))
+            .unwrap_or_else(|| panic!("no ntt rDNS for {id:?}"));
+        // Shape: if.rNN.cccccc##.cc.bb.ntt.net
+        let labels: Vec<&str> = name.split('.').collect();
+        assert!(name.ends_with(".bb.ntt.net"), "{name}");
+        assert!(labels[1].starts_with('r'));
+        assert_eq!(labels[3].len(), 2, "{name}");
+    }
+
+    #[test]
+    fn location_token_matches_interface_city() {
+        let w = world();
+        let cogent = w.operator_by_name("cogentco").unwrap();
+        for id in w.interfaces_of_operator(cogent) {
+            if let Some(name) = rdns(&w, id) {
+                let iface = w.interface(id);
+                let (city_id, _) = w.true_location(iface.ip).unwrap();
+                let airport = w.city(city_id).airport.to_ascii_lowercase();
+                let token = name.split('.').nth(2).unwrap();
+                assert!(
+                    token.starts_with(&airport),
+                    "token {token} vs airport {airport} in {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_partial_for_low_coverage_operators() {
+        let w = world();
+        // Stub operators have 0.35 coverage or no domain; across all stubs
+        // a good share of interfaces must lack rDNS.
+        let mut with = 0usize;
+        let mut without = 0usize;
+        for (i, _) in w.interfaces.iter().enumerate().step_by(5) {
+            match rdns(&w, InterfaceId::from_index(i)) {
+                Some(_) => with += 1,
+                None => without += 1,
+            }
+        }
+        assert!(with > 0 && without > 0, "with={with} without={without}");
+    }
+
+    #[test]
+    fn domain_of_extracts_suffix() {
+        assert_eq!(
+            domain_of("ae-5.r23.dllstx09.us.bb.gin.ntt.net"),
+            "us.bb.gin.ntt.net"
+        );
+        assert_eq!(domain_of("a.b.c.example.com"), "example.com");
+        assert_eq!(domain_of("a.b"), "a.b");
+        assert_eq!(domain_of("localhost"), "localhost");
+    }
+
+    #[test]
+    fn opaque_hostnames_do_not_leak_city_tokens() {
+        let w = world();
+        let op = w
+            .operators
+            .iter()
+            .find(|o| o.style == HostnameStyle::Opaque && o.domain.is_some())
+            .expect("some opaque operator");
+        for id in w.interfaces_of_operator(op.id).into_iter().take(50) {
+            if let Some(name) = rdns(&w, id) {
+                let iface = w.interface(id);
+                let (city_id, _) = w.true_location(iface.ip).unwrap();
+                let city = w.city(city_id);
+                assert!(!name.contains(&city.name.to_ascii_lowercase()));
+                assert!(!name.contains(&city.airport.to_ascii_lowercase()));
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Rule inference — how DRoP built rules for 1,398 domains (§2.3.1).
+//!
+//! The paper only *uses* the seven operator-confirmed rule sets, but the
+//! underlying system inferred rules automatically: collect hostnames with
+//! independently known locations (e.g. from RTT proximity), try every
+//! (label position, hint kind) combination against the dictionary, and
+//! adopt the combinations that are both frequent and precise. This module
+//! implements that inference loop, so the harness can *learn* the rules it
+//! elsewhere receives as ground truth — and measure how well learned rules
+//! approach the operator-confirmed ones.
+
+use crate::dict::HintDictionary;
+use crate::rules::{DomainRule, HintKind};
+use routergeo_geo::Coordinate;
+use routergeo_world::World;
+use std::collections::HashMap;
+
+/// One training sample: a hostname and an independently known location of
+/// the address behind it.
+#[derive(Debug, Clone)]
+pub struct TrainingSample {
+    /// The rDNS hostname.
+    pub hostname: String,
+    /// Known location (city accuracy).
+    pub location: Coordinate,
+}
+
+/// Inference parameters.
+#[derive(Debug, Clone)]
+pub struct InferenceConfig {
+    /// Minimum samples per (domain, position, kind) candidate.
+    pub min_support: usize,
+    /// Minimum fraction of decodes agreeing with the training location.
+    pub min_precision: f64,
+    /// Agreement radius between a decoded city and a training location.
+    pub agree_km: f64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            min_support: 10,
+            min_precision: 0.8,
+            agree_km: 60.0,
+        }
+    }
+}
+
+/// Evidence accumulated for one rule candidate.
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    attempts: usize,
+    hits: usize,
+}
+
+/// An inferred rule with its supporting evidence.
+#[derive(Debug, Clone)]
+pub struct InferredRule {
+    /// The rule itself, usable by [`crate::rules::DomainRule::decode`].
+    pub rule: DomainRule,
+    /// Samples whose label decoded to *some* dictionary city.
+    pub support: usize,
+    /// Fraction of decodes within the agreement radius.
+    pub precision: f64,
+}
+
+/// Domain key: the last two labels of a hostname (`cogentco.com`).
+fn domain_key(hostname: &str) -> Option<String> {
+    let labels: Vec<&str> = hostname.split('.').collect();
+    if labels.len() < 3 {
+        return None;
+    }
+    Some(labels[labels.len() - 2..].join("."))
+}
+
+/// Infer per-domain decoding rules from training samples.
+pub fn infer_rules(
+    world: &World,
+    samples: &[TrainingSample],
+    config: &InferenceConfig,
+) -> Vec<InferredRule> {
+    let dict = HintDictionary::build(world);
+    // (domain, label index, kind) → tally.
+    let mut tallies: HashMap<(String, usize, u8), Tally> = HashMap::new();
+    let kinds = [HintKind::Airport, HintKind::Clli, HintKind::CityName];
+
+    for sample in samples {
+        let Some(domain) = domain_key(&sample.hostname) else {
+            continue;
+        };
+        let labels: Vec<&str> = sample.hostname.split('.').collect();
+        // Never treat the registered domain itself as a location label.
+        let scan = labels.len().saturating_sub(2);
+        for idx in 0..scan {
+            for (k, kind) in kinds.iter().enumerate() {
+                let rule = DomainRule {
+                    domain_suffix: domain.clone(),
+                    kind: *kind,
+                    label_index: idx,
+                };
+                let Some(city) = rule.decode(&sample.hostname, &dict) else {
+                    continue;
+                };
+                let tally = tallies
+                    .entry((domain.clone(), idx, k as u8))
+                    .or_default();
+                tally.attempts += 1;
+                let coord = world.city(city).coord;
+                if coord.distance_km(&sample.location) <= config.agree_km {
+                    tally.hits += 1;
+                }
+            }
+        }
+    }
+
+    // Per domain: keep the best candidate that clears both thresholds.
+    let mut best: HashMap<String, InferredRule> = HashMap::new();
+    for ((domain, idx, k), tally) in tallies {
+        if tally.attempts < config.min_support {
+            continue;
+        }
+        let precision = tally.hits as f64 / tally.attempts as f64;
+        if precision < config.min_precision {
+            continue;
+        }
+        let kind = kinds[k as usize];
+        let candidate = InferredRule {
+            rule: DomainRule {
+                domain_suffix: domain.clone(),
+                kind,
+                label_index: idx,
+            },
+            support: tally.attempts,
+            precision,
+        };
+        match best.get(&domain) {
+            Some(existing)
+                if (existing.precision, existing.support)
+                    >= (candidate.precision, candidate.support) => {}
+            _ => {
+                best.insert(domain, candidate);
+            }
+        }
+    }
+    let mut out: Vec<InferredRule> = best.into_values().collect();
+    out.sort_by(|a, b| a.rule.domain_suffix.cmp(&b.rule.domain_suffix));
+    out
+}
+
+/// Build training samples from the world itself: interfaces with rDNS
+/// whose location is taken from an external source — here the oracle
+/// blurred to city centres, standing in for RTT-proximity locations.
+pub fn training_from_world(world: &World, stride: usize) -> Vec<TrainingSample> {
+    let mut out = Vec::new();
+    for (i, iface) in world.interfaces.iter().enumerate().step_by(stride.max(1)) {
+        let id = routergeo_world::InterfaceId::from_index(i);
+        let Some(hostname) = crate::hostname::rdns(world, id) else {
+            continue;
+        };
+        let Some((city, _)) = world.true_location(iface.ip) else {
+            continue;
+        };
+        out.push(TrainingSample {
+            hostname,
+            location: world.city(city).coord,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleEngine;
+    use routergeo_world::{World, WorldConfig};
+
+    fn setup() -> (World, Vec<InferredRule>) {
+        let w = World::generate(WorldConfig::tiny(411));
+        let samples = training_from_world(&w, 1);
+        let rules = infer_rules(&w, &samples, &InferenceConfig::default());
+        (w, rules)
+    }
+
+    #[test]
+    fn inference_recovers_the_gt_domains() {
+        let (_, rules) = setup();
+        let domains: Vec<&str> = rules.iter().map(|r| r.rule.domain_suffix.as_str()).collect();
+        for d in ["cogentco.com", "ntt.net", "pnap.net", "seabone.net"] {
+            assert!(domains.contains(&d), "missing {d}; got {domains:?}");
+        }
+    }
+
+    #[test]
+    fn inferred_rules_match_the_authoritative_shape() {
+        let (_, rules) = setup();
+        for r in &rules {
+            // The world's hostname grammar puts the location token at
+            // label 2 for every convention.
+            if ["cogentco.com", "ntt.net", "pnap.net", "seabone.net"]
+                .contains(&r.rule.domain_suffix.as_str())
+            {
+                assert_eq!(r.rule.label_index, 2, "{r:?}");
+                assert!(r.precision > 0.9, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn opaque_domains_yield_no_rules() {
+        let (_, rules) = setup();
+        for r in &rules {
+            assert_ne!(r.rule.domain_suffix, "gtt.net", "opaque domain learned a rule");
+        }
+    }
+
+    #[test]
+    fn inferred_rules_decode_like_authoritative_ones() {
+        let (w, rules) = setup();
+        let engine = RuleEngine::with_gt_rules(&w);
+        let dict = HintDictionary::build(&w);
+        let cogent_rule = rules
+            .iter()
+            .find(|r| r.rule.domain_suffix == "cogentco.com")
+            .expect("cogent rule inferred");
+        let cogent = w.operator_by_name("cogentco").unwrap();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for id in w.interfaces_of_operator(cogent) {
+            let Some(name) = crate::hostname::rdns(&w, id) else {
+                continue;
+            };
+            let auth = engine.decode(&name);
+            let inferred = cogent_rule.rule.decode(&name, &dict);
+            if auth.is_some() || inferred.is_some() {
+                total += 1;
+                if auth == inferred {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 50);
+        assert!(
+            agree * 100 >= total * 95,
+            "inferred rule diverges: {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn noisy_training_data_still_converges() {
+        // Corrupt 15% of training locations; precision thresholding should
+        // still admit the true rules.
+        let w = World::generate(WorldConfig::tiny(412));
+        let mut samples = training_from_world(&w, 1);
+        let far = Coordinate::new(-45.0, -170.0).unwrap();
+        for (i, s) in samples.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                s.location = far;
+            }
+        }
+        let rules = infer_rules(&w, &samples, &InferenceConfig::default());
+        assert!(rules
+            .iter()
+            .any(|r| r.rule.domain_suffix == "cogentco.com"));
+    }
+
+    #[test]
+    fn insufficient_support_learns_nothing() {
+        let w = World::generate(WorldConfig::tiny(413));
+        let samples = training_from_world(&w, 1);
+        let config = InferenceConfig {
+            min_support: samples.len() + 1,
+            ..Default::default()
+        };
+        assert!(infer_rules(&w, &samples, &config).is_empty());
+    }
+}

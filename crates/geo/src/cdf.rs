@@ -1,0 +1,223 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's Figures 1, 2, 5a and 5b are all distance-distribution CDFs
+//! on a log-scale x axis. [`EmpiricalCdf`] is the data structure behind our
+//! reproductions: it stores the sorted sample vector and answers the two
+//! queries the figures need — "what fraction of samples is ≤ x km?" (e.g.
+//! the fraction within the 40 km city range) and "what is the p-th
+//! quantile?" (for rendering the curve).
+
+use std::fmt;
+
+/// An empirical CDF over `f64` samples.
+///
+/// Construction sorts the samples once; queries are `O(log n)`.
+///
+/// ```
+/// use routergeo_geo::EmpiricalCdf;
+/// let errors = EmpiricalCdf::new(vec![2.0, 15.0, 38.0, 700.0]).unwrap();
+/// // Three of four answers are within the paper's 40 km city range.
+/// assert_eq!(errors.fraction_leq(40.0), 0.75);
+/// assert_eq!(errors.median(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+/// Error constructing a CDF from samples containing NaN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NanSample;
+
+impl fmt::Display for NanSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CDF samples must not contain NaN")
+    }
+}
+
+impl std::error::Error for NanSample {}
+
+impl EmpiricalCdf {
+    /// Build a CDF from samples. Fails if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Result<Self, NanSample> {
+        if samples.iter().any(|v| v.is_nan()) {
+            return Err(NanSample);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Ok(EmpiricalCdf { sorted: samples })
+    }
+
+    /// Build from an iterator, silently dropping NaN values.
+    ///
+    /// Convenient for analysis pipelines where a NaN indicates an upstream
+    /// record that was already excluded from the figure.
+    pub fn from_iter_lossy<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let samples: Vec<f64> = iter.into_iter().filter(|v| !v.is_nan()).collect();
+        EmpiricalCdf::new(samples).expect("NaN filtered")
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in [0, 1]. Returns 0 for an empty CDF.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples `> x`, in [0, 1].
+    ///
+    /// Figure 1's headline — "at least 29% city-level disagreements" — is
+    /// `fraction_gt(40.0)` on the pairwise distance CDF.
+    pub fn fraction_gt(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.fraction_leq(x)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank; `None` when empty
+    /// or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median, `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sample the curve at the given x positions, yielding `(x, F(x))`
+    /// pairs — the series a plotting tool would consume.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_leq(x))).collect()
+    }
+
+    /// Standard log-spaced x grid matching the paper's figures
+    /// (10^lo … 10^hi with `per_decade` points per decade).
+    pub fn log_grid(lo_exp: i32, hi_exp: i32, per_decade: usize) -> Vec<f64> {
+        assert!(hi_exp >= lo_exp && per_decade > 0);
+        let mut xs = Vec::new();
+        let total = ((hi_exp - lo_exp) as usize) * per_decade;
+        for i in 0..=total {
+            let exp = lo_exp as f64 + i as f64 / per_decade as f64;
+            xs.push(10f64.powf(exp));
+        }
+        xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nan() {
+        assert!(EmpiricalCdf::new(vec![1.0, f64::NAN]).is_err());
+        assert!(EmpiricalCdf::new(vec![]).is_ok());
+    }
+
+    #[test]
+    fn lossy_drops_nan() {
+        let cdf = EmpiricalCdf::from_iter_lossy(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn fraction_leq_basics() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(cdf.fraction_leq(0.5), 0.0);
+        assert_eq!(cdf.fraction_leq(1.0), 0.25);
+        assert_eq!(cdf.fraction_leq(2.5), 0.5);
+        assert_eq!(cdf.fraction_leq(4.0), 1.0);
+        assert_eq!(cdf.fraction_leq(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_gt_complements_leq() {
+        let cdf = EmpiricalCdf::new(vec![10.0, 20.0, 50.0, 80.0, 100.0]).unwrap();
+        for x in [0.0, 10.0, 40.0, 99.9, 100.0, 101.0] {
+            let total = cdf.fraction_leq(x) + cdf.fraction_gt(x);
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let cdf = EmpiricalCdf::new(vec![5.0; 10]).unwrap();
+        assert_eq!(cdf.fraction_leq(5.0), 1.0);
+        assert_eq!(cdf.fraction_leq(4.999), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = EmpiricalCdf::new((1..=100).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(0.5), Some(50.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert_eq!(cdf.median(), Some(50.0));
+        assert_eq!(cdf.quantile(1.5), None);
+        assert_eq!(cdf.quantile(-0.1), None);
+        assert_eq!(cdf.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn empty_cdf_is_harmless() {
+        let cdf = EmpiricalCdf::new(vec![]).unwrap();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_leq(10.0), 0.0);
+        assert_eq!(cdf.fraction_gt(10.0), 0.0);
+        assert_eq!(cdf.median(), None);
+        assert_eq!(cdf.min(), None);
+        assert_eq!(cdf.max(), None);
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let cdf = EmpiricalCdf::new(vec![0.5, 3.0, 3.0, 70.0, 900.0]).unwrap();
+        let xs = EmpiricalCdf::log_grid(-2, 4, 8);
+        let series = cdf.series(&xs);
+        for pair in series.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "CDF must be nondecreasing");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn log_grid_spans_decades() {
+        let xs = EmpiricalCdf::log_grid(-2, 4, 1);
+        assert_eq!(xs.len(), 7);
+        assert!((xs[0] - 0.01).abs() < 1e-12);
+        assert!((xs[6] - 10_000.0).abs() < 1e-6);
+    }
+}

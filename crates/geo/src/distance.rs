@@ -1,0 +1,179 @@
+//! Great-circle distance math and the RTT → distance bound.
+//!
+//! The paper's RTT-proximity method (§2.3.2) rests on a physical constraint:
+//! light in fibre travels at roughly 2/3 of *c*, so a 0.5 ms round-trip time
+//! bounds the one-way fibre path at 50 km — and the geographic distance is
+//! "likely much less due to inflation in RTT measurement". This module
+//! implements exactly that arithmetic, plus the haversine distance used for
+//! all coordinate comparisons and the destination-point formula used by the
+//! world generator to scatter cities and routers inside a country.
+
+use crate::coord::Coordinate;
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Speed of light in vacuum, km per millisecond.
+pub const LIGHT_SPEED_KM_PER_MS: f64 = 299.792_458;
+
+/// Effective signal speed in optical fibre, km per millisecond (≈ 2/3 c).
+///
+/// This is the constant behind the paper's "0.5 ms RTT ⇒ at most 50 km"
+/// statement: `0.5 ms / 2 (round trip) * ~200 km/ms = 50 km`.
+pub const FIBER_SPEED_KM_PER_MS: f64 = LIGHT_SPEED_KM_PER_MS * 2.0 / 3.0;
+
+/// Great-circle distance between two coordinates in kilometres, using the
+/// haversine formula.
+///
+/// Numerically stable for small distances (the common case when checking the
+/// paper's 40 km city range) and exact antipodes.
+pub fn haversine_km(a: &Coordinate, b: &Coordinate) -> f64 {
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    // Clamp to guard against floating-point drift just above 1.0.
+    2.0 * EARTH_RADIUS_KM * h.sqrt().clamp(0.0, 1.0).asin()
+}
+
+/// Upper bound on the great-circle distance implied by a round-trip time.
+///
+/// `rtt_ms` is a *round-trip* time: the signal covers the distance twice, so
+/// the bound is `rtt/2 * fibre-speed`. With the paper's 0.5 ms threshold this
+/// returns 50 km (well, 49.97 km with the exact 2/3-c constant; the paper
+/// rounds to 50).
+pub fn rtt_to_max_distance_km(rtt_ms: f64) -> f64 {
+    debug_assert!(rtt_ms >= 0.0, "negative RTT");
+    rtt_ms / 2.0 * FIBER_SPEED_KM_PER_MS
+}
+
+/// Minimum round-trip time physically required to cover `distance_km`.
+///
+/// This is the propagation floor used by the traceroute simulator's RTT
+/// model; real measurements only ever inflate it.
+pub fn min_rtt_ms(distance_km: f64) -> f64 {
+    debug_assert!(distance_km >= 0.0, "negative distance");
+    distance_km * 2.0 / FIBER_SPEED_KM_PER_MS
+}
+
+/// Destination point: start at `origin`, travel `distance_km` along the
+/// initial `bearing_deg` (clockwise from north) on a great circle.
+///
+/// Used by `routergeo-world` to place cities inside a country's disk and
+/// routers near their city centres. The result is wrapped into valid
+/// coordinate ranges.
+pub fn destination(origin: &Coordinate, bearing_deg: f64, distance_km: f64) -> Coordinate {
+    let ang = distance_km / EARTH_RADIUS_KM;
+    let brg = bearing_deg.to_radians();
+    let lat1 = origin.lat_rad();
+    let lon1 = origin.lon_rad();
+    let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
+    let lon2 = lon1
+        + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+    Coordinate::wrapped(lat2.to_degrees(), lon2.to_degrees())
+}
+
+/// Initial great-circle bearing from `a` to `b`, degrees clockwise from
+/// north in [0, 360).
+pub fn bearing_deg(a: &Coordinate, b: &Coordinate) -> f64 {
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let dlon = lon2 - lon1;
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    (y.atan2(x).to_degrees() + 360.0) % 360.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(lat: f64, lon: f64) -> Coordinate {
+        Coordinate::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn zero_distance_for_identical_points() {
+        let p = c(48.8566, 2.3522);
+        assert_eq!(haversine_km(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn known_distance_paris_london() {
+        // Paris (48.8566, 2.3522) to London (51.5074, -0.1278) ≈ 344 km.
+        let d = haversine_km(&c(48.8566, 2.3522), &c(51.5074, -0.1278));
+        assert!((d - 344.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    fn known_distance_ny_la() {
+        // New York to Los Angeles ≈ 3936 km.
+        let d = haversine_km(&c(40.7128, -74.0060), &c(34.0522, -118.2437));
+        assert!((d - 3936.0).abs() < 20.0, "got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let d = haversine_km(&c(0.0, 0.0), &c(0.0, 180.0));
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}, expected {half}");
+    }
+
+    #[test]
+    fn paper_threshold_gives_fifty_km() {
+        let d = rtt_to_max_distance_km(0.5);
+        assert!((d - 50.0).abs() < 0.1, "0.5ms should bound ~50km, got {d}");
+    }
+
+    #[test]
+    fn min_rtt_inverts_max_distance() {
+        for km in [1.0, 50.0, 1234.5, 10_000.0] {
+            let rtt = min_rtt_ms(km);
+            let back = rtt_to_max_distance_km(rtt);
+            assert!((back - km).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn destination_travels_requested_distance() {
+        let origin = c(10.0, 20.0);
+        for (brg, dist) in [(0.0, 100.0), (90.0, 523.0), (215.0, 42.0), (359.0, 1500.0)] {
+            let p = destination(&origin, brg, dist);
+            let d = haversine_km(&origin, &p);
+            assert!((d - dist).abs() < 0.5, "bearing {brg} dist {dist} got {d}");
+        }
+    }
+
+    #[test]
+    fn destination_north_increases_latitude() {
+        let origin = c(0.0, 0.0);
+        let p = destination(&origin, 0.0, 111.0); // ~1 degree of latitude
+        assert!((p.lat() - 1.0).abs() < 0.02, "got {}", p.lat());
+        assert!(p.lon().abs() < 1e-6);
+    }
+
+    #[test]
+    fn bearing_eastward_is_ninety() {
+        let b = bearing_deg(&c(0.0, 0.0), &c(0.0, 10.0));
+        assert!((b - 90.0).abs() < 1e-6, "got {b}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric_on_samples() {
+        let pts = [
+            c(0.0, 0.0),
+            c(51.0, 9.0),
+            c(-33.9, 151.2),
+            c(89.9, 17.0),
+            c(-89.9, -17.0),
+        ];
+        for a in &pts {
+            for b in &pts {
+                let ab = haversine_km(a, b);
+                let ba = haversine_km(b, a);
+                assert!((ab - ba).abs() < 1e-9);
+            }
+        }
+    }
+}

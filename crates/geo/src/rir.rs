@@ -1,0 +1,147 @@
+//! Regional Internet Registries.
+//!
+//! The paper breaks down every accuracy result by the RIR that allocated the
+//! address (learned from the Team Cymru whois service, §2.3.3). The five
+//! registries partition the world's address space administration.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the five Regional Internet Registries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rir {
+    /// AFRINIC — Africa.
+    Afrinic,
+    /// APNIC — Asia-Pacific.
+    Apnic,
+    /// ARIN — North America (and parts of the Caribbean).
+    Arin,
+    /// LACNIC — Latin America and the Caribbean.
+    Lacnic,
+    /// RIPE NCC — Europe, Middle East, Central Asia, Russia.
+    RipeNcc,
+}
+
+impl Rir {
+    /// All five registries, in the order the paper's Table 1 lists them
+    /// (ARIN, APNIC, AFRINIC, LACNIC, RIPENCC).
+    pub const TABLE1_ORDER: [Rir; 5] = [
+        Rir::Arin,
+        Rir::Apnic,
+        Rir::Afrinic,
+        Rir::Lacnic,
+        Rir::RipeNcc,
+    ];
+
+    /// All five registries in alphabetical order.
+    pub const ALL: [Rir; 5] = [
+        Rir::Afrinic,
+        Rir::Apnic,
+        Rir::Arin,
+        Rir::Lacnic,
+        Rir::RipeNcc,
+    ];
+
+    /// Canonical upper-case name as the paper prints it (e.g. `RIPENCC`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rir::Afrinic => "AFRINIC",
+            Rir::Apnic => "APNIC",
+            Rir::Arin => "ARIN",
+            Rir::Lacnic => "LACNIC",
+            Rir::RipeNcc => "RIPENCC",
+        }
+    }
+
+    /// Stable small integer id, used in binary formats.
+    pub fn id(&self) -> u8 {
+        match self {
+            Rir::Afrinic => 0,
+            Rir::Apnic => 1,
+            Rir::Arin => 2,
+            Rir::Lacnic => 3,
+            Rir::RipeNcc => 4,
+        }
+    }
+
+    /// Inverse of [`Rir::id`].
+    pub fn from_id(id: u8) -> Option<Rir> {
+        match id {
+            0 => Some(Rir::Afrinic),
+            1 => Some(Rir::Apnic),
+            2 => Some(Rir::Arin),
+            3 => Some(Rir::Lacnic),
+            4 => Some(Rir::RipeNcc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown registry name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRirError(pub String);
+
+impl fmt::Display for ParseRirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown RIR name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRirError {}
+
+impl FromStr for Rir {
+    type Err = ParseRirError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "AFRINIC" => Ok(Rir::Afrinic),
+            "APNIC" => Ok(Rir::Apnic),
+            "ARIN" => Ok(Rir::Arin),
+            "LACNIC" => Ok(Rir::Lacnic),
+            "RIPENCC" | "RIPE" | "RIPE NCC" | "RIPE-NCC" => Ok(Rir::RipeNcc),
+            other => Err(ParseRirError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for rir in Rir::ALL {
+            assert_eq!(Rir::from_id(rir.id()), Some(rir));
+        }
+        assert_eq!(Rir::from_id(5), None);
+        assert_eq!(Rir::from_id(255), None);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for rir in Rir::ALL {
+            assert_eq!(rir.name().parse::<Rir>().unwrap(), rir);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_accepts_aliases() {
+        assert_eq!("arin".parse::<Rir>().unwrap(), Rir::Arin);
+        assert_eq!("ripe".parse::<Rir>().unwrap(), Rir::RipeNcc);
+        assert_eq!("RIPE NCC".parse::<Rir>().unwrap(), Rir::RipeNcc);
+        assert_eq!(" apnic ".parse::<Rir>().unwrap(), Rir::Apnic);
+        assert!("IANA".parse::<Rir>().is_err());
+    }
+
+    #[test]
+    fn table1_order_matches_paper() {
+        let names: Vec<_> = Rir::TABLE1_ORDER.iter().map(|r| r.name()).collect();
+        assert_eq!(names, ["ARIN", "APNIC", "AFRINIC", "LACNIC", "RIPENCC"]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Small statistics helpers shared by the evaluation and reporting code.
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the benchmark harness to summarize distance errors without
+/// holding all samples when only aggregates are needed.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+/// A fixed set of log-scale distance buckets, used when printing textual
+/// histograms of geolocation error (the console rendering of Figures 2/5).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Bucket upper bounds in km (exclusive), ascending.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Standard distance buckets for geolocation error: powers of ten from
+    /// 1 km to 10,000 km with a 40 km city-range bucket inserted.
+    pub fn distance_buckets() -> Self {
+        Self::with_bounds(vec![1.0, 10.0, 40.0, 100.0, 1_000.0, 10_000.0])
+    }
+
+    /// Build with custom ascending bucket bounds.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        LogHistogram {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        match self.bounds.iter().position(|b| x < *b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Iterate `(label, count)` rows, e.g. `("< 40 km", 123)`, ending with
+    /// the overflow row.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = Vec::with_capacity(self.bounds.len() + 1);
+        for (i, b) in self.bounds.iter().enumerate() {
+            rows.push((format!("< {b} km"), self.counts[i]));
+        }
+        rows.push((
+            format!(">= {} km", self.bounds.last().expect("non-empty")),
+            self.overflow,
+        ));
+        rows
+    }
+}
+
+/// Percentage formatting helper: `fraction(0.294) == "29.4%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Safe ratio: `0/0 == 0.0` rather than NaN, so empty slices never poison
+/// report tables.
+pub fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for x in xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.stddev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert!(w.mean().is_none());
+        assert!(w.variance().is_none());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = LogHistogram::distance_buckets();
+        for x in [0.5, 5.0, 39.9, 40.0, 99.0, 500.0, 5000.0, 20000.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 8);
+        let rows = h.rows();
+        assert_eq!(rows[0], ("< 1 km".to_string(), 1));
+        assert_eq!(rows[1], ("< 10 km".to_string(), 1));
+        assert_eq!(rows[2], ("< 40 km".to_string(), 1)); // 39.9 only; 40.0 goes up
+        assert_eq!(rows[3], ("< 100 km".to_string(), 2)); // 40.0, 99.0
+        assert_eq!(rows[4], ("< 1000 km".to_string(), 1));
+        assert_eq!(rows[5], ("< 10000 km".to_string(), 1));
+        assert_eq!(rows[6], (">= 10000 km".to_string(), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_bad_bounds() {
+        LogHistogram::with_bounds(vec![10.0, 5.0]);
+    }
+
+    #[test]
+    fn pct_and_ratio() {
+        assert_eq!(pct(0.294), "29.4%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(ratio(1, 4), 0.25);
+        assert_eq!(ratio(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the geographic primitives.
+
+use proptest::prelude::*;
+use routergeo_geo::distance::{bearing_deg, destination, haversine_km, min_rtt_ms};
+use routergeo_geo::{rtt_to_max_distance_km, Coordinate, EmpiricalCdf, EARTH_RADIUS_KM};
+
+fn arb_coord() -> impl Strategy<Value = Coordinate> {
+    (-90.0f64..=90.0, -180.0f64..=180.0)
+        .prop_map(|(lat, lon)| Coordinate::new(lat, lon).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn haversine_symmetric(a in arb_coord(), b in arb_coord()) {
+        let ab = haversine_km(&a, &b);
+        let ba = haversine_km(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_nonnegative_and_bounded(a in arb_coord(), b in arb_coord()) {
+        let d = haversine_km(&a, &b);
+        prop_assert!(d >= 0.0);
+        // No two points are farther apart than half the great circle.
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn haversine_identity(a in arb_coord()) {
+        prop_assert_eq!(haversine_km(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_coord(), b in arb_coord(), c in arb_coord()) {
+        let ab = haversine_km(&a, &b);
+        let bc = haversine_km(&b, &c);
+        let ac = haversine_km(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn destination_distance_is_exact(
+        origin in arb_coord(),
+        bearing in 0.0f64..360.0,
+        dist in 0.0f64..5000.0,
+    ) {
+        let p = destination(&origin, bearing, dist);
+        let measured = haversine_km(&origin, &p);
+        // Within 2 km or 0.5% — destination+haversine agree on the sphere,
+        // slack covers pole-adjacent float noise.
+        prop_assert!(
+            (measured - dist).abs() < (2.0f64).max(dist * 0.005),
+            "asked {dist}, got {measured}"
+        );
+    }
+
+    #[test]
+    fn destination_bearing_roundtrip(
+        origin in arb_coord(),
+        bearing in 0.0f64..360.0,
+        dist in 10.0f64..2000.0,
+    ) {
+        // Avoid polar singularities where bearings degenerate.
+        prop_assume!(origin.lat().abs() < 70.0);
+        let p = destination(&origin, bearing, dist);
+        prop_assume!(p.lat().abs() < 85.0);
+        let back = bearing_deg(&origin, &p);
+        let diff = (back - bearing).abs();
+        let diff = diff.min(360.0 - diff);
+        prop_assert!(diff < 1.0, "bearing {bearing} measured {back}");
+    }
+
+    #[test]
+    fn rtt_distance_inverse(rtt in 0.0f64..1000.0) {
+        let d = rtt_to_max_distance_km(rtt);
+        prop_assert!(d >= 0.0);
+        let back = min_rtt_ms(d);
+        prop_assert!((back - rtt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinate_wrapped_always_valid(lat in -1e6f64..1e6, lon in -1e6f64..1e6) {
+        let c = Coordinate::wrapped(lat, lon);
+        prop_assert!(Coordinate::new(c.lat(), c.lon()).is_ok());
+    }
+
+    #[test]
+    fn cdf_fraction_monotone(mut xs in proptest::collection::vec(0.0f64..1e5, 1..200)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cdf = EmpiricalCdf::new(xs.clone()).unwrap();
+        let mut prev = 0.0;
+        for x in [0.0, 1.0, 10.0, 40.0, 100.0, 1e3, 1e4, 1e5] {
+            let f = cdf.fraction_leq(x);
+            prop_assert!(f >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_within_range(xs in proptest::collection::vec(-1e4f64..1e4, 1..200), q in 0.0f64..=1.0) {
+        let cdf = EmpiricalCdf::new(xs).unwrap();
+        let v = cdf.quantile(q).unwrap();
+        prop_assert!(v >= cdf.min().unwrap() && v <= cdf.max().unwrap());
+    }
+
+    #[test]
+    fn cdf_quantile_fraction_consistent(xs in proptest::collection::vec(0.0f64..1e4, 1..100), q in 0.01f64..=1.0) {
+        let cdf = EmpiricalCdf::new(xs).unwrap();
+        let v = cdf.quantile(q).unwrap();
+        // At least q of the mass lies at or below the q-quantile.
+        prop_assert!(cdf.fraction_leq(v) + 1e-12 >= q);
+    }
+}

@@ -1,0 +1,275 @@
+//! Binary prefix trie with longest-prefix-match lookup.
+//!
+//! This is the in-memory shape of MaxMind-style binary databases (a bit
+//! trie over the address, walked MSB-first) and of the synthetic world's
+//! address-allocation plan. Nodes are kept in a flat arena (`Vec`) with
+//! index links — no `Box` chasing, cache-friendly walks, and trivially
+//! serializable by `routergeo-db`'s RGDB writer.
+
+use crate::prefix::Prefix;
+use std::net::Ipv4Addr;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: [u32; 2],
+    /// Index into `values`, or `u32::MAX`.
+    value: u32,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            children: [NO_NODE, NO_NODE],
+            value: NO_NODE,
+        }
+    }
+}
+
+/// A binary trie mapping CIDR prefixes to values, answering
+/// longest-prefix-match queries.
+///
+/// Inserting the same prefix twice replaces the previous value (like a map).
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node>,
+    values: Vec<(Prefix, V)>,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// New empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::new()],
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of trie nodes (for format/size diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Insert `prefix -> value`, replacing any existing value at exactly
+    /// that prefix. Returns the previous value if one was replaced.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let addr = prefix.network_u32();
+        let mut node = 0u32;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            let next = self.nodes[node as usize].children[b];
+            let next = if next == NO_NODE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node as usize].children[b] = idx;
+                idx
+            } else {
+                next
+            };
+            node = next;
+        }
+        let slot = &mut self.nodes[node as usize].value;
+        if *slot == NO_NODE {
+            *slot = self.values.len() as u32;
+            self.values.push((prefix, value));
+            None
+        } else {
+            let old = std::mem::replace(&mut self.values[*slot as usize].1, value);
+            self.values[*slot as usize].0 = prefix;
+            Some(old)
+        }
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `ip`, with its value.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(&Prefix, &V)> {
+        let addr = u32::from(ip);
+        let mut node = 0u32;
+        let mut best: Option<u32> = None;
+        let mut depth = 0u8;
+        loop {
+            let n = &self.nodes[node as usize];
+            if n.value != NO_NODE {
+                best = Some(n.value);
+            }
+            if depth == 32 {
+                break;
+            }
+            let b = Self::bit(addr, depth);
+            let next = n.children[b];
+            if next == NO_NODE {
+                break;
+            }
+            node = next;
+            depth += 1;
+        }
+        best.map(|i| {
+            let (p, v) = &self.values[i as usize];
+            (p, v)
+        })
+    }
+
+    /// Value stored at exactly `prefix`, if any.
+    pub fn get_exact(&self, prefix: &Prefix) -> Option<&V> {
+        let addr = prefix.network_u32();
+        let mut node = 0u32;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            let next = self.nodes[node as usize].children[b];
+            if next == NO_NODE {
+                return None;
+            }
+            node = next;
+        }
+        let v = self.nodes[node as usize].value;
+        (v != NO_NODE).then(|| &self.values[v as usize].1)
+    }
+
+    /// Iterate all `(prefix, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &V)> {
+        self.values.iter().map(|(p, v)| (p, v))
+    }
+
+    /// Walk the trie depth-first, invoking `f` on every stored prefix in
+    /// address order (pre-order: shorter prefixes before their children).
+    pub fn walk<F: FnMut(&Prefix, &V)>(&self, mut f: F) {
+        self.walk_node(0, &mut f);
+    }
+
+    fn walk_node<F: FnMut(&Prefix, &V)>(&self, node: u32, f: &mut F) {
+        let n = &self.nodes[node as usize];
+        if n.value != NO_NODE {
+            let (p, v) = &self.values[n.value as usize];
+            f(p, v);
+        }
+        for b in 0..2 {
+            if n.children[b] != NO_NODE {
+                self.walk_node(n.children[b], f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_lookup_misses() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert!(t.lookup(ip("1.2.3.4")).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().1, &"twentyfour");
+        assert_eq!(t.lookup(ip("10.1.9.9")).unwrap().1, &"sixteen");
+        assert_eq!(t.lookup(ip("10.200.0.1")).unwrap().1, &"eight");
+        assert!(t.lookup(ip("11.0.0.0")).is_none());
+    }
+
+    #[test]
+    fn lookup_reports_matched_prefix() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), ());
+        let (matched, _) = t.lookup(ip("192.0.2.99")).unwrap();
+        assert_eq!(*matched, p("192.0.2.0/24"));
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::default_route(), "default");
+        t.insert(p("10.0.0.0/8"), "ten");
+        assert_eq!(t.lookup(ip("1.1.1.1")).unwrap().1, &"default");
+        assert_eq!(t.lookup(ip("10.1.1.1")).unwrap().1, &"ten");
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("10.0.0.1")).unwrap().1, &2);
+    }
+
+    #[test]
+    fn slash32_entries() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(t.lookup(ip("1.2.3.4")).unwrap().1, &"host");
+        assert!(t.lookup(ip("1.2.3.5")).is_none());
+    }
+
+    #[test]
+    fn get_exact_distinguishes_lengths() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        assert_eq!(t.get_exact(&p("10.0.0.0/8")), Some(&8));
+        assert_eq!(t.get_exact(&p("10.0.0.0/16")), None);
+        assert_eq!(t.get_exact(&p("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn walk_visits_in_address_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), 3);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.128.0.0/9"), 2);
+        let mut seen = Vec::new();
+        t.walk(|pre, v| seen.push((pre.to_string(), *v)));
+        assert_eq!(
+            seen,
+            vec![
+                ("10.0.0.0/8".to_string(), 1),
+                ("10.128.0.0/9".to_string(), 2),
+                ("192.0.2.0/24".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn sibling_prefixes_do_not_interfere() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/1"), "low");
+        t.insert(p("128.0.0.0/1"), "high");
+        assert_eq!(t.lookup(ip("1.0.0.0")).unwrap().1, &"low");
+        assert_eq!(t.lookup(ip("200.0.0.0")).unwrap().1, &"high");
+    }
+}

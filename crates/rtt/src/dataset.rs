@@ -1,0 +1,104 @@
+//! The finished RTT-proximity ground-truth dataset.
+
+use routergeo_geo::{CountryCode, Coordinate};
+use routergeo_world::ProbeId;
+use std::net::Ipv4Addr;
+
+/// One ground-truth entry: an interface address credited with a probe's
+/// registered location.
+#[derive(Debug, Clone)]
+pub struct RttEntry {
+    /// The router interface address.
+    pub ip: Ipv4Addr,
+    /// Location credited to it (the probe's registered coordinates).
+    pub coord: Coordinate,
+    /// Country of the registered location.
+    pub country: CountryCode,
+    /// The probe whose location was used (lowest observed RTT).
+    pub probe: ProbeId,
+    /// Lowest RTT observed from that probe, ms.
+    pub min_rtt_ms: f64,
+    /// How many distinct qualifying probes observed the address.
+    pub probe_count: usize,
+}
+
+/// The RTT-proximity ground truth: entries sorted by address.
+#[derive(Debug, Clone, Default)]
+pub struct RttProximityDataset {
+    /// Entries, ascending by IP.
+    pub entries: Vec<RttEntry>,
+}
+
+impl RttProximityDataset {
+    /// Number of addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Find an entry by address.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&RttEntry> {
+        self.entries
+            .binary_search_by_key(&ip, |e| e.ip)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Unique countries covered.
+    pub fn country_count(&self) -> usize {
+        let mut c: Vec<_> = self.entries.iter().map(|e| e.country).collect();
+        c.sort();
+        c.dedup();
+        c.len()
+    }
+
+    /// Unique coordinates covered (Table 1's `lat/lon` column).
+    pub fn unique_coord_count(&self) -> usize {
+        let set: std::collections::HashSet<Coordinate> =
+            self.entries.iter().map(|e| e.coord).collect();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ip: &str, lat: f64) -> RttEntry {
+        RttEntry {
+            ip: ip.parse().unwrap(),
+            coord: Coordinate::new(lat, 0.0).unwrap(),
+            country: "DE".parse().unwrap(),
+            probe: ProbeId(0),
+            min_rtt_ms: 0.3,
+            probe_count: 1,
+        }
+    }
+
+    #[test]
+    fn get_by_ip() {
+        let ds = RttProximityDataset {
+            entries: vec![entry("1.0.0.1", 1.0), entry("1.0.0.5", 2.0)],
+        };
+        assert!(ds.get("1.0.0.1".parse().unwrap()).is_some());
+        assert!(ds.get("1.0.0.2".parse().unwrap()).is_none());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn unique_counts() {
+        let ds = RttProximityDataset {
+            entries: vec![
+                entry("1.0.0.1", 1.0),
+                entry("1.0.0.2", 1.0),
+                entry("1.0.0.3", 3.0),
+            ],
+        };
+        assert_eq!(ds.country_count(), 1);
+        assert_eq!(ds.unique_coord_count(), 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Candidate extraction: hops within the RTT threshold of their probe.
+
+use routergeo_trace::TracerouteRecord;
+use routergeo_world::{ProbeId, World};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Extraction and QA thresholds. Defaults are the paper's.
+#[derive(Debug, Clone)]
+pub struct ProximityConfig {
+    /// RTT threshold in ms (paper: 0.5 ms ⇒ ≤ 50 km).
+    pub threshold_ms: f64,
+    /// Radius around a country's default coordinates that marks a probe as
+    /// centroid-registered (paper: 5 km).
+    pub centroid_radius_km: f64,
+    /// Maximum distance between two RTT-nearby probes (paper: 100 km —
+    /// twice the 50 km bound).
+    pub nearby_max_km: f64,
+    /// Disagreements beyond this are "prominent" and trigger probe
+    /// disqualification (the paper tolerates small disagreements under
+    /// 128 km and removes the prominent ones).
+    pub prominent_km: f64,
+}
+
+impl Default for ProximityConfig {
+    fn default() -> Self {
+        ProximityConfig {
+            threshold_ms: 0.5,
+            centroid_radius_km: 5.0,
+            nearby_max_km: 100.0,
+            prominent_km: 128.0,
+        }
+    }
+}
+
+/// Candidate interface addresses with the probes that observed them under
+/// the threshold, and the minimum RTT seen per (address, probe).
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    /// address → (probe, min RTT ms) pairs, probe-unique.
+    pub by_ip: HashMap<Ipv4Addr, Vec<(ProbeId, f64)>>,
+}
+
+impl CandidateSet {
+    /// Number of candidate addresses.
+    pub fn len(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// Whether no candidates were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.by_ip.is_empty()
+    }
+
+    /// All probes that contributed at least one candidate.
+    pub fn contributing_probes(&self) -> Vec<ProbeId> {
+        let mut set: Vec<ProbeId> = self
+            .by_ip
+            .values()
+            .flat_map(|v| v.iter().map(|(p, _)| *p))
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+}
+
+/// Extract candidates from built-in measurement records.
+///
+/// A hop qualifies when it responded, its RTT is under the threshold, it
+/// is a real router interface of the world (destination service addresses
+/// and endpoint hosts are not), and it is not the record's destination.
+pub fn extract_candidates(
+    world: &World,
+    records: &[TracerouteRecord],
+    config: &ProximityConfig,
+) -> CandidateSet {
+    let mut by_ip: HashMap<Ipv4Addr, Vec<(ProbeId, f64)>> = HashMap::new();
+    for rec in records {
+        let probe = ProbeId(rec.origin_id);
+        debug_assert!(
+            (probe.index()) < world.probes.len(),
+            "record from unknown probe"
+        );
+        for hop in &rec.hops {
+            let (Some(ip), Some(rtt)) = (hop.ip, hop.rtt_ms) else {
+                continue;
+            };
+            if rtt >= config.threshold_ms || ip == rec.dst_ip {
+                continue;
+            }
+            if world.find_interface(ip).is_none() {
+                continue;
+            }
+            let entry = by_ip.entry(ip).or_default();
+            match entry.iter_mut().find(|(p, _)| *p == probe) {
+                Some((_, best)) => *best = best.min(rtt),
+                None => entry.push((probe, rtt)),
+            }
+        }
+    }
+    CandidateSet { by_ip }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_trace::{AtlasBuiltins, AtlasConfig, Topology};
+    use routergeo_world::{WorldConfig, World};
+
+    fn candidates(seed: u64) -> (World, CandidateSet) {
+        let w = World::generate(WorldConfig::tiny(seed));
+        let topo = Topology::build(&w);
+        let records = AtlasBuiltins::new(
+            &w,
+            &topo,
+            AtlasConfig {
+                seed: 1,
+                targets: 4,
+                instances_per_target: 3,
+            },
+        )
+        .run();
+        let set = extract_candidates(&w, &records, &ProximityConfig::default());
+        (w, set)
+    }
+
+    #[test]
+    fn candidates_are_close_to_their_probes() {
+        let (w, set) = candidates(101);
+        assert!(!set.is_empty());
+        for (ip, probes) in &set.by_ip {
+            let router = w.router_of_ip(*ip).expect("interface");
+            for (probe, rtt) in probes {
+                assert!(*rtt < 0.5);
+                let p = &w.probes[probe.index()];
+                let d = p.true_coord.distance_km(&router.coord);
+                assert!(d <= 50.0, "{ip} at {d} km from probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn several_interfaces_per_probe_on_average() {
+        // The paper finds ~3.5 qualifying interfaces per probe
+        // (4,960 addresses / 1,387 probes).
+        let (w, set) = candidates(102);
+        let probes = set.contributing_probes().len();
+        assert!(probes > 0);
+        let ratio = set.len() as f64 / probes as f64;
+        assert!(
+            (1.0..=12.0).contains(&ratio),
+            "ratio {ratio} ({} addrs / {probes} probes)",
+            set.len()
+        );
+        assert!(probes as f64 > w.probes.len() as f64 * 0.5);
+    }
+
+    #[test]
+    fn higher_threshold_extracts_more() {
+        let (w, _) = candidates(103);
+        let topo = Topology::build(&w);
+        let records = AtlasBuiltins::new(
+            &w,
+            &topo,
+            AtlasConfig {
+                seed: 1,
+                targets: 4,
+                instances_per_target: 3,
+            },
+        )
+        .run();
+        let half = extract_candidates(&w, &records, &ProximityConfig::default());
+        let one = extract_candidates(
+            &w,
+            &records,
+            &ProximityConfig {
+                threshold_ms: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(one.len() >= half.len());
+        // Everything under 0.5 is also under 1.0.
+        for ip in half.by_ip.keys() {
+            assert!(one.by_ip.contains_key(ip));
+        }
+    }
+
+    #[test]
+    fn min_rtt_is_kept_per_probe() {
+        let (_, set) = candidates(104);
+        for probes in set.by_ip.values() {
+            let unique: std::collections::HashSet<_> =
+                probes.iter().map(|(p, _)| *p).collect();
+            assert_eq!(unique.len(), probes.len(), "duplicate probe entries");
+        }
+    }
+}

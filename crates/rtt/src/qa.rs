@@ -1,0 +1,328 @@
+//! Probe disqualification and dataset assembly (§3.2).
+
+use crate::dataset::{RttEntry, RttProximityDataset};
+use crate::proximity::{extract_candidates, CandidateSet, ProximityConfig};
+use routergeo_geo::country::lookup;
+use routergeo_trace::TracerouteRecord;
+use routergeo_world::{ProbeId, World};
+use std::collections::{HashMap, HashSet};
+
+/// Counters describing what QA did — the §3.2 narrative numbers.
+#[derive(Debug, Clone, Default)]
+pub struct QaReport {
+    /// Candidate addresses before any QA.
+    pub candidates_before: usize,
+    /// Probes contributing candidates.
+    pub probes_total: usize,
+    /// Probes found within the centroid radius of their country's default
+    /// coordinates.
+    pub centroid_probes: Vec<ProbeId>,
+    /// Addresses removed because all their probes were centroid-flagged.
+    pub removed_by_centroid: usize,
+    /// Addresses that had an RTT-nearby group of ≥ 2 probes.
+    pub nearby_groups: usize,
+    /// Of those, addresses whose group had any pair beyond the nearby
+    /// maximum distance.
+    pub inconsistent_groups: usize,
+    /// Probes that are part of at least one nearby group.
+    pub probes_in_groups: usize,
+    /// Probes disqualified by the consistency vote.
+    pub disqualified_probes: Vec<ProbeId>,
+    /// Addresses removed with the disqualified probes.
+    pub removed_by_consistency: usize,
+    /// Final dataset size.
+    pub final_size: usize,
+}
+
+/// Run extraction and both QA passes; return the dataset plus the report.
+pub fn build_dataset(
+    world: &World,
+    records: &[TracerouteRecord],
+    config: &ProximityConfig,
+) -> (RttProximityDataset, QaReport) {
+    let candidates = extract_candidates(world, records, config);
+    build_from_candidates(world, candidates, config)
+}
+
+/// QA + assembly from an already-extracted candidate set.
+pub fn build_from_candidates(
+    world: &World,
+    mut candidates: CandidateSet,
+    config: &ProximityConfig,
+) -> (RttProximityDataset, QaReport) {
+    let mut report = QaReport {
+        candidates_before: candidates.len(),
+        probes_total: candidates.contributing_probes().len(),
+        ..Default::default()
+    };
+
+    // ---- Pass 1: default-centroid probes (§3.2 first method) ----------
+    let mut centroid_flagged: HashSet<ProbeId> = HashSet::new();
+    for probe_id in candidates.contributing_probes() {
+        let probe = &world.probes[probe_id.index()];
+        let Some(info) = lookup(probe.registered_country) else {
+            continue;
+        };
+        let d = probe.registered_coord.distance_km(&info.centroid());
+        if d <= config.centroid_radius_km {
+            centroid_flagged.insert(probe_id);
+        }
+    }
+    let before = candidates.len();
+    candidates.by_ip.retain(|_, probes| {
+        probes.retain(|(p, _)| !centroid_flagged.contains(p));
+        !probes.is_empty()
+    });
+    report.removed_by_centroid = before - candidates.len();
+    report.centroid_probes = {
+        let mut v: Vec<_> = centroid_flagged.into_iter().collect();
+        v.sort();
+        v
+    };
+
+    // ---- Pass 2: RTT-nearby consistency (§3.2 second method) ----------
+    // For each address observed by ≥2 probes, all pairs must be within
+    // `nearby_max_km` of each other (registered locations). Prominent
+    // violations vote against the probe that disagrees with the most
+    // peers.
+    let mut conflicts: HashMap<ProbeId, HashSet<ProbeId>> = HashMap::new();
+    let mut agreements: HashMap<ProbeId, usize> = HashMap::new();
+    let mut probes_in_groups: HashSet<ProbeId> = HashSet::new();
+    for probes in candidates.by_ip.values() {
+        if probes.len() < 2 {
+            continue;
+        }
+        report.nearby_groups += 1;
+        let mut group_inconsistent = false;
+        for i in 0..probes.len() {
+            probes_in_groups.insert(probes[i].0);
+            for j in i + 1..probes.len() {
+                let a = &world.probes[probes[i].0.index()];
+                let b = &world.probes[probes[j].0.index()];
+                let d = a.registered_coord.distance_km(&b.registered_coord);
+                if d > config.nearby_max_km {
+                    group_inconsistent = true;
+                    if d > config.prominent_km {
+                        conflicts.entry(probes[i].0).or_default().insert(probes[j].0);
+                        conflicts.entry(probes[j].0).or_default().insert(probes[i].0);
+                    }
+                } else {
+                    *agreements.entry(probes[i].0).or_default() += 1;
+                    *agreements.entry(probes[j].0).or_default() += 1;
+                }
+            }
+        }
+        if group_inconsistent {
+            report.inconsistent_groups += 1;
+        }
+    }
+    report.probes_in_groups = probes_in_groups.len();
+
+    // Vote: a probe is disqualified when it prominently conflicts with
+    // more probes than it agrees with.
+    let mut disqualified: Vec<ProbeId> = conflicts
+        .iter()
+        .filter(|(p, confl)| confl.len() > agreements.get(*p).copied().unwrap_or(0))
+        .map(|(p, _)| *p)
+        .collect();
+    // A conflict pair where neither side wins the vote: drop the side with
+    // more conflicts (tie → both, conservatively).
+    if disqualified.is_empty() && !conflicts.is_empty() {
+        let max = conflicts.values().map(|c| c.len()).max().unwrap_or(0);
+        disqualified = conflicts
+            .iter()
+            .filter(|(_, c)| c.len() == max)
+            .map(|(p, _)| *p)
+            .collect();
+    }
+    disqualified.sort();
+    let disq_set: HashSet<ProbeId> = disqualified.iter().copied().collect();
+
+    let before = candidates.len();
+    candidates.by_ip.retain(|_, probes| {
+        probes.retain(|(p, _)| !disq_set.contains(p));
+        !probes.is_empty()
+    });
+    report.removed_by_consistency = before - candidates.len();
+    report.disqualified_probes = disqualified;
+
+    // ---- Assemble ------------------------------------------------------
+    let mut entries: Vec<RttEntry> = candidates
+        .by_ip
+        .iter()
+        .map(|(ip, probes)| {
+            let (best_probe, min_rtt) = probes
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .copied()
+                .expect("non-empty after retain");
+            let p = &world.probes[best_probe.index()];
+            RttEntry {
+                ip: *ip,
+                coord: p.registered_coord,
+                country: p.registered_country,
+                probe: best_probe,
+                min_rtt_ms: min_rtt,
+                probe_count: probes.len(),
+            }
+        })
+        .collect();
+    entries.sort_by_key(|e| e.ip);
+    report.final_size = entries.len();
+    (RttProximityDataset { entries }, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_trace::{AtlasBuiltins, AtlasConfig, Topology};
+    use routergeo_world::probes::ProbeLocationQuality;
+    use routergeo_world::{WorldConfig, World};
+
+    fn dataset(seed: u64) -> (World, RttProximityDataset, QaReport) {
+        let w = World::generate(WorldConfig::small(seed));
+        let topo = Topology::build(&w);
+        let records = AtlasBuiltins::new(
+            &w,
+            &topo,
+            AtlasConfig {
+                seed: 2,
+                targets: 6,
+                instances_per_target: 4,
+            },
+        )
+        .run();
+        let (ds, report) = build_dataset(&w, &records, &ProximityConfig::default());
+        (w, ds, report)
+    }
+
+    #[test]
+    fn qa_flags_default_centroid_probes() {
+        let (w, _, report) = dataset(111);
+        // Every flagged probe must actually sit near its country centroid.
+        for p in &report.centroid_probes {
+            let probe = &w.probes[p.index()];
+            let c = lookup(probe.registered_country).unwrap().centroid();
+            assert!(probe.registered_coord.distance_km(&c) <= 5.0);
+        }
+        // And the world's DefaultCentroid probes that contributed
+        // candidates must be among them.
+        let flagged: HashSet<_> = report.centroid_probes.iter().collect();
+        for probe in &w.probes {
+            if probe.quality == ProbeLocationQuality::DefaultCentroid {
+                let contributed =
+                    report.centroid_probes.contains(&probe.id) || !flagged.contains(&probe.id);
+                assert!(contributed); // flagged or never contributed
+            }
+        }
+    }
+
+    #[test]
+    fn final_dataset_has_no_centroid_probes() {
+        let (w, ds, _) = dataset(112);
+        for e in &ds.entries {
+            let probe = &w.probes[e.probe.index()];
+            let c = lookup(probe.registered_country).unwrap().centroid();
+            assert!(probe.registered_coord.distance_km(&c) > 5.0);
+        }
+    }
+
+    #[test]
+    fn dataset_locations_are_mostly_correct() {
+        // After QA, the registered location credited to an address should
+        // be within ~60 km of the router's true location for the vast
+        // majority of entries (QA removes the worst offenders; a residual
+        // tail of small-group moved probes may survive, as in the paper).
+        let (w, ds, _) = dataset(113);
+        assert!(ds.len() > 100, "dataset too small: {}", ds.len());
+        let mut bad = 0;
+        for e in &ds.entries {
+            let router = w.router_of_ip(e.ip).expect("interface");
+            if e.coord.distance_km(&router.coord) > 60.0 {
+                bad += 1;
+            }
+        }
+        let frac = bad as f64 / ds.len() as f64;
+        assert!(frac < 0.05, "{bad}/{} bad entries", ds.len());
+    }
+
+    #[test]
+    fn report_counters_are_consistent() {
+        let (_, ds, report) = dataset(114);
+        assert_eq!(report.final_size, ds.len());
+        assert_eq!(
+            report.candidates_before,
+            ds.len() + report.removed_by_centroid + report.removed_by_consistency
+        );
+        assert!(report.nearby_groups >= report.inconsistent_groups);
+    }
+
+    #[test]
+    fn disqualified_probe_fraction_is_small() {
+        // §3.2: 19/1387 centroid probes, 5/223 consistency — QA should
+        // remove few probes, not gut the population.
+        let (_, _, report) = dataset(115);
+        assert!(report.probes_total > 100);
+        let removed = report.centroid_probes.len() + report.disqualified_probes.len();
+        assert!(
+            (removed as f64) < report.probes_total as f64 * 0.12,
+            "{removed}/{} probes removed",
+            report.probes_total
+        );
+    }
+
+    #[test]
+    fn moved_probes_cause_inconsistencies_that_qa_catches() {
+        // Construct a candidate set by hand: one address seen by one
+        // honest probe and one moved probe far away.
+        // Probe populations are random; scan seeds until one contains a
+        // probe that moved far enough for a prominent inconsistency.
+        let w = (116..140)
+            .map(|seed| World::generate(WorldConfig::small(seed)))
+            .find(|w| {
+                w.probes.iter().any(|p| {
+                    p.quality == ProbeLocationQuality::Moved
+                        && p.registration_error_km() > 200.0
+                })
+            })
+            .expect("some seed yields a far-moved probe");
+        let honest = w
+            .probes
+            .iter()
+            .find(|p| p.quality == ProbeLocationQuality::Accurate)
+            .unwrap();
+        let moved = w
+            .probes
+            .iter()
+            .find(|p| {
+                p.quality == ProbeLocationQuality::Moved
+                    && p.registration_error_km() > 200.0
+            })
+            .expect("a far-moved probe");
+        let ip = w.interfaces[0].ip;
+        let mut set = CandidateSet::default();
+        set.by_ip
+            .insert(ip, vec![(honest.id, 0.3), (moved.id, 0.4)]);
+        // Give the honest probe an agreeing partner on another address so
+        // the vote favours it.
+        let honest2 = w
+            .probes
+            .iter()
+            .find(|p| {
+                p.quality == ProbeLocationQuality::Accurate
+                    && p.id != honest.id
+                    && p.registered_coord.distance_km(&honest.registered_coord) < 100.0
+            });
+        if let Some(h2) = honest2 {
+            set.by_ip
+                .insert(w.interfaces[1].ip, vec![(honest.id, 0.2), (h2.id, 0.3)]);
+        }
+        let (_, report) =
+            build_from_candidates(&w, set, &ProximityConfig::default());
+        assert!(report.inconsistent_groups >= 1);
+        assert!(
+            report.disqualified_probes.contains(&moved.id),
+            "moved probe not disqualified: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Ark-style topology campaign (§2.1).
+//!
+//! CAIDA Ark monitors traceroute a randomly selected address in every
+//! routed /24. The synthetic campaign does the same over the world's block
+//! plan: monitors hosted in stub networks around the world take turns
+//! tracing to a random host in randomly drawn /24 blocks; the interface
+//! addresses observed on paths form the **Ark-topo-router dataset** the
+//! paper's coverage and consistency analysis (§5.1) runs on.
+
+use crate::engine::TraceEngine;
+use crate::graph::{PathTree, Topology};
+use crate::record::TracerouteRecord;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use routergeo_world::{OperatorKind, PopId, World};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ArkConfig {
+    /// Campaign RNG seed (independent of the world seed).
+    pub seed: u64,
+    /// Number of monitors (Ark runs of order dozens).
+    pub monitors: usize,
+    /// Number of traceroutes to run. `None` = eight passes over every
+    /// allocated /24 (the paper probes every routed /24 repeatedly over a
+    /// week).
+    pub traceroutes: Option<usize>,
+}
+
+impl Default for ArkConfig {
+    fn default() -> Self {
+        ArkConfig {
+            seed: 0xA4C,
+            monitors: 40,
+            traceroutes: None,
+        }
+    }
+}
+
+/// The extracted Ark-topo-router dataset: unique router interface
+/// addresses observed on traceroute paths.
+#[derive(Debug, Clone)]
+pub struct ArkDataset {
+    /// Sorted unique interface addresses.
+    pub interfaces: Vec<Ipv4Addr>,
+    /// Number of traceroutes run to produce it.
+    pub traceroutes_run: usize,
+}
+
+impl ArkDataset {
+    /// Number of interface addresses.
+    pub fn len(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interfaces.is_empty()
+    }
+}
+
+/// A prepared Ark campaign: monitors chosen, shortest-path trees computed.
+pub struct ArkCampaign<'w> {
+    engine: TraceEngine<'w>,
+    monitors: Vec<Monitor>,
+    config: ArkConfig,
+}
+
+struct Monitor {
+    pop: PopId,
+    tree: PathTree,
+    src_ip: Ipv4Addr,
+}
+
+impl<'w> ArkCampaign<'w> {
+    /// Prepare a campaign: pick monitors (spread across countries, hosted
+    /// in stub networks like real Ark vantage points) and precompute a
+    /// shortest-path tree per monitor.
+    pub fn new(world: &'w World, topo: &Topology, config: ArkConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x13D0);
+        // Group stub PoPs by country, then take one per country in random
+        // country order until we have enough monitors.
+        let mut by_country: std::collections::HashMap<_, Vec<PopId>> = Default::default();
+        for pop in &world.pops {
+            if world.operator(pop.op).kind == OperatorKind::Stub {
+                by_country
+                    .entry(world.city(pop.city).country)
+                    .or_default()
+                    .push(pop.id);
+            }
+        }
+        let mut countries: Vec<_> = by_country.keys().copied().collect();
+        countries.sort();
+        countries.shuffle(&mut rng);
+        let mut pops = Vec::new();
+        'outer: loop {
+            for c in &countries {
+                let pool = &by_country[c];
+                pops.push(pool[rng.gen_range(0..pool.len())]);
+                if pops.len() >= config.monitors {
+                    break 'outer;
+                }
+            }
+            if countries.is_empty() {
+                break;
+            }
+        }
+
+        let monitors = pops
+            .into_iter()
+            .enumerate()
+            .map(|(i, pop)| Monitor {
+                pop,
+                tree: topo.shortest_paths(pop),
+                // Monitor host addresses live outside the router plan.
+                src_ip: Ipv4Addr::new(203, (i >> 8) as u8, (i & 0xFF) as u8, 10),
+            })
+            .collect();
+
+        ArkCampaign {
+            engine: TraceEngine::new(world, config.seed),
+            monitors,
+            config,
+        }
+    }
+
+    /// Number of monitors actually provisioned.
+    pub fn monitor_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Run the campaign, invoking `sink` on every traceroute record.
+    ///
+    /// Destinations are random hosts in random allocated /24 blocks;
+    /// monitors rotate round-robin, mirroring Ark's team probing.
+    pub fn run<F: FnMut(&TracerouteRecord)>(&self, mut sink: F) -> usize {
+        let world = self.engine.world();
+        let blocks = world.plan().blocks();
+        if blocks.is_empty() || self.monitors.is_empty() {
+            return 0;
+        }
+        let total = self
+            .config
+            .traceroutes
+            .unwrap_or_else(|| blocks.len().saturating_mul(8));
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xDE57);
+        for i in 0..total {
+            let monitor = &self.monitors[i % self.monitors.len()];
+            let block = &blocks[rng.gen_range(0..blocks.len())];
+            let host = rng.gen_range(1..255u64);
+            let dst_ip = block.block.nth(host).expect("host in /24");
+            let src_coord = world.city(world.pop(monitor.pop).city).coord;
+            if let Some(rec) = self.engine.trace(
+                &monitor.tree,
+                src_coord,
+                (i % self.monitors.len()) as u32,
+                monitor.src_ip,
+                block.pop,
+                dst_ip,
+            ) {
+                sink(&rec);
+            }
+        }
+        total
+    }
+
+    /// Run the campaign and extract the unique interface addresses —
+    /// the Ark-topo-router dataset.
+    pub fn extract_dataset(&self) -> ArkDataset {
+        let mut seen: HashSet<Ipv4Addr> = HashSet::new();
+        let world = self.engine.world();
+        let run = self.run(|rec| {
+            for ip in rec.responding_intermediate_ips() {
+                // Keep only addresses that are actually router interfaces;
+                // destination hosts that happened to reply are endpoints.
+                if world.find_interface(ip).is_some() {
+                    seen.insert(ip);
+                }
+            }
+        });
+        let mut interfaces: Vec<Ipv4Addr> = seen.into_iter().collect();
+        interfaces.sort();
+        ArkDataset {
+            interfaces,
+            traceroutes_run: run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_world::{WorldConfig, World};
+
+    fn campaign(world: &World) -> (Topology, ArkConfig) {
+        let topo = Topology::build(world);
+        let cfg = ArkConfig {
+            seed: 5,
+            monitors: 10,
+            traceroutes: Some(2_000),
+        };
+        (topo, cfg)
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let w = World::generate(WorldConfig::tiny(41));
+        let (topo, cfg) = campaign(&w);
+        let a = ArkCampaign::new(&w, &topo, cfg.clone()).extract_dataset();
+        let b = ArkCampaign::new(&w, &topo, cfg).extract_dataset();
+        assert_eq!(a.interfaces, b.interfaces);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn dataset_contains_only_real_interfaces() {
+        let w = World::generate(WorldConfig::tiny(42));
+        let (topo, cfg) = campaign(&w);
+        let ds = ArkCampaign::new(&w, &topo, cfg).extract_dataset();
+        for ip in &ds.interfaces {
+            assert!(w.find_interface(*ip).is_some(), "{ip} not an interface");
+        }
+    }
+
+    #[test]
+    fn more_traceroutes_discover_more_interfaces() {
+        let w = World::generate(WorldConfig::tiny(43));
+        let topo = Topology::build(&w);
+        let small = ArkCampaign::new(
+            &w,
+            &topo,
+            ArkConfig {
+                seed: 5,
+                monitors: 10,
+                traceroutes: Some(200),
+            },
+        )
+        .extract_dataset();
+        let large = ArkCampaign::new(
+            &w,
+            &topo,
+            ArkConfig {
+                seed: 5,
+                monitors: 10,
+                traceroutes: Some(4_000),
+            },
+        )
+        .extract_dataset();
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn campaign_discovers_multiple_operators() {
+        let w = World::generate(WorldConfig::tiny(44));
+        let (topo, cfg) = campaign(&w);
+        let ds = ArkCampaign::new(&w, &topo, cfg).extract_dataset();
+        let mut ops = HashSet::new();
+        for ip in &ds.interfaces {
+            ops.insert(w.block_info(*ip).unwrap().op);
+        }
+        assert!(ops.len() > 10, "only {} operators discovered", ops.len());
+    }
+
+    #[test]
+    fn monitors_span_countries() {
+        let w = World::generate(WorldConfig::tiny(45));
+        let topo = Topology::build(&w);
+        let c = ArkCampaign::new(
+            &w,
+            &topo,
+            ArkConfig {
+                seed: 5,
+                monitors: 12,
+                traceroutes: Some(1),
+            },
+        );
+        assert_eq!(c.monitor_count(), 12);
+        let countries: HashSet<_> = c
+            .monitors
+            .iter()
+            .map(|m| w.city(w.pop(m.pop).city).country)
+            .collect();
+        assert!(countries.len() >= 8, "monitors clustered: {countries:?}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Atlas-style built-in measurements (§2.3.2).
+//!
+//! Every RIPE Atlas probe continuously traceroutes a set of well-known
+//! targets (DNS root servers). The synthetic equivalent: a handful of
+//! anycast services, each with instances at several global-transit PoPs;
+//! every probe traces to its nearest instance of every service. The
+//! resulting records — origin probe, target, intermediate hops, RTTs — are
+//! what `routergeo-rtt` mines for 0.5 ms-proximity ground truth.
+//!
+//! Anycast routing trick: rather than running Dijkstra per probe
+//! (thousands of sources), trees are computed per *instance* (dozens) and
+//! paths reversed — the graph is undirected, so the shortest path is the
+//! same in both directions.
+
+use crate::engine::TraceEngine;
+use crate::graph::{PathTree, Topology};
+use crate::record::TracerouteRecord;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use routergeo_world::{OperatorKind, PopId, World};
+use std::net::Ipv4Addr;
+
+/// Built-in measurement configuration.
+#[derive(Debug, Clone)]
+pub struct AtlasConfig {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of anycast target services (13 root servers in reality).
+    pub targets: usize,
+    /// Anycast instances per service.
+    pub instances_per_target: usize,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            seed: 0xA71A5,
+            targets: 13,
+            instances_per_target: 8,
+        }
+    }
+}
+
+/// Prepared built-in measurement campaign.
+pub struct AtlasBuiltins<'w> {
+    engine: TraceEngine<'w>,
+    /// Per target: service address plus its instances (PoP + tree).
+    targets: Vec<ServiceTarget>,
+}
+
+struct ServiceTarget {
+    addr: Ipv4Addr,
+    instances: Vec<(PopId, PathTree)>,
+}
+
+impl<'w> AtlasBuiltins<'w> {
+    /// Place anycast instances and precompute their path trees.
+    pub fn new(world: &'w World, topo: &Topology, config: AtlasConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0075);
+        let global_pops: Vec<PopId> = world
+            .pops
+            .iter()
+            .filter(|p| world.operator(p.op).kind == OperatorKind::GlobalTransit)
+            .map(|p| p.id)
+            .collect();
+        let mut targets = Vec::with_capacity(config.targets);
+        for t in 0..config.targets {
+            let mut pool = global_pops.clone();
+            pool.shuffle(&mut rng);
+            let n = config.instances_per_target.min(pool.len()).max(1);
+            let instances = pool
+                .into_iter()
+                .take(n)
+                .map(|pop| (pop, topo.shortest_paths(pop)))
+                .collect();
+            targets.push(ServiceTarget {
+                // Service addresses live outside the router plan
+                // (100.64.0.0/10 is never allocated to operators).
+                addr: Ipv4Addr::new(100, 64 + (t as u8 % 64), 0, 53),
+                instances,
+            });
+        }
+        AtlasBuiltins {
+            engine: TraceEngine::new(world, config.seed),
+            targets,
+        }
+    }
+
+    /// Number of services configured.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Run the built-ins for every probe in the world: each probe traces
+    /// to its nearest instance of every service. Records are returned in
+    /// (probe, target) order.
+    pub fn run(&self) -> Vec<TracerouteRecord> {
+        let world = self.engine.world();
+        let mut out = Vec::with_capacity(world.probes.len() * self.targets.len());
+        for probe in &world.probes {
+            // Probe host address: outside the router plan.
+            let src_ip = Ipv4Addr::new(
+                240,
+                (probe.id.0 >> 16) as u8,
+                (probe.id.0 >> 8) as u8,
+                probe.id.0 as u8,
+            );
+            for target in &self.targets {
+                // Nearest instance by path distance.
+                let Some((_, tree)) = target
+                    .instances
+                    .iter()
+                    .filter_map(|(_pop, tree)| {
+                        tree.distance_km(probe.host_pop).map(|d| (d, tree))
+                    })
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
+                else {
+                    continue;
+                };
+                // Reverse the instance→probe path into probe→instance and
+                // recompute cumulative distances from the probe side.
+                let Some(path) = tree.path_to(probe.host_pop) else {
+                    continue;
+                };
+                let total = path.last().map(|(_, d)| *d).unwrap_or(0.0);
+                let reversed: Vec<(PopId, f32)> = path
+                    .iter()
+                    .rev()
+                    .map(|(pop, cum)| (*pop, total - *cum))
+                    .collect();
+                let rec = self.engine.trace_along(
+                    &reversed,
+                    probe.true_coord,
+                    probe.id.0,
+                    src_ip,
+                    target.addr,
+                );
+                out.push(rec);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_world::{WorldConfig, World};
+
+    fn run_builtins(seed: u64) -> (World, Vec<TracerouteRecord>) {
+        let w = World::generate(WorldConfig::tiny(seed));
+        let topo = Topology::build(&w);
+        let cfg = AtlasConfig {
+            seed: 3,
+            targets: 4,
+            instances_per_target: 3,
+        };
+        let records = AtlasBuiltins::new(&w, &topo, cfg).run();
+        (w, records)
+    }
+
+    #[test]
+    fn every_probe_measures_every_target() {
+        let (w, records) = run_builtins(51);
+        assert_eq!(records.len(), w.probes.len() * 4);
+        let probes: std::collections::HashSet<_> =
+            records.iter().map(|r| r.origin_id).collect();
+        assert_eq!(probes.len(), w.probes.len());
+    }
+
+    #[test]
+    fn first_hops_are_near_the_probe() {
+        // The property RTT-proximity extraction depends on: hops measured
+        // under 0.5 ms are physically within 50 km of the probe.
+        let (w, records) = run_builtins(52);
+        let mut checked = 0;
+        for rec in &records {
+            let probe = &w.probes[rec.origin_id as usize];
+            for hop in &rec.hops {
+                let (Some(ip), Some(rtt)) = (hop.ip, hop.rtt_ms) else {
+                    continue;
+                };
+                if rtt >= 0.5 || ip == rec.dst_ip {
+                    continue;
+                }
+                // Private CPE gateways are not world interfaces.
+                let Some(router) = w.router_of_ip(ip) else {
+                    assert!(ip.is_private(), "non-interface public hop {ip}");
+                    continue;
+                };
+                let d = probe.true_coord.distance_km(&router.coord);
+                assert!(d <= 50.0, "hop {ip} at {d} km with rtt {rtt}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "too few sub-0.5ms hops: {checked}");
+    }
+
+    #[test]
+    fn most_probes_have_multiple_local_hops() {
+        // §2.3.2: >80% of RTT-proximity addresses are ≥2 hops from the
+        // probe, i.e. the built-ins expose more than just the gateway.
+        let (_, records) = run_builtins(53);
+        let with_two = records
+            .iter()
+            .filter(|r| r.hops.iter().filter(|h| h.ip.is_some()).count() >= 2)
+            .count();
+        assert!(with_two * 10 > records.len() * 7);
+    }
+
+    #[test]
+    fn target_addresses_are_not_world_interfaces() {
+        let (w, records) = run_builtins(54);
+        for rec in records.iter().take(100) {
+            assert!(w.find_interface(rec.dst_ip).is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = run_builtins(55);
+        let (_, b) = run_builtins(55);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+}

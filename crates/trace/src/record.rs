@@ -1,0 +1,275 @@
+//! Measurement records and RIPE-Atlas-shaped JSON.
+//!
+//! The paper consumes Atlas built-in measurements "provided in JSON format
+//! that specify the measurement origin, target, intermediate hops and their
+//! observed RTTs" (§2.3.2). This module defines the in-memory record and a
+//! faithful-enough JSON mapping (`prb_id`, `src_addr`, `dst_addr`,
+//! `result[].hop`, `result[].result[].from/rtt`, `"x": "*"` for timeouts)
+//! so the downstream extraction code parses the same shape it would parse
+//! from a real Atlas dump.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One traceroute hop. A hop that did not respond has neither address nor
+/// RTT (rendered as `*` in classic traceroute output).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// 1-based hop index.
+    pub hop: u8,
+    /// Responding interface address, if any.
+    pub ip: Option<Ipv4Addr>,
+    /// Observed RTT in milliseconds, if the hop responded.
+    pub rtt_ms: Option<f64>,
+}
+
+impl Hop {
+    /// A responding hop.
+    pub fn reply(hop: u8, ip: Ipv4Addr, rtt_ms: f64) -> Hop {
+        Hop {
+            hop,
+            ip: Some(ip),
+            rtt_ms: Some(rtt_ms),
+        }
+    }
+
+    /// A timeout hop.
+    pub fn timeout(hop: u8) -> Hop {
+        Hop {
+            hop,
+            ip: None,
+            rtt_ms: None,
+        }
+    }
+}
+
+/// A complete traceroute measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerouteRecord {
+    /// Measurement origin id (Ark monitor index or Atlas probe index).
+    pub origin_id: u32,
+    /// Source address of the measurement host.
+    pub src_ip: Ipv4Addr,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Hops in order.
+    pub hops: Vec<Hop>,
+    /// Whether the destination itself replied.
+    pub reached: bool,
+}
+
+impl TracerouteRecord {
+    /// Iterate the responding intermediate-hop addresses (excludes the
+    /// destination's own reply) — exactly what Ark-style interface
+    /// extraction wants.
+    pub fn responding_intermediate_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.hops
+            .iter()
+            .filter(move |h| h.ip != Some(self.dst_ip))
+            .filter_map(|h| h.ip)
+    }
+
+    /// Serialize to Atlas-shaped JSON.
+    pub fn to_atlas_json(&self) -> String {
+        serde_json::to_string(&AtlasTraceroute::from(self)).expect("record serializes")
+    }
+
+    /// Parse from Atlas-shaped JSON.
+    pub fn from_atlas_json(s: &str) -> Result<TracerouteRecord, RecordParseError> {
+        let raw: AtlasTraceroute =
+            serde_json::from_str(s).map_err(|e| RecordParseError(e.to_string()))?;
+        raw.try_into()
+    }
+}
+
+/// Error parsing an Atlas-shaped JSON record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordParseError(pub String);
+
+impl fmt::Display for RecordParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad traceroute record: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecordParseError {}
+
+// ---- Atlas JSON shape -------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct AtlasTraceroute {
+    prb_id: u32,
+    src_addr: String,
+    dst_addr: String,
+    #[serde(rename = "type")]
+    kind: String,
+    result: Vec<AtlasHop>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    destination_replied: Option<bool>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct AtlasHop {
+    hop: u8,
+    result: Vec<AtlasReply>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct AtlasReply {
+    #[serde(skip_serializing_if = "Option::is_none")]
+    from: Option<String>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    rtt: Option<f64>,
+    /// `"*"` marker for timeouts, as in real Atlas dumps.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    x: Option<String>,
+}
+
+impl From<&TracerouteRecord> for AtlasTraceroute {
+    fn from(r: &TracerouteRecord) -> Self {
+        AtlasTraceroute {
+            prb_id: r.origin_id,
+            src_addr: r.src_ip.to_string(),
+            dst_addr: r.dst_ip.to_string(),
+            kind: "traceroute".to_string(),
+            result: r
+                .hops
+                .iter()
+                .map(|h| AtlasHop {
+                    hop: h.hop,
+                    result: vec![match (h.ip, h.rtt_ms) {
+                        (Some(ip), rtt) => AtlasReply {
+                            from: Some(ip.to_string()),
+                            rtt,
+                            x: None,
+                        },
+                        (None, _) => AtlasReply {
+                            from: None,
+                            rtt: None,
+                            x: Some("*".to_string()),
+                        },
+                    }],
+                })
+                .collect(),
+            destination_replied: Some(r.reached),
+        }
+    }
+}
+
+impl TryFrom<AtlasTraceroute> for TracerouteRecord {
+    type Error = RecordParseError;
+
+    fn try_from(raw: AtlasTraceroute) -> Result<Self, Self::Error> {
+        if raw.kind != "traceroute" {
+            return Err(RecordParseError(format!(
+                "unsupported measurement type {:?}",
+                raw.kind
+            )));
+        }
+        let parse_ip = |s: &str| -> Result<Ipv4Addr, RecordParseError> {
+            s.parse()
+                .map_err(|_| RecordParseError(format!("bad address {s:?}")))
+        };
+        let mut hops = Vec::with_capacity(raw.result.len());
+        for h in &raw.result {
+            let reply = h
+                .result
+                .first()
+                .ok_or_else(|| RecordParseError("hop with no result entries".into()))?;
+            match (&reply.from, &reply.x) {
+                (Some(from), _) => {
+                    let ip = parse_ip(from)?;
+                    let rtt = reply.rtt.filter(|r| r.is_finite() && *r >= 0.0);
+                    hops.push(Hop {
+                        hop: h.hop,
+                        ip: Some(ip),
+                        rtt_ms: rtt,
+                    });
+                }
+                (None, Some(_)) => hops.push(Hop::timeout(h.hop)),
+                (None, None) => {
+                    return Err(RecordParseError("hop reply with neither from nor x".into()))
+                }
+            }
+        }
+        Ok(TracerouteRecord {
+            origin_id: raw.prb_id,
+            src_ip: parse_ip(&raw.src_addr)?,
+            dst_ip: parse_ip(&raw.dst_addr)?,
+            hops,
+            reached: raw.destination_replied.unwrap_or(false),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TracerouteRecord {
+        TracerouteRecord {
+            origin_id: 42,
+            src_ip: "203.0.113.9".parse().unwrap(),
+            dst_ip: "100.64.0.53".parse().unwrap(),
+            hops: vec![
+                Hop::reply(1, "10.0.0.1".parse().unwrap(), 0.42),
+                Hop::timeout(2),
+                Hop::reply(3, "6.0.0.1".parse().unwrap(), 12.7),
+                Hop::reply(4, "100.64.0.53".parse().unwrap(), 13.2),
+            ],
+            reached: true,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rec = sample();
+        let json = rec.to_atlas_json();
+        let back = TracerouteRecord::from_atlas_json(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn json_shape_matches_atlas_conventions() {
+        let json = sample().to_atlas_json();
+        assert!(json.contains("\"prb_id\":42"));
+        assert!(json.contains("\"type\":\"traceroute\""));
+        assert!(json.contains("\"from\":\"10.0.0.1\""));
+        assert!(json.contains("\"x\":\"*\""));
+    }
+
+    #[test]
+    fn intermediate_extraction_skips_timeouts_and_destination() {
+        let ips: Vec<_> = sample().responding_intermediate_ips().collect();
+        assert_eq!(
+            ips,
+            vec![
+                "10.0.0.1".parse::<Ipv4Addr>().unwrap(),
+                "6.0.0.1".parse().unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(TracerouteRecord::from_atlas_json("").is_err());
+        assert!(TracerouteRecord::from_atlas_json("{}").is_err());
+        assert!(TracerouteRecord::from_atlas_json("not json").is_err());
+        // Wrong measurement type.
+        let ping = r#"{"prb_id":1,"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","type":"ping","result":[]}"#;
+        assert!(TracerouteRecord::from_atlas_json(ping).is_err());
+        // Bad address.
+        let bad = r#"{"prb_id":1,"src_addr":"zz","dst_addr":"2.2.2.2","type":"traceroute","result":[]}"#;
+        assert!(TracerouteRecord::from_atlas_json(bad).is_err());
+    }
+
+    #[test]
+    fn negative_rtt_is_dropped_not_propagated() {
+        let j = r#"{"prb_id":1,"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","type":"traceroute",
+                    "result":[{"hop":1,"result":[{"from":"3.3.3.3","rtt":-5.0}]}]}"#;
+        let rec = TracerouteRecord::from_atlas_json(j).unwrap();
+        assert_eq!(rec.hops[0].ip, Some("3.3.3.3".parse().unwrap()));
+        assert_eq!(rec.hops[0].rtt_ms, None);
+    }
+}

@@ -1,0 +1,421 @@
+//! Warts-lite: a compact binary stream format for traceroute records.
+//!
+//! CAIDA distributes Ark traceroutes in the binary *warts* format; a week
+//! of the topology dataset is far too large for JSON. This module is the
+//! synthetic counterpart: a length-prefixed, checksummed record stream
+//! that an Ark campaign can be spooled into and replayed from.
+//!
+//! Layout (integers little-endian):
+//!
+//! ```text
+//! stream  = magic b"RTW1" , record*
+//! record  = len u16 (bytes after this field, including the checksum)
+//!           , origin_id u32 , src_ip [4] , dst_ip [4]
+//!           , flags u8 (bit0 = reached)
+//!           , hop_count u8
+//!           , hop*      (hop = index u8, hflags u8 (bit0 ip, bit1 rtt),
+//!                        [ip 4], [rtt_us u32 — RTT in microseconds])
+//!           , checksum u32 (FNV-1a32 over the record body)
+//! ```
+//!
+//! RTTs are stored as microseconds in `u32` (saturating at ~71 minutes),
+//! which preserves every digit the RTT model produces at a quarter of the
+//! size of an `f64`.
+
+use crate::record::{Hop, TracerouteRecord};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+const MAGIC: &[u8; 4] = b"RTW1";
+
+/// Errors reading a warts-lite stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Stream does not start with the magic bytes.
+    BadMagic,
+    /// Stream ended inside a record.
+    Truncated,
+    /// Record checksum mismatch.
+    ChecksumMismatch {
+        /// Index of the broken record in the stream.
+        record: usize,
+    },
+    /// Structurally invalid record contents.
+    Corrupt {
+        /// Index of the broken record.
+        record: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => f.write_str("not a warts-lite stream (bad magic)"),
+            WireError::Truncated => f.write_str("warts-lite stream truncated"),
+            WireError::ChecksumMismatch { record } => {
+                write!(f, "warts-lite record {record} checksum mismatch")
+            }
+            WireError::Corrupt { record, what } => {
+                write!(f, "warts-lite record {record} corrupt: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h = 0x811C_9DC5u32;
+    for b in bytes {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Incremental writer over any byte sink.
+pub struct WartsWriter<W: std::io::Write> {
+    sink: W,
+    records: usize,
+}
+
+impl<W: std::io::Write> WartsWriter<W> {
+    /// Start a stream: writes the magic immediately.
+    pub fn new(mut sink: W) -> std::io::Result<Self> {
+        sink.write_all(MAGIC)?;
+        Ok(WartsWriter { sink, records: 0 })
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, rec: &TracerouteRecord) -> std::io::Result<()> {
+        let mut body = Vec::with_capacity(16 + rec.hops.len() * 10);
+        body.extend_from_slice(&rec.origin_id.to_le_bytes());
+        body.extend_from_slice(&rec.src_ip.octets());
+        body.extend_from_slice(&rec.dst_ip.octets());
+        body.push(u8::from(rec.reached));
+        let hop_count = rec.hops.len().min(255);
+        body.push(hop_count as u8);
+        for hop in rec.hops.iter().take(hop_count) {
+            body.push(hop.hop);
+            let mut flags = 0u8;
+            if hop.ip.is_some() {
+                flags |= 1;
+            }
+            if hop.rtt_ms.is_some() {
+                flags |= 2;
+            }
+            body.push(flags);
+            if let Some(ip) = hop.ip {
+                body.extend_from_slice(&ip.octets());
+            }
+            if let Some(rtt) = hop.rtt_ms {
+                let us = (rtt * 1000.0).round().clamp(0.0, u32::MAX as f64) as u32;
+                body.extend_from_slice(&us.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a32(&body);
+        let len = (body.len() + 4) as u16;
+        self.sink.write_all(&len.to_le_bytes())?;
+        self.sink.write_all(&body)?;
+        self.sink.write_all(&checksum.to_le_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Flush and return the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Serialize a batch of records into a fresh buffer.
+pub fn write_all(records: &[TracerouteRecord]) -> Vec<u8> {
+    let mut w = WartsWriter::new(Vec::new()).expect("vec sink");
+    for r in records {
+        w.write(r).expect("vec sink");
+    }
+    w.finish().expect("vec sink")
+}
+
+/// Streaming reader over an in-memory warts-lite buffer.
+pub struct WartsReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+    record_idx: usize,
+}
+
+impl<'a> WartsReader<'a> {
+    /// Validate the magic and position at the first record.
+    pub fn new(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        if &buf[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        Ok(WartsReader {
+            buf,
+            at: 4,
+            record_idx: 0,
+        })
+    }
+
+    fn read_record(&mut self) -> Result<TracerouteRecord, WireError> {
+        let idx = self.record_idx;
+        let take = |at: &mut usize, n: usize, buf: &[u8]| -> Result<usize, WireError> {
+            let start = *at;
+            let end = start.checked_add(n).ok_or(WireError::Truncated)?;
+            if end > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            *at = end;
+            Ok(start)
+        };
+
+        let s = take(&mut self.at, 2, self.buf)?;
+        let len = u16::from_le_bytes([self.buf[s], self.buf[s + 1]]) as usize;
+        if len < 4 + 14 - 14 + 4 {
+            // At minimum the checksum must fit.
+            return Err(WireError::Corrupt {
+                record: idx,
+                what: "record too short",
+            });
+        }
+        let s = take(&mut self.at, len, self.buf)?;
+        let body = &self.buf[s..s + len - 4];
+        let stored = u32::from_le_bytes(
+            self.buf[s + len - 4..s + len]
+                .try_into()
+                .expect("4 bytes sliced"),
+        );
+        if fnv1a32(body) != stored {
+            return Err(WireError::ChecksumMismatch { record: idx });
+        }
+
+        // Decode the body.
+        let mut at = 0usize;
+        let need = |at: &mut usize, n: usize| -> Result<usize, WireError> {
+            let start = *at;
+            if start + n > body.len() {
+                return Err(WireError::Corrupt {
+                    record: idx,
+                    what: "body truncated",
+                });
+            }
+            *at = start + n;
+            Ok(start)
+        };
+        let p = need(&mut at, 4)?;
+        let origin_id = u32::from_le_bytes(body[p..p + 4].try_into().expect("4"));
+        let p = need(&mut at, 4)?;
+        let src_ip = Ipv4Addr::new(body[p], body[p + 1], body[p + 2], body[p + 3]);
+        let p = need(&mut at, 4)?;
+        let dst_ip = Ipv4Addr::new(body[p], body[p + 1], body[p + 2], body[p + 3]);
+        let p = need(&mut at, 1)?;
+        let reached = match body[p] {
+            0 => false,
+            1 => true,
+            _ => {
+                return Err(WireError::Corrupt {
+                    record: idx,
+                    what: "flags",
+                })
+            }
+        };
+        let p = need(&mut at, 1)?;
+        let hop_count = body[p] as usize;
+        let mut hops = Vec::with_capacity(hop_count);
+        for _ in 0..hop_count {
+            let p = need(&mut at, 2)?;
+            let hop_no = body[p];
+            let flags = body[p + 1];
+            if flags & !3 != 0 {
+                return Err(WireError::Corrupt {
+                    record: idx,
+                    what: "hop flags",
+                });
+            }
+            let ip = if flags & 1 != 0 {
+                let p = need(&mut at, 4)?;
+                Some(Ipv4Addr::new(body[p], body[p + 1], body[p + 2], body[p + 3]))
+            } else {
+                None
+            };
+            let rtt_ms = if flags & 2 != 0 {
+                let p = need(&mut at, 4)?;
+                let us = u32::from_le_bytes(body[p..p + 4].try_into().expect("4"));
+                Some(us as f64 / 1000.0)
+            } else {
+                None
+            };
+            hops.push(Hop {
+                hop: hop_no,
+                ip,
+                rtt_ms,
+            });
+        }
+        if at != body.len() {
+            return Err(WireError::Corrupt {
+                record: idx,
+                what: "trailing bytes",
+            });
+        }
+        self.record_idx += 1;
+        Ok(TracerouteRecord {
+            origin_id,
+            src_ip,
+            dst_ip,
+            hops,
+            reached,
+        })
+    }
+}
+
+impl<'a> Iterator for WartsReader<'a> {
+    type Item = Result<TracerouteRecord, WireError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at >= self.buf.len() {
+            return None;
+        }
+        match self.read_record() {
+            Ok(rec) => Some(Ok(rec)),
+            Err(e) => {
+                // Poison: stop after the first error.
+                self.at = self.buf.len();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parse an entire buffer, failing on the first broken record.
+pub fn read_all(buf: &[u8]) -> Result<Vec<TracerouteRecord>, WireError> {
+    WartsReader::new(buf)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<TracerouteRecord> {
+        (0..n)
+            .map(|i| TracerouteRecord {
+                origin_id: i as u32,
+                src_ip: Ipv4Addr::new(203, 0, 113, i as u8),
+                dst_ip: Ipv4Addr::new(198, 51, 100, (i * 3) as u8),
+                hops: vec![
+                    Hop::reply(1, Ipv4Addr::new(10, 0, 0, 1), 0.42 + i as f64),
+                    Hop::timeout(2),
+                    Hop {
+                        hop: 3,
+                        ip: Some(Ipv4Addr::new(6, 0, 0, 9)),
+                        rtt_ms: None,
+                    },
+                ],
+                reached: i % 2 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample(25);
+        let buf = write_all(&records);
+        let back = read_all(&buf).unwrap();
+        assert_eq!(back.len(), records.len());
+        for (a, b) in records.iter().zip(back.iter()) {
+            assert_eq!(a.origin_id, b.origin_id);
+            assert_eq!(a.src_ip, b.src_ip);
+            assert_eq!(a.dst_ip, b.dst_ip);
+            assert_eq!(a.reached, b.reached);
+            assert_eq!(a.hops.len(), b.hops.len());
+            for (x, y) in a.hops.iter().zip(b.hops.iter()) {
+                assert_eq!(x.hop, y.hop);
+                assert_eq!(x.ip, y.ip);
+                match (x.rtt_ms, y.rtt_ms) {
+                    (Some(p), Some(q)) => assert!((p - q).abs() < 0.001),
+                    (None, None) => {}
+                    other => panic!("rtt mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let buf = write_all(&[]);
+        assert_eq!(buf, MAGIC);
+        assert!(read_all(&buf).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detects_bad_magic_and_truncation() {
+        assert_eq!(read_all(b"XXXX"), Err(WireError::BadMagic));
+        assert_eq!(read_all(b"RT"), Err(WireError::Truncated));
+        let buf = write_all(&sample(3));
+        for cut in [5, buf.len() - 1] {
+            assert!(read_all(&buf[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn detects_bit_flips() {
+        let buf = write_all(&sample(3));
+        // Flip one byte in each record region; the checksum must catch
+        // body flips, and structural validation the rest.
+        for pos in [6usize, 12, 20, buf.len() - 2] {
+            let mut broken = buf.clone();
+            broken[pos] ^= 0x40;
+            assert!(read_all(&broken).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn streaming_iterator_stops_at_first_error() {
+        let mut buf = write_all(&sample(4));
+        // Corrupt the second record's checksum area.
+        let n = buf.len();
+        buf[n / 2] ^= 0xFF;
+        let items: Vec<_> = WartsReader::new(&buf).unwrap().collect();
+        assert!(items.iter().any(|r| r.is_err()));
+        // Nothing after the error.
+        let err_pos = items.iter().position(|r| r.is_err()).unwrap();
+        assert_eq!(err_pos, items.len() - 1);
+    }
+
+    #[test]
+    fn compact_compared_to_json() {
+        let records = sample(100);
+        let wire = write_all(&records);
+        let json: usize = records.iter().map(|r| r.to_atlas_json().len()).sum();
+        assert!(
+            wire.len() * 3 < json,
+            "wire {} not much smaller than JSON {}",
+            wire.len(),
+            json
+        );
+    }
+
+    #[test]
+    fn rtt_microsecond_precision() {
+        let rec = TracerouteRecord {
+            origin_id: 1,
+            src_ip: Ipv4Addr::new(1, 1, 1, 1),
+            dst_ip: Ipv4Addr::new(2, 2, 2, 2),
+            hops: vec![Hop::reply(1, Ipv4Addr::new(3, 3, 3, 3), 0.123456)],
+            reached: true,
+        };
+        let back = read_all(&write_all(&[rec])).unwrap();
+        let rtt = back[0].hops[0].rtt_ms.unwrap();
+        assert!((rtt - 0.123).abs() < 0.001, "got {rtt}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Address allocation: RIR pools, per-PoP /24 blocks, and the block plan.
+//!
+//! Mirrors the structure geolocation vendors actually see: each operator
+//! receives allocations from a regional registry, carves them into /24
+//! blocks, and deploys each block at one PoP. The *registry* metadata of a
+//! block (org country, HQ) reflects where the operator is incorporated;
+//! the *deployment* city is where its routers actually are. For global
+//! transit operators the two routinely disagree — the mechanism behind the
+//! paper's §5.2.3 finding that databases pull non-US ARIN routers to the US.
+
+use crate::ids::{AsId, CityId, PopId};
+use routergeo_geo::{CountryCode, Rir};
+use routergeo_net::Prefix;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Synthetic per-RIR pools of /8s. Values chosen to be disjoint and vaguely
+/// reminiscent of real allocations; all that matters is that the mapping
+/// `first octet → RIR` is unambiguous (the Team Cymru substrate relies on
+/// it).
+pub fn rir_pools() -> &'static [(Rir, &'static [u8])] {
+    &[
+        (Rir::Arin, &[6, 7, 8, 12, 13, 15, 16, 17]),
+        (Rir::RipeNcc, &[31, 37, 46, 62, 77, 78, 79, 80, 81, 82]),
+        (Rir::Apnic, &[1, 14, 27, 36, 39, 42, 43, 49]),
+        (Rir::Lacnic, &[177, 179, 181, 186, 187, 189, 190, 200]),
+        (Rir::Afrinic, &[41, 102, 105, 154, 196, 197]),
+    ]
+}
+
+/// The RIR owning a first octet, if any.
+pub fn rir_of_octet(octet: u8) -> Option<Rir> {
+    rir_pools()
+        .iter()
+        .find(|(_, eights)| eights.contains(&octet))
+        .map(|(rir, _)| *rir)
+}
+
+/// Registry + deployment metadata for one allocated /24 block.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// The /24 itself.
+    pub block: Prefix,
+    /// Operator the block is allocated to.
+    pub op: AsId,
+    /// PoP where the block's addresses are deployed.
+    pub pop: PopId,
+    /// Deployment city (duplicated from the PoP for convenience).
+    pub city: CityId,
+    /// RIR that issued this block.
+    pub rir: Rir,
+    /// Registry org country (where the operator is incorporated).
+    pub registry_country: CountryCode,
+    /// Registry org HQ city.
+    pub registry_city: CityId,
+}
+
+/// Sequential /24 allocator over a RIR's /8 pool.
+#[derive(Debug)]
+pub struct RirAllocator {
+    rir: Rir,
+    eights: &'static [u8],
+    next: u32,
+}
+
+/// Error when a RIR pool is exhausted (worlds never get close; kept as a
+/// real error so misconfiguration fails loudly instead of wrapping around).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolExhausted(pub Rir);
+
+impl std::fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "address pool for {} exhausted", self.0)
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+impl RirAllocator {
+    /// Allocator over the built-in pool of `rir`.
+    pub fn new(rir: Rir) -> Self {
+        let eights = rir_pools()
+            .iter()
+            .find(|(r, _)| *r == rir)
+            .map(|(_, e)| *e)
+            .expect("every RIR has a pool");
+        RirAllocator {
+            rir,
+            eights,
+            next: 0,
+        }
+    }
+
+    /// Number of /24s still available.
+    pub fn remaining(&self) -> u32 {
+        self.eights.len() as u32 * 65_536 - self.next
+    }
+
+    /// Allocate the next /24.
+    pub fn alloc24(&mut self) -> Result<Prefix, PoolExhausted> {
+        let idx = self.next;
+        let eight_idx = (idx / 65_536) as usize;
+        if eight_idx >= self.eights.len() {
+            return Err(PoolExhausted(self.rir));
+        }
+        self.next += 1;
+        let within = idx % 65_536;
+        let net = Ipv4Addr::new(
+            self.eights[eight_idx],
+            (within >> 8) as u8,
+            (within & 0xFF) as u8,
+            0,
+        );
+        Ok(Prefix::new(net, 24).expect("constructed /24 is valid"))
+    }
+}
+
+/// The full block plan: every allocated /24 with O(1) lookup by address.
+#[derive(Debug, Default)]
+pub struct AddressPlan {
+    blocks: Vec<BlockInfo>,
+    /// Keyed by `ip >> 8` (the /24 network).
+    by_net: HashMap<u32, u32>,
+}
+
+impl AddressPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a block. Panics on duplicate /24s (generator bug).
+    pub fn insert(&mut self, info: BlockInfo) {
+        let key = info.block.network_u32() >> 8;
+        let idx = self.blocks.len() as u32;
+        let prev = self.by_net.insert(key, idx);
+        assert!(prev.is_none(), "duplicate block {}", info.block);
+        self.blocks.push(info);
+    }
+
+    /// All blocks in allocation order.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing `ip`, if allocated.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&BlockInfo> {
+        self.by_net
+            .get(&(u32::from(ip) >> 8))
+            .map(|&i| &self.blocks[i as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_disjoint() {
+        let mut seen = std::collections::HashSet::new();
+        for (_, eights) in rir_pools() {
+            for e in *eights {
+                assert!(seen.insert(*e), "octet {e} in two pools");
+            }
+        }
+    }
+
+    #[test]
+    fn octet_lookup() {
+        assert_eq!(rir_of_octet(6), Some(Rir::Arin));
+        assert_eq!(rir_of_octet(31), Some(Rir::RipeNcc));
+        assert_eq!(rir_of_octet(41), Some(Rir::Afrinic));
+        assert_eq!(rir_of_octet(177), Some(Rir::Lacnic));
+        assert_eq!(rir_of_octet(1), Some(Rir::Apnic));
+        assert_eq!(rir_of_octet(10), None);
+        assert_eq!(rir_of_octet(255), None);
+    }
+
+    #[test]
+    fn allocator_hands_out_sequential_disjoint_blocks() {
+        let mut a = RirAllocator::new(Rir::Arin);
+        let b1 = a.alloc24().unwrap();
+        let b2 = a.alloc24().unwrap();
+        assert_eq!(b1.to_string(), "6.0.0.0/24");
+        assert_eq!(b2.to_string(), "6.0.1.0/24");
+        assert!(!b1.covers(&b2));
+        // Crossing the /8 boundary.
+        let mut a = RirAllocator::new(Rir::Afrinic);
+        for _ in 0..65_536 {
+            a.alloc24().unwrap();
+        }
+        assert_eq!(a.alloc24().unwrap().to_string(), "102.0.0.0/24");
+    }
+
+    #[test]
+    fn allocator_exhausts_cleanly() {
+        let mut a = RirAllocator::new(Rir::Afrinic);
+        let total = a.remaining();
+        for _ in 0..total {
+            a.alloc24().unwrap();
+        }
+        assert_eq!(a.remaining(), 0);
+        assert_eq!(a.alloc24(), Err(PoolExhausted(Rir::Afrinic)));
+    }
+
+    #[test]
+    fn plan_lookup() {
+        let mut plan = AddressPlan::new();
+        let block: Prefix = "6.0.0.0/24".parse().unwrap();
+        plan.insert(BlockInfo {
+            block,
+            op: AsId(0),
+            pop: PopId(0),
+            city: CityId(0),
+            rir: Rir::Arin,
+            registry_country: "US".parse().unwrap(),
+            registry_city: CityId(0),
+        });
+        assert!(plan.lookup("6.0.0.77".parse().unwrap()).is_some());
+        assert!(plan.lookup("6.0.1.77".parse().unwrap()).is_none());
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn plan_rejects_duplicates() {
+        let mut plan = AddressPlan::new();
+        let info = BlockInfo {
+            block: "6.0.0.0/24".parse().unwrap(),
+            op: AsId(0),
+            pop: PopId(0),
+            city: CityId(0),
+            rir: Rir::Arin,
+            registry_country: "US".parse().unwrap(),
+            registry_city: CityId(0),
+        };
+        plan.insert(info.clone());
+        plan.insert(info);
+    }
+}

@@ -1,0 +1,185 @@
+//! City generation.
+//!
+//! Each country of the embedded table receives a set of cities scattered
+//! uniformly inside its equal-area disk. City count and population weights
+//! scale with the country's router-infrastructure weight, so the US ends up
+//! with many more (and busier) cities than Malta — matching the regional
+//! skew the paper's datasets exhibit.
+
+use crate::ids::CityId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routergeo_geo::country::{CountryInfo, COUNTRIES};
+use routergeo_geo::distance::destination;
+use routergeo_geo::{CountryCode, Coordinate};
+use std::collections::HashSet;
+
+/// A synthetic city.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Its own id (index into `World::cities`).
+    pub id: CityId,
+    /// Deterministically generated name, unique within the world.
+    pub name: String,
+    /// Admin region label (synthetic, used by the gazetteer matcher).
+    pub region: String,
+    /// ISO country code.
+    pub country: CountryCode,
+    /// True coordinates.
+    pub coord: Coordinate,
+    /// Airport-style location code, unique world-wide (hostname hints).
+    pub airport: String,
+    /// Relative size weight; city 0 of a country is its largest.
+    pub weight: u32,
+    /// Whether this is the country's capital/primary city.
+    pub is_primary: bool,
+}
+
+/// How many cities a country of the given weight receives.
+pub fn city_count_for_weight(weight: u16) -> usize {
+    // sqrt-ish growth: weight 1 → 2 cities, 40 → 14, 330 → 38.
+    2 + (2.0 * (weight as f64).sqrt()) as usize
+}
+
+/// Generate all cities for all countries in the embedded table.
+///
+/// Names are unique world-wide (suffixes appended on collision); airport
+/// codes are unique world-wide by construction.
+pub fn generate(seed: u64) -> Vec<City> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC17E_5EED);
+    let mut cities = Vec::new();
+    let mut taken_names: HashSet<String> = HashSet::new();
+    let mut taken_codes: HashSet<String> = HashSet::new();
+
+    for info in COUNTRIES {
+        let n = city_count_for_weight(info.weight);
+        for k in 0..n {
+            let name = unique_name(&mut rng, &mut taken_names);
+            let airport = crate::names::unique_airport_code(&name, &mut taken_codes);
+            let coord = place_in_country(&mut rng, info);
+            // Zipf-ish size weights: city k has weight ~ W / (k+1).
+            let weight = ((info.weight as f64 / (k as f64 + 1.0)).ceil() as u32).max(1);
+            let region = format!("{} Region {}", info.alpha3, 1 + k % 5);
+            cities.push(City {
+                id: CityId::from_index(cities.len()),
+                name,
+                region,
+                country: info.code(),
+                coord,
+                airport,
+                weight,
+                is_primary: k == 0,
+            });
+        }
+    }
+    cities
+}
+
+fn unique_name(rng: &mut StdRng, taken: &mut HashSet<String>) -> String {
+    loop {
+        let name = crate::names::city_name(rng);
+        if taken.insert(name.clone()) {
+            return name;
+        }
+    }
+}
+
+/// Uniformly place a point inside the country's disk (radius scaled to 85%
+/// so cities sit clear of the border and of neighbouring countries'
+/// centroids).
+fn place_in_country(rng: &mut StdRng, info: &CountryInfo) -> Coordinate {
+    let bearing = rng.gen_range(0.0..360.0);
+    // sqrt for uniform density over the disk area.
+    let dist = info.radius_km * 0.85 * rng.gen::<f64>().sqrt();
+    destination(&info.centroid(), bearing, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_geo::country::{cc, lookup};
+    use routergeo_geo::haversine_km;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(42);
+        let b = generate(42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.coord, y.coord);
+        }
+        let c = generate(43);
+        assert_ne!(
+            a.iter().map(|x| x.name.clone()).collect::<Vec<_>>(),
+            c.iter().map(|x| x.name.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_country_has_cities_and_one_primary() {
+        let cities = generate(1);
+        for info in COUNTRIES {
+            let mine: Vec<_> = cities.iter().filter(|c| c.country == info.code()).collect();
+            assert!(mine.len() >= 2, "{} has {}", info.name, mine.len());
+            assert_eq!(
+                mine.iter().filter(|c| c.is_primary).count(),
+                1,
+                "{} primaries",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn cities_are_within_country_disk() {
+        let cities = generate(2);
+        for city in &cities {
+            let info = lookup(city.country).unwrap();
+            let d = haversine_km(&info.centroid(), &city.coord);
+            assert!(
+                d <= info.radius_km * 0.85 + 1.0,
+                "{} is {d} km from {} centroid (radius {})",
+                city.name,
+                info.name,
+                info.radius_km
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_airports_unique() {
+        let cities = generate(3);
+        let names: HashSet<_> = cities.iter().map(|c| c.name.as_str()).collect();
+        let codes: HashSet<_> = cities.iter().map(|c| c.airport.as_str()).collect();
+        assert_eq!(names.len(), cities.len());
+        assert_eq!(codes.len(), cities.len());
+    }
+
+    #[test]
+    fn ids_are_their_indices() {
+        let cities = generate(4);
+        for (i, c) in cities.iter().enumerate() {
+            assert_eq!(c.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn us_has_most_cities() {
+        let cities = generate(5);
+        let us = cities.iter().filter(|c| c.country == cc("US")).count();
+        for info in COUNTRIES {
+            if info.code() != cc("US") {
+                let n = cities.iter().filter(|c| c.country == info.code()).count();
+                assert!(us >= n, "US {us} vs {} {n}", info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_declines_with_rank() {
+        let cities = generate(6);
+        let us: Vec<_> = cities.iter().filter(|c| c.country == cc("US")).collect();
+        assert!(us[0].weight >= us.last().unwrap().weight);
+    }
+}

@@ -1,0 +1,151 @@
+//! World generation configuration.
+
+/// Preset sizes for the synthetic world.
+///
+/// The paper's Ark-topo-router dataset holds ~1.64 M interfaces on ~485 K
+/// routers. Generating that full scale is supported ([`Scale::Paper`]) but
+/// slow in debug builds, so tests default to [`Scale::Tiny`] and the
+/// benchmark harness to [`Scale::Tenth`]. Set the `ROUTERGEO_SCALE`
+/// environment variable (`tiny`/`small`/`tenth`/`paper`/`full`) to override
+/// in the repro binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred routers — unit tests.
+    Tiny,
+    /// A few thousand routers — integration tests and examples.
+    Small,
+    /// ≈ 1/10 of the paper (~160 K interfaces) — default for benches.
+    Tenth,
+    /// Full paper scale (~1.6 M interfaces).
+    Paper,
+}
+
+impl Scale {
+    /// Multiplier applied to router/interface counts (Tiny == 1).
+    pub fn factor(self) -> u32 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 8,
+            Scale::Tenth => 90,
+            Scale::Paper => 900,
+        }
+    }
+
+    /// Parse from the `ROUTERGEO_SCALE` environment variable value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "tenth" => Some(Scale::Tenth),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Read the scale from `ROUTERGEO_SCALE`, falling back to `default`.
+    pub fn from_env(default: Scale) -> Scale {
+        std::env::var("ROUTERGEO_SCALE")
+            .ok()
+            .and_then(|v| Scale::parse(&v))
+            .unwrap_or(default)
+    }
+}
+
+/// All knobs of world generation. Construct via [`WorldConfig::new`] (or
+/// the scale presets) and adjust fields as needed; the world is a pure
+/// function of this struct.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master RNG seed; all world randomness derives from it.
+    pub seed: u64,
+    /// Size preset.
+    pub scale: Scale,
+    /// Number of global transit operators **in addition to** the seven
+    /// fixed ground-truth operators (see `ases::GT_OPERATORS`).
+    pub extra_global_transits: usize,
+    /// Domestic transit operators per country (before weighting).
+    pub domestic_transits_per_country: usize,
+    /// Stub (edge) operators per unit of country weight, scaled.
+    pub stub_density: f64,
+    /// Mean routers per transit PoP.
+    pub routers_per_transit_pop: f64,
+    /// Mean routers per stub network.
+    pub routers_per_stub: f64,
+    /// Mean interfaces per router (the paper's ratio is ≈ 3.4).
+    pub interfaces_per_router: f64,
+    /// Number of Atlas-like probes.
+    pub probe_count: usize,
+    /// Fraction of probes registered at their country's default centroid
+    /// instead of their true location (§3.2 finds 19/1387 ≈ 1.4%).
+    pub probe_default_centroid_rate: f64,
+    /// Fraction of probes that physically moved without updating their
+    /// registered location (registered city ≠ true city).
+    pub probe_moved_rate: f64,
+    /// Extra weight multiplier for probe placement in RIPE NCC countries
+    /// (RIPE Atlas is Europe-heavy; Table 1's RTT set is 65% RIPE).
+    pub probe_ripe_bias: f64,
+}
+
+impl WorldConfig {
+    /// Config with the given seed and scale, all other knobs at defaults
+    /// calibrated to reproduce the paper's dataset shapes.
+    pub fn new(seed: u64, scale: Scale) -> Self {
+        WorldConfig {
+            seed,
+            scale,
+            extra_global_transits: 8,
+            domestic_transits_per_country: 2,
+            stub_density: 0.55,
+            routers_per_transit_pop: 9.0,
+            routers_per_stub: 2.4,
+            interfaces_per_router: 3.4,
+            probe_count: 1_387, // §3.2: probes associated with the 0.5 ms data
+            probe_default_centroid_rate: 0.014,
+            probe_moved_rate: 0.010,
+            probe_ripe_bias: 8.0,
+        }
+    }
+
+    /// Tiny world for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        let mut c = WorldConfig::new(seed, Scale::Tiny);
+        c.probe_count = 120;
+        c
+    }
+
+    /// Small world for integration tests and examples.
+    pub fn small(seed: u64) -> Self {
+        let mut c = WorldConfig::new(seed, Scale::Small);
+        c.probe_count = 400;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse(" tenth "), Some(Scale::Tenth));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn factors_increase() {
+        assert!(Scale::Tiny.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Tenth.factor());
+        assert!(Scale::Tenth.factor() < Scale::Paper.factor());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = WorldConfig::new(1, Scale::Tiny);
+        assert!(c.interfaces_per_router > 1.0);
+        assert!(c.probe_default_centroid_rate < 0.1);
+        assert!(c.probe_ripe_bias >= 1.0);
+    }
+}

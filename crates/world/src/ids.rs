@@ -1,0 +1,88 @@
+//! Typed index ids for world entities.
+//!
+//! All world collections are flat `Vec`s; these newtypes prevent mixing an
+//! index into one collection with an index into another. They are plain
+//! `u32`s, `Copy`, and order like their underlying index.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `idx` exceeds `u32::MAX` (worlds never get close).
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                $name(u32::try_from(idx).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index into [`crate::World::cities`].
+    CityId,
+    "city"
+);
+id_type!(
+    /// Index into [`crate::World::operators`].
+    AsId,
+    "as"
+);
+id_type!(
+    /// Index into [`crate::World::pops`].
+    PopId,
+    "pop"
+);
+id_type!(
+    /// Index into [`crate::World::routers`].
+    RouterId,
+    "rtr"
+);
+id_type!(
+    /// Index into [`crate::World::interfaces`].
+    InterfaceId,
+    "if"
+);
+id_type!(
+    /// Index into [`crate::World::probes`].
+    ProbeId,
+    "probe"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let id = CityId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "city42");
+        assert_eq!(RouterId::from_index(7).to_string(), "rtr7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(AsId(1) < AsId(2));
+        assert_eq!(ProbeId(9), ProbeId(9));
+    }
+}

@@ -1,0 +1,76 @@
+//! Atlas-like measurement probes.
+//!
+//! RIPE Atlas probe locations are crowdsourced: hosts self-report them and
+//! nothing structurally validates the reports (§3.2). The synthetic probe
+//! population therefore distinguishes a probe's **true** location (where
+//! its packets really originate) from its **registered** location (what the
+//! metadata claims):
+//!
+//! * most probes are honest (registered ≈ true, within a couple of km);
+//! * a small fraction are registered at their country's *default centroid*
+//!   (the paper removes probes within 5 km of known country coordinates);
+//! * a small fraction *moved* without updating their registration, so the
+//!   registered city is simply wrong (the paper's Mozambique example:
+//!   two "nearby" probes 867 km apart).
+
+use crate::ids::{CityId, PopId, ProbeId};
+use routergeo_geo::{CountryCode, Coordinate};
+
+/// Why a probe's registered location is (in)accurate. Ground truth for
+/// evaluating the probe-QA logic in `routergeo-rtt` — never consulted by
+/// the QA logic itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeLocationQuality {
+    /// Registered location matches the true one.
+    Accurate,
+    /// Registered at the country's default centroid.
+    DefaultCentroid,
+    /// Probe moved; registration points at a stale city.
+    Moved,
+}
+
+/// A measurement probe hosted inside a stub network.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Its own id (index into `World::probes`).
+    pub id: ProbeId,
+    /// Stub PoP hosting the probe (its first-hop network).
+    pub host_pop: PopId,
+    /// City the probe is truly in (== the host PoP's city).
+    pub true_city: CityId,
+    /// True physical coordinates.
+    pub true_coord: Coordinate,
+    /// Country of the registered location.
+    pub registered_country: CountryCode,
+    /// Self-reported coordinates (what a researcher would see).
+    pub registered_coord: Coordinate,
+    /// Ground-truth label for the registration quality.
+    pub quality: ProbeLocationQuality,
+}
+
+impl Probe {
+    /// Distance between the registered and true locations, km.
+    pub fn registration_error_km(&self) -> f64 {
+        self.true_coord.distance_km(&self.registered_coord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_error_zero_when_identical() {
+        let c = Coordinate::new(10.0, 10.0).unwrap();
+        let p = Probe {
+            id: ProbeId(0),
+            host_pop: PopId(0),
+            true_city: CityId(0),
+            true_coord: c,
+            registered_country: "US".parse().unwrap(),
+            registered_coord: c,
+            quality: ProbeLocationQuality::Accurate,
+        };
+        assert_eq!(p.registration_error_km(), 0.0);
+    }
+}

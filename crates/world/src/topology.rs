@@ -1,0 +1,98 @@
+//! PoPs, routers, and interfaces.
+//!
+//! A PoP is one operator's presence in one city. Routers live in a PoP,
+//! slightly scattered around the city centre (metro footprint ≤ ~15 km, so
+//! a router is always within the paper's 40 km city range of its city's
+//! coordinates). Interfaces are numbered out of the /24 blocks assigned to
+//! the PoP.
+
+use crate::ids::{AsId, CityId, PopId, RouterId};
+use routergeo_geo::Coordinate;
+use std::net::Ipv4Addr;
+use std::ops::Range;
+
+/// One operator's point of presence in one city.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    /// Its own id (index into `World::pops`).
+    pub id: PopId,
+    /// Owning operator.
+    pub op: AsId,
+    /// City the PoP is in.
+    pub city: CityId,
+    /// Contiguous range of router indices belonging to this PoP.
+    pub routers: Range<u32>,
+    /// Indices into the address plan's block list for this PoP's /24s.
+    pub blocks: Vec<u32>,
+}
+
+impl Pop {
+    /// Number of routers in the PoP.
+    pub fn router_count(&self) -> usize {
+        (self.routers.end - self.routers.start) as usize
+    }
+
+    /// Iterate the PoP's router ids.
+    pub fn router_ids(&self) -> impl Iterator<Item = RouterId> {
+        self.routers.clone().map(RouterId)
+    }
+}
+
+/// A router: a named device at one PoP with one physical location.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Its own id (index into `World::routers`).
+    pub id: RouterId,
+    /// PoP the router belongs to.
+    pub pop: PopId,
+    /// Exact physical location (within the metro area of the PoP's city).
+    pub coord: Coordinate,
+    /// Contiguous range of interface indices belonging to this router.
+    pub interfaces: Range<u32>,
+}
+
+impl Router {
+    /// Number of interfaces on this router.
+    pub fn interface_count(&self) -> usize {
+        (self.interfaces.end - self.interfaces.start) as usize
+    }
+}
+
+/// One router interface with its IPv4 address.
+#[derive(Debug, Clone, Copy)]
+pub struct Interface {
+    /// Interface address (unique world-wide).
+    pub ip: Ipv4Addr,
+    /// Owning router.
+    pub router: RouterId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_router_iteration() {
+        let pop = Pop {
+            id: PopId(3),
+            op: AsId(1),
+            city: CityId(2),
+            routers: 10..13,
+            blocks: vec![0],
+        };
+        assert_eq!(pop.router_count(), 3);
+        let ids: Vec<_> = pop.router_ids().collect();
+        assert_eq!(ids, vec![RouterId(10), RouterId(11), RouterId(12)]);
+    }
+
+    #[test]
+    fn router_interface_count() {
+        let r = Router {
+            id: RouterId(0),
+            pop: PopId(0),
+            coord: Coordinate::new(0.0, 0.0).unwrap(),
+            interfaces: 5..9,
+        };
+        assert_eq!(r.interface_count(), 4);
+    }
+}

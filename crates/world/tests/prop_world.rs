@@ -1,0 +1,75 @@
+//! Property tests over world generation: structural invariants that must
+//! hold for every seed, not just the ones unit tests pin down.
+
+use proptest::prelude::*;
+use routergeo_geo::country::lookup;
+use routergeo_world::addressing::rir_of_octet;
+use routergeo_world::probes::ProbeLocationQuality;
+use routergeo_world::{World, WorldConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn world_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let w = World::generate(WorldConfig::tiny(seed));
+
+        // Interfaces: unique addresses, no reserved host bytes, each
+        // covered by a block of its own operator.
+        let mut seen = std::collections::HashSet::new();
+        for iface in &w.interfaces {
+            prop_assert!(seen.insert(iface.ip), "duplicate {}", iface.ip);
+            let oct = iface.ip.octets();
+            prop_assert!(oct[3] != 0 && oct[3] != 255);
+            let info = w.block_info(iface.ip).expect("covered");
+            let router = w.router_of_ip(iface.ip).expect("owner");
+            prop_assert_eq!(info.op, w.pop(router.pop).op);
+        }
+
+        // Blocks: RIR matches the address pool, registry city is in the
+        // registry country.
+        for b in w.plan().blocks() {
+            prop_assert_eq!(rir_of_octet(b.block.network().octets()[0]), Some(b.rir));
+            prop_assert_eq!(w.city(b.registry_city).country, b.registry_country);
+        }
+
+        // Routers sit within the metro area of their PoP's city.
+        for r in w.routers.iter().step_by(7) {
+            let city = w.city(w.pop(r.pop).city);
+            prop_assert!(r.coord.distance_km(&city.coord) < 40.0);
+        }
+
+        // Probes: true city matches the host PoP; quality labels are
+        // consistent with the registration error.
+        for p in &w.probes {
+            prop_assert_eq!(p.true_city, w.pop(p.host_pop).city);
+            match p.quality {
+                ProbeLocationQuality::Accurate => {
+                    prop_assert!(p.registration_error_km() < 25.0)
+                }
+                ProbeLocationQuality::DefaultCentroid => {
+                    let c = lookup(p.registered_country).unwrap().centroid();
+                    prop_assert!(p.registered_coord.distance_km(&c) <= 5.0);
+                }
+                ProbeLocationQuality::Moved => {}
+            }
+        }
+
+        // Operators: presence non-empty and HQ always present.
+        for op in &w.operators {
+            prop_assert!(!op.presence.is_empty());
+            prop_assert!(op.presence.contains(&op.hq_city));
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_with_itself(seed in any::<u64>()) {
+        let w = World::generate(WorldConfig::tiny(seed));
+        for iface in w.interfaces.iter().step_by(11) {
+            let (city, coord) = w.true_location(iface.ip).expect("oracle");
+            prop_assert_eq!(w.true_country(iface.ip), Some(w.city(city).country));
+            // The router's coordinate is within metro range of the city.
+            prop_assert!(coord.distance_km(&w.city(city).coord) < 40.0);
+        }
+    }
+}

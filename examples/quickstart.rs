@@ -1,0 +1,68 @@
+//! Quickstart: generate a world, synthesize the four databases, and look
+//! up a handful of router addresses against the oracle.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use routergeo::db::synth::{build_vendor, SignalWorld, VendorProfile};
+use routergeo::db::GeoDatabase;
+use routergeo::world::{World, WorldConfig};
+
+fn main() {
+    // 1. A deterministic synthetic world: cities, operators, routers,
+    //    interfaces, address plan. Same seed → same world, always.
+    let world = World::generate(WorldConfig::small(42));
+    println!(
+        "world: {} cities, {} operators, {} routers, {} interfaces",
+        world.cities.len(),
+        world.operators.len(),
+        world.routers.len(),
+        world.interfaces.len()
+    );
+
+    // 2. The four synthetic vendor databases of the paper.
+    let signals = SignalWorld::new(&world);
+    let dbs: Vec<_> = VendorProfile::all_presets()
+        .iter()
+        .map(|p| build_vendor(&signals, p))
+        .collect();
+
+    // 3. Look up a few router interfaces and compare against the truth.
+    println!("\n{:<16} {:<18} {:<22} answer", "address", "truth", "database");
+    for iface in world.interfaces.iter().step_by(world.interfaces.len() / 5) {
+        let (city_id, coord) = world.true_location(iface.ip).expect("oracle");
+        let city = world.city(city_id);
+        println!(
+            "{:<16} {} ({}, {:.1},{:.1})",
+            iface.ip,
+            city.name,
+            city.country,
+            coord.lat(),
+            coord.lon()
+        );
+        for db in &dbs {
+            match db.lookup(iface.ip) {
+                Some(rec) => {
+                    let err = match rec.coord {
+                        Some(c) => format!("{:7.1} km off", c.distance_km(&coord)),
+                        None => "no coords".to_string(),
+                    };
+                    println!(
+                        "{:<16} {:<18} {:<22} {} / {} [{}]",
+                        "",
+                        "",
+                        db.name(),
+                        rec.country
+                            .map(|c| c.to_string())
+                            .unwrap_or_else(|| "??".into()),
+                        rec.city.as_deref().unwrap_or("(country only)"),
+                        err
+                    );
+                }
+                None => println!("{:<16} {:<18} {:<22} NO RECORD", "", "", db.name()),
+            }
+        }
+        println!();
+    }
+}

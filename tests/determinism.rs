@@ -1,0 +1,93 @@
+//! Integration: the whole pipeline is a pure function of its seeds.
+//! Reproducibility is the core promise of the harness — EXPERIMENTS.md
+//! numbers must be regenerable bit-for-bit.
+
+use routergeo::core::groundtruth::GroundTruth;
+use routergeo::cymru::MappingService;
+use routergeo::db::synth::{build_vendor, SignalWorld, VendorId, VendorProfile};
+use routergeo::db::GeoDatabase;
+use routergeo::dns::RuleEngine;
+use routergeo::rtt::{build_dataset, ProximityConfig};
+use routergeo::trace::{ArkCampaign, ArkConfig, AtlasBuiltins, AtlasConfig, Topology};
+use routergeo::world::{World, WorldConfig};
+
+fn gt_fingerprint(seed: u64) -> (usize, Vec<(std::net::Ipv4Addr, String)>) {
+    let world = World::generate(WorldConfig::tiny(seed));
+    let topo = Topology::build(&world);
+    let engine = RuleEngine::with_gt_rules(&world);
+    let whois = MappingService::build(&world);
+    let records = AtlasBuiltins::new(
+        &world,
+        &topo,
+        AtlasConfig {
+            seed: seed ^ 9,
+            targets: 5,
+            instances_per_target: 3,
+        },
+    )
+    .run();
+    let (rtt, _) = build_dataset(&world, &records, &ProximityConfig::default());
+    let dns = GroundTruth::dns_based(&world, &engine, &whois, 0.02);
+    let gt = GroundTruth::combine(dns, GroundTruth::from_rtt(&rtt, &whois));
+    let sample = gt
+        .entries
+        .iter()
+        .step_by(7)
+        .map(|e| (e.ip, format!("{}@{}", e.country, e.coord)))
+        .collect();
+    (gt.len(), sample)
+}
+
+#[test]
+fn ground_truth_pipeline_is_deterministic() {
+    let a = gt_fingerprint(3001);
+    let b = gt_fingerprint(3001);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = gt_fingerprint(3001);
+    let c = gt_fingerprint(3002);
+    assert_ne!(a.1, c.1);
+}
+
+#[test]
+fn vendor_databases_are_deterministic_across_processesque_rebuilds() {
+    let world1 = World::generate(WorldConfig::tiny(3003));
+    let world2 = World::generate(WorldConfig::tiny(3003));
+    let s1 = SignalWorld::new(&world1);
+    let s2 = SignalWorld::new(&world2);
+    for vendor in VendorId::ALL {
+        let db1 = build_vendor(&s1, &VendorProfile::preset(vendor));
+        let db2 = build_vendor(&s2, &VendorProfile::preset(vendor));
+        assert_eq!(db1.len(), db2.len());
+        for iface in world1.interfaces.iter().step_by(17) {
+            assert_eq!(db1.lookup(iface.ip), db2.lookup(iface.ip), "{vendor}");
+        }
+    }
+}
+
+#[test]
+fn ark_campaign_is_deterministic_but_seed_sensitive() {
+    let world = World::generate(WorldConfig::tiny(3004));
+    let topo = Topology::build(&world);
+    let mk = |seed| {
+        ArkCampaign::new(
+            &world,
+            &topo,
+            ArkConfig {
+                seed,
+                monitors: 8,
+                traceroutes: Some(3_000),
+            },
+        )
+        .extract_dataset()
+    };
+    let a = mk(5);
+    let b = mk(5);
+    let c = mk(6);
+    assert_eq!(a.interfaces, b.interfaces);
+    assert_ne!(a.interfaces, c.interfaces);
+}
