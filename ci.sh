@@ -1,0 +1,26 @@
+#!/bin/sh
+# Offline CI gate for the routergeo workspace. Every step runs without
+# network access; failures stop the script immediately.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> cargo xtask deps"
+cargo xtask deps
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci.sh: all gates passed"

@@ -39,12 +39,12 @@ fn ablate_city_range(c: &mut Criterion) {
     // verdicts, which is the paper's argument for the threshold.
     let at40 = acc.error_cdf.fraction_leq(40.0);
     let at100 = acc.error_cdf.fraction_leq(100.0);
-    assert!(at40 > at100 * 0.9, "city-range knee moved: {at40} vs {at100}");
+    assert!(
+        at40 > at100 * 0.9,
+        "city-range knee moved: {at40} vs {at100}"
+    );
     c.bench_function("ablate_city_range_sweep", |b| {
-        b.iter(|| {
-            [10.0, 20.0, 40.0, 60.0, 100.0]
-                .map(|km| acc.error_cdf.fraction_leq(km))
-        })
+        b.iter(|| [10.0, 20.0, 40.0, 60.0, 100.0].map(|km| acc.error_cdf.fraction_leq(km)))
     });
 }
 

@@ -24,7 +24,10 @@ fn bench_table1(c: &mut Criterion) {
     let lab = lab();
     let (dns, rtt, table) = exp::table1(lab);
     println!("{}", table.render());
-    assert!(dns.total > 0 && rtt.total > 0, "E1: both GT methods present");
+    assert!(
+        dns.total > 0 && rtt.total > 0,
+        "E1: both GT methods present"
+    );
     c.bench_function("E1_table1", |b| b.iter(|| exp::table1(lab)));
 }
 
@@ -59,7 +62,9 @@ fn bench_consistency(c: &mut Criterion) {
     }
     // Country level: the MaxMind pair agrees the most.
     assert!(report.country_agree[1][2] > report.country_agree[0][3]);
-    c.bench_function("E3_ark_consistency", |b| b.iter(|| exp::ark_consistency(lab)));
+    c.bench_function("E3_ark_consistency", |b| {
+        b.iter(|| exp::ark_consistency(lab))
+    });
 }
 
 fn bench_accuracy(c: &mut Criterion) {
@@ -134,7 +139,11 @@ fn bench_arin_case(c: &mut Criterion) {
     // into the US by the registry-fed databases, and the wrong city
     // answers are overwhelmingly block-level.
     let mm_paid = &cases[2];
-    assert!(mm_paid.pull_rate() > 0.4, "E8: pull rate {}", mm_paid.pull_rate());
+    assert!(
+        mm_paid.pull_rate() > 0.4,
+        "E8: pull rate {}",
+        mm_paid.pull_rate()
+    );
     if mm_paid.us_city_wrong > 0 {
         let blk = mm_paid.wrong_block_level as f64 / mm_paid.us_city_wrong as f64;
         assert!(blk > 0.7, "E8: wrong answers not block-level: {blk}");

@@ -58,7 +58,9 @@ fn bench_lookup_structures(c: &mut Criterion) {
         "RGDB image: {} entries, {} bytes ({} deduplicated records)",
         entries.len(),
         image.len(),
-        rgdb::RgdbReader::open(image.clone()).unwrap().record_count()
+        rgdb::RgdbReader::open(image.clone())
+            .unwrap()
+            .record_count()
     );
     let reader = rgdb::RgdbReader::open(image).unwrap();
 

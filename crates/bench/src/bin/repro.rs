@@ -71,9 +71,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let want = |name: &str| {
-        wanted.iter().any(|w| w == name) || wanted.iter().any(|w| w == "all")
-    };
+    let want = |name: &str| wanted.iter().any(|w| w == name) || wanted.iter().any(|w| w == "all");
     let want_exactly = |name: &str| wanted.iter().any(|w| w == name);
     let mut out = Emitter {
         csv_dir,

@@ -26,12 +26,22 @@ pub fn world_stats(lab: &Lab) -> TextTable {
     use routergeo_world::OperatorKind;
     let mut t = TextTable::new(
         "Diagnostics: world / Ark composition",
-        &["population", "total", "global", "domestic", "stub", "registry!=true"],
+        &[
+            "population",
+            "total",
+            "global",
+            "domestic",
+            "stub",
+            "registry!=true",
+        ],
     );
     let classify = |ips: &mut dyn Iterator<Item = std::net::Ipv4Addr>| {
-        let (mut g, mut d, mut s, mut mismatch, mut total) = (0usize, 0usize, 0usize, 0usize, 0usize);
+        let (mut g, mut d, mut s, mut mismatch, mut total) =
+            (0usize, 0usize, 0usize, 0usize, 0usize);
         for ip in ips {
-            let Some(info) = lab.world.block_info(ip) else { continue };
+            let Some(info) = lab.world.block_info(ip) else {
+                continue;
+            };
             total += 1;
             match lab.world.operator(info.op).kind {
                 OperatorKind::GlobalTransit => g += 1,
@@ -79,7 +89,9 @@ pub fn world_stats(lab: &Lab) -> TextTable {
 pub fn gt_domain_stats(lab: &Lab) -> TextTable {
     let mut counts: std::collections::HashMap<&str, usize> = Default::default();
     for e in lab.gt.of_method(GtMethod::DnsBased) {
-        *counts.entry(e.domain.as_deref().unwrap_or("?")).or_default() += 1;
+        *counts
+            .entry(e.domain.as_deref().unwrap_or("?"))
+            .or_default() += 1;
     }
     let mut t = TextTable::new(
         "Diagnostics: DNS ground truth per domain (paper targets in S2.3.1)",
@@ -93,7 +105,11 @@ pub fn gt_domain_stats(lab: &Lab) -> TextTable {
             .unwrap_or_default();
         t.row(&[
             domain.clone(),
-            counts.get(domain.as_str()).copied().unwrap_or(0).to_string(),
+            counts
+                .get(domain.as_str())
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
             target.to_string(),
         ]);
     }
@@ -108,10 +124,7 @@ pub fn probe_stats(lab: &Lab) -> TextTable {
             *by_rir.entry(info.rir).or_default() += 1;
         }
     }
-    let mut t = TextTable::new(
-        "Diagnostics: probes by registered RIR",
-        &["RIR", "probes"],
-    );
+    let mut t = TextTable::new("Diagnostics: probes by registered RIR", &["RIR", "probes"]);
     for rir in Rir::TABLE1_ORDER {
         t.row(&[
             rir.name().to_string(),
@@ -267,7 +280,10 @@ pub fn gt_accuracy(lab: &Lab) -> (AccuracyReport, Vec<TextTable>) {
 
     for a in &report.overall {
         tables.push(cdf_series(
-            &format!("Figure 2: {} vs ground truth ({})", a.database, a.city_covered),
+            &format!(
+                "Figure 2: {} vs ground truth ({})",
+                a.database, a.city_covered
+            ),
             &a.error_cdf,
             -3,
             4,
@@ -280,7 +296,14 @@ pub fn gt_accuracy(lab: &Lab) -> (AccuracyReport, Vec<TextTable>) {
 pub fn fig3(report: &AccuracyReport) -> TextTable {
     let mut t = TextTable::new(
         "Figure 3: country-level accuracy breakdown by RIR (percent incorrect)",
-        &["RIR", "n", "IP2Loc-Lite", "MM-GeoLite", "MM-Paid", "NetAcuity"],
+        &[
+            "RIR",
+            "n",
+            "IP2Loc-Lite",
+            "MM-GeoLite",
+            "MM-Paid",
+            "NetAcuity",
+        ],
     );
     for (k, rir) in Rir::TABLE1_ORDER.iter().enumerate() {
         let n = report.by_rir[0][k].total;
@@ -299,7 +322,14 @@ pub fn fig3(report: &AccuracyReport) -> TextTable {
 pub fn fig4(lab: &Lab, report: &AccuracyReport) -> (usize, TextTable) {
     let mut t = TextTable::new(
         "Figure 4: country-level accuracy for the top-20 ground-truth countries",
-        &["CC", "n", "IP2Loc-Lite", "MM-GeoLite", "MM-Paid", "NetAcuity"],
+        &[
+            "CC",
+            "n",
+            "IP2Loc-Lite",
+            "MM-GeoLite",
+            "MM-Paid",
+            "NetAcuity",
+        ],
     );
     for (cc, n, accs) in &report.by_country {
         let mut cells = vec![cc.to_string(), n.to_string()];
@@ -455,7 +485,15 @@ pub fn validation(lab: &Lab) -> (OverlapAgreement, ChurnStats, Vec<TextTable>) {
 
     let mut t = TextTable::new(
         "S3.1: 16-month hostname churn over the DNS-based ground truth",
-        &["total", "same", "changed", "gone", "chg same loc", "chg moved", "chg no hint"],
+        &[
+            "total",
+            "same",
+            "changed",
+            "gone",
+            "chg same loc",
+            "chg moved",
+            "chg no hint",
+        ],
     );
     t.row(&[
         churn.total.to_string(),
@@ -534,8 +572,7 @@ pub fn methodology(lab: &Lab) -> (MethodologyReport, TextTable) {
 /// majority) against true accuracy (vs ground truth), plus the blind spot
 /// (agreeing while wrong).
 pub fn majority(lab: &Lab) -> TextTable {
-    let comparisons =
-        routergeo_core::majority::compare_against_majority(&lab.dbs, &lab.gt);
+    let comparisons = routergeo_core::majority::compare_against_majority(&lab.dbs, &lab.gt);
     let mut t = TextTable::new(
         "Extension: majority-vote vs ground-truth evaluation (country level)",
         &[
@@ -563,12 +600,8 @@ pub fn majority(lab: &Lab) -> TextTable {
 /// Extension X2 — §8's closing claim: databases geolocate end hosts better
 /// than routers.
 pub fn endpoints(lab: &Lab) -> TextTable {
-    let comparisons = routergeo_core::endpoint::routers_vs_endpoints(
-        &lab.dbs,
-        &lab.world,
-        &lab.gt,
-        5_000,
-    );
+    let comparisons =
+        routergeo_core::endpoint::routers_vs_endpoints(&lab.dbs, &lab.world, &lab.gt, 5_000);
     let mut t = TextTable::new(
         "Extension: router vs end-host accuracy",
         &[
@@ -598,8 +631,7 @@ pub fn endpoints(lab: &Lab) -> TextTable {
 /// reach with ≥ 2 landmarks.
 pub fn cbg(lab: &Lab) -> TextTable {
     use routergeo_db::GeoDatabase;
-    let results =
-        routergeo_rtt::cbg::evaluate_cbg(&lab.world, &lab.atlas_records, 20.0, 2);
+    let results = routergeo_rtt::cbg::evaluate_cbg(&lab.world, &lab.atlas_records, 20.0, 2);
     let mut t = TextTable::new(
         format!(
             "Extension: CBG (delay-based) vs databases over {} multi-landmark routers",
@@ -607,12 +639,14 @@ pub fn cbg(lab: &Lab) -> TextTable {
         ),
         &["Method", "median km", "<=40km", "<=100km", "coverage"],
     );
-    let cbg_cdf = routergeo_geo::EmpiricalCdf::from_iter_lossy(
-        results.iter().map(|(_, _, err)| *err),
-    );
+    let cbg_cdf =
+        routergeo_geo::EmpiricalCdf::from_iter_lossy(results.iter().map(|(_, _, err)| *err));
     t.row(&[
         "CBG (probes as landmarks)".to_string(),
-        cbg_cdf.median().map(|m| format!("{m:.1}")).unwrap_or_default(),
+        cbg_cdf
+            .median()
+            .map(|m| format!("{m:.1}"))
+            .unwrap_or_default(),
         pct(cbg_cdf.fraction_leq(40.0)),
         pct(cbg_cdf.fraction_leq(100.0)),
         "100.0%".to_string(),
@@ -657,7 +691,12 @@ pub fn temporal(lab: &Lab) -> (TextTable, TextTable) {
     let gt_ips: Vec<std::net::Ipv4Addr> = lab.gt.entries.iter().map(|e| e.ip).collect();
     let mut drift = TextTable::new(
         "Extension: snapshot drift over one release epoch (ground-truth addresses)",
-        &["Database", "any change", "material (>40km or country)", "median move km"],
+        &[
+            "Database",
+            "any change",
+            "material (>40km or country)",
+            "median move km",
+        ],
     );
     for (old, new) in lab.dbs.iter().zip(later.iter()) {
         let report = diff_databases(old, new, &gt_ips);
@@ -677,7 +716,13 @@ pub fn temporal(lab: &Lab) -> (TextTable, TextTable) {
     let after = accuracy::evaluate(&later, &lab.gt, 5);
     let mut acc = TextTable::new(
         "Extension: accuracy before/after one release epoch",
-        &["Database", "country acc (old)", "country acc (new)", "city acc (old)", "city acc (new)"],
+        &[
+            "Database",
+            "country acc (old)",
+            "country acc (new)",
+            "city acc (old)",
+            "city acc (new)",
+        ],
     );
     for (a, b) in before.overall.iter().zip(after.overall.iter()) {
         acc.row(&[
@@ -726,9 +771,19 @@ pub fn hloc(lab: &Lab) -> TextTable {
 
     let mut t = TextTable::new(
         "Extension: HLOC-style hint verification with latency constraints",
-        &["snapshot", "decoded", "confirmed", "refuted", "unverifiable", "confirm rate"],
+        &[
+            "snapshot",
+            "decoded",
+            "confirmed",
+            "refuted",
+            "unverifiable",
+            "confirm rate",
+        ],
     );
-    for (label, r) in [("fresh hostnames", &fresh), ("after 16-month churn", &evolved)] {
+    for (label, r) in [
+        ("fresh hostnames", &fresh),
+        ("after 16-month churn", &evolved),
+    ] {
         t.row(&[
             label.to_string(),
             r.decoded.to_string(),
@@ -839,10 +894,7 @@ mod tests {
     fn validation_runs() {
         let (_, churn, tables) = validation(lab());
         assert_eq!(tables.len(), 4);
-        assert_eq!(
-            churn.total,
-            churn.same + churn.changed() + churn.gone
-        );
+        assert_eq!(churn.total, churn.same + churn.changed() + churn.gone);
     }
 
     #[test]
@@ -856,8 +908,7 @@ mod tests {
     fn majority_vote_overstates_registry_fed_databases() {
         let t = majority(lab());
         assert_eq!(t.len(), 4);
-        let comparisons =
-            routergeo_core::majority::compare_against_majority(&lab().dbs, &lab().gt);
+        let comparisons = routergeo_core::majority::compare_against_majority(&lab().dbs, &lab().gt);
         // Registry-fed databases look better under majority methodology
         // than they are; NetAcuity (the dissenter) does not.
         for c in &comparisons[..3] {
@@ -890,12 +941,9 @@ mod tests {
     #[test]
     fn cbg_extension_runs_and_is_competitive() {
         let _ = cbg(lab());
-        let results =
-            routergeo_rtt::cbg::evaluate_cbg(&lab().world, &lab().atlas_records, 20.0, 2);
+        let results = routergeo_rtt::cbg::evaluate_cbg(&lab().world, &lab().atlas_records, 20.0, 2);
         assert!(results.len() > 100, "{} CBG targets", results.len());
-        let cdf = routergeo_geo::EmpiricalCdf::from_iter_lossy(
-            results.iter().map(|(_, _, e)| *e),
-        );
+        let cdf = routergeo_geo::EmpiricalCdf::from_iter_lossy(results.iter().map(|(_, _, e)| *e));
         assert!(cdf.median().unwrap() < 100.0);
     }
 
@@ -910,8 +958,7 @@ mod tests {
             &signals,
             &VendorProfile::preset(VendorId::MaxMindPaid).at_epoch(1),
         );
-        let ips: Vec<std::net::Ipv4Addr> =
-            lab().gt.entries.iter().map(|e| e.ip).collect();
+        let ips: Vec<std::net::Ipv4Addr> = lab().gt.entries.iter().map(|e| e.ip).collect();
         let report = diff_databases(&lab().dbs[2], &later, &ips);
         assert!(
             report.material_change_rate() < 0.06,

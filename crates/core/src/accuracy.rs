@@ -70,7 +70,10 @@ pub fn evaluate_entries<'a, D: GeoDatabase>(
         }
         if rec.has_city() {
             city_covered += 1;
-            let d = rec.coord.expect("has_city implies coord").distance_km(&e.coord);
+            let d = rec
+                .coord
+                .expect("has_city implies coord")
+                .distance_km(&e.coord);
             errors.push(d);
             if d <= CITY_RANGE_KM {
                 city_correct += 1;
@@ -114,20 +117,17 @@ pub fn evaluate<D: GeoDatabase>(
     gt: &GroundTruth,
     top_countries: usize,
 ) -> AccuracyReport {
-    let overall: Vec<VendorAccuracy> =
-        dbs.iter().map(|d| evaluate_entries(d, &gt.entries)).collect();
+    let overall: Vec<VendorAccuracy> = dbs
+        .iter()
+        .map(|d| evaluate_entries(d, &gt.entries))
+        .collect();
 
     let by_rir = dbs
         .iter()
         .map(|d| {
             Rir::TABLE1_ORDER
                 .iter()
-                .map(|rir| {
-                    evaluate_entries(
-                        d,
-                        gt.entries.iter().filter(|e| e.rir == Some(*rir)),
-                    )
-                })
+                .map(|rir| evaluate_entries(d, gt.entries.iter().filter(|e| e.rir == Some(*rir))))
                 .collect()
         })
         .collect();
@@ -291,7 +291,7 @@ mod tests {
         assert_eq!(report.by_rir[0][0].total, 2);
         assert_eq!(report.by_rir[0][4].total, 1);
         assert_eq!(report.by_rir[0][2].total, 0); // AFRINIC empty
-        // Methods: 2 DNS, 1 RTT.
+                                                  // Methods: 2 DNS, 1 RTT.
         assert_eq!(report.by_method[0][0].total, 2);
         assert_eq!(report.by_method[0][1].total, 1);
         // Figure 4 ranking: US/CA/DE with one address each... counts.
@@ -308,7 +308,10 @@ mod tests {
             common_wrong_country(&[&wrong_us, &wrong_us2, &wrong_us], &gt),
             1
         );
-        assert_eq!(common_wrong_country(&[&wrong_us, &wrong_us2, &right], &gt), 0);
+        assert_eq!(
+            common_wrong_country(&[&wrong_us, &wrong_us2, &right], &gt),
+            0
+        );
     }
 
     #[test]

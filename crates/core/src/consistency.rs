@@ -92,20 +92,14 @@ pub fn consistency<D: GeoDatabase>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyRe
         // Figure 1 population: city-level coordinates in every database.
         let coords: Vec<_> = records
             .iter()
-            .map(|r| {
-                r.as_ref()
-                    .filter(|r| r.has_city())
-                    .and_then(|r| r.coord)
-            })
+            .map(|r| r.as_ref().filter(|r| r.has_city()).and_then(|r| r.coord))
             .collect();
-        if coords.iter().all(|c| c.is_some()) {
+        let city_coords: Vec<_> = coords.iter().flatten().collect();
+        if city_coords.len() == n {
             city_in_all += 1;
             for i in 0..n {
                 for j in i + 1..n {
-                    let d = coords[i]
-                        .as_ref()
-                        .unwrap()
-                        .distance_km(coords[j].as_ref().unwrap());
+                    let d = city_coords[i].distance_km(city_coords[j]);
                     pair_samples[i * n + j].push(d);
                 }
             }

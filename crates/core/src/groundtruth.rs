@@ -3,7 +3,7 @@
 use routergeo_cymru::MappingService;
 use routergeo_dns::rules::geolocate_interface;
 use routergeo_dns::RuleEngine;
-use routergeo_geo::{CountryCode, Coordinate, Rir};
+use routergeo_geo::{Coordinate, CountryCode, Rir};
 use routergeo_rtt::RttProximityDataset;
 use routergeo_world::{InterfaceId, World};
 use std::collections::HashMap;
@@ -137,8 +137,7 @@ impl GroundTruth {
     /// Combine the two pipelines, keeping overlap addresses only in the
     /// DNS-based part (as the paper does).
     pub fn combine(dns: Vec<GtEntry>, rtt: Vec<GtEntry>) -> GroundTruth {
-        let dns_ips: std::collections::HashSet<Ipv4Addr> =
-            dns.iter().map(|e| e.ip).collect();
+        let dns_ips: std::collections::HashSet<Ipv4Addr> = dns.iter().map(|e| e.ip).collect();
         let mut overlap = Vec::new();
         let mut entries = dns;
         for e in rtt {
@@ -301,7 +300,7 @@ mod tests {
     use super::*;
     use routergeo_rtt::{build_dataset, ProximityConfig};
     use routergeo_trace::{AtlasBuiltins, AtlasConfig, Topology};
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn build_gt(seed: u64) -> (World, GroundTruth) {
         let w = World::generate(WorldConfig::small(seed));

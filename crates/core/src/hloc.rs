@@ -129,7 +129,10 @@ mod tests {
             at: c(40.0, 8.0),
             radius_km: 50.0,
         };
-        assert_eq!(verify_location(&claim, &[], 25.0), HintVerdict::Unverifiable);
+        assert_eq!(
+            verify_location(&claim, &[], 25.0),
+            HintVerdict::Unverifiable
+        );
         assert_eq!(
             verify_location(&claim, &[near], 25.0),
             HintVerdict::Confirmed
@@ -212,7 +215,9 @@ mod tests {
         let mut refuted = 0usize;
         let mut checked = 0usize;
         for (ip, cs) in &constraints {
-            let Some(router) = w.router_of_ip(*ip) else { continue };
+            let Some(router) = w.router_of_ip(*ip) else {
+                continue;
+            };
             // Claim a location ~2,000 km away from the true router.
             let claim = routergeo_geo::distance::destination(&router.coord, 90.0, 2_000.0);
             checked += 1;

@@ -11,7 +11,7 @@
 use crate::groundtruth::GroundTruth;
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
-use routergeo_geo::{CountryCode, Coordinate, CITY_RANGE_KM};
+use routergeo_geo::{Coordinate, CountryCode, CITY_RANGE_KM};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn plurality_country_wins() {
-        let dbs = vec![db("a", "US", 40.0), db("b", "US", 40.1), db("c", "CA", 55.0)];
+        let dbs = vec![
+            db("a", "US", 40.0),
+            db("b", "US", 40.1),
+            db("c", "CA", 55.0),
+        ];
         let m = majority_location(&dbs, "6.0.0.1".parse().unwrap());
         assert_eq!(m.country.unwrap().as_str(), "US");
         assert_eq!(m.votes, 2);
@@ -224,7 +228,11 @@ mod tests {
         // Three databases copy the same wrong registry answer (US); the
         // truth is Canada. Majority methodology scores them 100%;
         // ground-truth methodology scores them 0%.
-        let dbs = vec![db("a", "US", 40.0), db("b", "US", 40.0), db("c", "US", 40.1)];
+        let dbs = vec![
+            db("a", "US", 40.0),
+            db("b", "US", 40.0),
+            db("c", "US", 40.1),
+        ];
         let cmp = compare_against_majority(&dbs, &gt("CA"));
         for c in &cmp {
             assert_eq!(c.apparent_accuracy(), 1.0, "{c:?}");
@@ -238,7 +246,11 @@ mod tests {
     fn dissenter_scores_worse_under_majority_even_when_right() {
         // Two wrong databases outvote the one correct one: the correct
         // database gets a *lower* apparent accuracy than the wrong ones.
-        let dbs = vec![db("a", "US", 40.0), db("b", "US", 40.0), db("c", "CA", 55.0)];
+        let dbs = vec![
+            db("a", "US", 40.0),
+            db("b", "US", 40.0),
+            db("c", "CA", 55.0),
+        ];
         let cmp = compare_against_majority(&dbs, &gt("CA"));
         assert_eq!(cmp[2].apparent_accuracy(), 0.0); // right but outvoted
         assert_eq!(cmp[2].true_accuracy(), 1.0);

@@ -55,8 +55,9 @@ pub fn methodology_checks<D: GeoDatabase>(
 ) -> MethodologyReport {
     // Collect each database's city coordinate table as observed through
     // lookups: city name (+country) → coordinate.
-    let mut per_db_cities: Vec<HashMap<(String, routergeo_geo::CountryCode), routergeo_geo::Coordinate>> =
-        vec![HashMap::new(); dbs.len()];
+    let mut per_db_cities: Vec<
+        HashMap<(String, routergeo_geo::CountryCode), routergeo_geo::Coordinate>,
+    > = vec![HashMap::new(); dbs.len()];
     for ip in ips {
         for (i, db) in dbs.iter().enumerate() {
             let Some(rec) = db.lookup(*ip) else { continue };
@@ -121,7 +122,7 @@ pub fn methodology_checks<D: GeoDatabase>(
 mod tests {
     use super::*;
     use routergeo_db::synth::{build_vendor, SignalWorld, VendorProfile};
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     #[test]
     fn synthetic_vendors_pass_the_paper_checks() {

@@ -35,16 +35,11 @@ pub fn recommendations(report: &AccuracyReport) -> Vec<Recommendation> {
     };
 
     // 1. Best overall database for routers.
-    if let Some((best_idx, best)) = report
-        .overall
-        .iter()
-        .enumerate()
-        .max_by(|a, b| {
-            let score_a = a.1.country_accuracy() * a.1.city_accuracy() * a.1.city_coverage();
-            let score_b = b.1.country_accuracy() * b.1.city_accuracy() * b.1.city_coverage();
-            score_a.total_cmp(&score_b)
-        })
-    {
+    if let Some((best_idx, best)) = report.overall.iter().enumerate().max_by(|a, b| {
+        let score_a = a.1.country_accuracy() * a.1.city_accuracy() * a.1.city_coverage();
+        let score_b = b.1.country_accuracy() * b.1.city_accuracy() * b.1.city_coverage();
+        score_a.total_cmp(&score_b)
+    }) {
         out.push(Recommendation {
             text: format!(
                 "If a geolocation database is the only option, use {} to geolocate routers.",
@@ -138,9 +133,8 @@ pub fn recommendations(report: &AccuracyReport) -> Vec<Recommendation> {
     // coverage cannot hide behind high conditional accuracy ("only 66% of
     // the ground truth interface addresses there are geolocated to within
     // 40 km", §6).
-    let effective = |a: &crate::accuracy::VendorAccuracy| {
-        routergeo_geo::stats::ratio(a.city_correct, a.total)
-    };
+    let effective =
+        |a: &crate::accuracy::VendorAccuracy| routergeo_geo::stats::ratio(a.city_correct, a.total);
     let worst_arin = report
         .by_rir
         .iter()
@@ -209,8 +203,7 @@ mod tests {
         let mk = |name: &str, f: &dyn Fn(u32) -> LocationRecord| -> InMemoryDb {
             let mut b = InMemoryDbBuilder::new(name);
             for i in 0..100u32 {
-                let p: routergeo_net::Prefix =
-                    format!("6.0.{i}.0/24").parse().unwrap();
+                let p: routergeo_net::Prefix = format!("6.0.{i}.0/24").parse().unwrap();
                 b.push_prefix(p, f(i));
             }
             b.build().unwrap()
@@ -276,9 +269,7 @@ mod tests {
     #[test]
     fn ip2location_warned_when_trailing() {
         let recs = recommendations(&toy_report());
-        assert!(recs
-            .iter()
-            .any(|r| r.text.contains("IP2Location-Lite")));
+        assert!(recs.iter().any(|r| r.text.contains("IP2Location-Lite")));
     }
 
     #[test]

@@ -117,7 +117,11 @@ impl TextTable {
         let _ = writeln!(
             out,
             "| {} |",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | ")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
         let seps: Vec<&str> = self
             .aligns
@@ -151,7 +155,11 @@ impl TextTable {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -200,7 +208,7 @@ mod tests {
         assert!(s.contains("== Demo =="));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
-        // Right-aligned numbers share their last column.
+                                    // Right-aligned numbers share their last column.
         let c5 = lines[3].rfind('5').unwrap();
         let c12345 = lines[4].rfind('5').unwrap();
         assert_eq!(c5, c12345);
@@ -235,8 +243,7 @@ mod tests {
 
     #[test]
     fn cdf_series_renders() {
-        let cdf =
-            routergeo_geo::EmpiricalCdf::new(vec![1.0, 10.0, 100.0, 5000.0]).unwrap();
+        let cdf = routergeo_geo::EmpiricalCdf::new(vec![1.0, 10.0, 100.0, 5000.0]).unwrap();
         let t = cdf_series("test", &cdf, 0, 4);
         assert!(!t.is_empty());
         let s = t.render();

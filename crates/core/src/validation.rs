@@ -88,10 +88,7 @@ pub fn dns_vs_onems(gt: &GroundTruth, onems: &RttProximityDataset) -> OverlapAgr
 
 /// §3.2 final check: the QA'd 0.5 ms set vs the 1 ms set (paper: 1,661
 /// common addresses, 96.8% within 40 km, 97.4% within 100 km).
-pub fn rtt_vs_onems(
-    rtt: &RttProximityDataset,
-    onems: &RttProximityDataset,
-) -> OverlapAgreement {
+pub fn rtt_vs_onems(rtt: &RttProximityDataset, onems: &RttProximityDataset) -> OverlapAgreement {
     let a: HashMap<_, _> = rtt.entries.iter().map(|e| (e.ip, e.coord)).collect();
     let b: HashMap<_, _> = onems.entries.iter().map(|e| (e.ip, e.coord)).collect();
     overlap_agreement(&a, &b)
@@ -156,9 +153,7 @@ pub fn churn_stats(
                 }
             }
             ChurnOutcome::Moved(name, _) => match engine.decode(&name) {
-                Some(city) if world.city(city).coord == e.coord => {
-                    stats.changed_same_location += 1
-                }
+                Some(city) if world.city(city).coord == e.coord => stats.changed_same_location += 1,
                 Some(_) => stats.changed_moved += 1,
                 None => stats.changed_hint_lost += 1,
             },
@@ -188,9 +183,9 @@ mod tests {
         .into_iter()
         .collect();
         let b: HashMap<_, _> = vec![
-            (ip("1.0.0.1"), c(0.05)),  // ~5.6 km
-            (ip("1.0.0.2"), c(0.3)),   // ~33 km
-            (ip("1.0.0.3"), c(0.8)),   // ~89 km
+            (ip("1.0.0.1"), c(0.05)), // ~5.6 km
+            (ip("1.0.0.2"), c(0.3)),  // ~33 km
+            (ip("1.0.0.3"), c(0.8)),  // ~89 km
             (ip("8.0.0.8"), c(0.0)),
         ]
         .into_iter()
@@ -220,7 +215,10 @@ mod tests {
         // §3.1 shape: ~69% same, ~24% changed, ~7% gone.
         let n = stats.total as f64;
         assert!((stats.same as f64 / n - 0.691).abs() < 0.06, "{stats:?}");
-        assert!((stats.changed() as f64 / n - 0.24).abs() < 0.06, "{stats:?}");
+        assert!(
+            (stats.changed() as f64 / n - 0.24).abs() < 0.06,
+            "{stats:?}"
+        );
         // Of the changed, roughly 2/3 keep their location, ~31% move.
         let ch = stats.changed() as f64;
         assert!(

@@ -112,7 +112,7 @@ fn parse_row(line: &str) -> Result<BulkAnswer, ClientError> {
 mod tests {
     use super::*;
     use crate::{MappingService, WhoisServer};
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
     use std::sync::Arc;
 
     #[test]

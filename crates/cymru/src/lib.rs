@@ -21,7 +21,7 @@ pub use client::bulk_lookup;
 pub use server::WhoisServer;
 
 use routergeo_geo::{CountryCode, Rir};
-use routergeo_net::{Prefix, RangeMapBuilder, RangeMap};
+use routergeo_net::{Prefix, RangeMap, RangeMapBuilder};
 use routergeo_world::World;
 use std::net::Ipv4Addr;
 

@@ -155,7 +155,7 @@ fn handle_connection(stream: TcpStream, service: &MappingService) -> std::io::Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
     use std::io::Read;
 
     fn server() -> (World, WhoisServer) {

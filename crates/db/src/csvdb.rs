@@ -242,11 +242,13 @@ mod tests {
     fn parse_rejects_malformed_input() {
         assert!(parse("x", "not,csv,at,all\n").is_err());
         assert!(parse("x", "\"1\",\"2\"\n").is_err()); // too few columns
-        let bad_country =
-            "\"0\",\"255\",\"USA\",\"-\",\"-\",\"-\",\"\",\"\",\"1\"\n";
+        let bad_country = "\"0\",\"255\",\"USA\",\"-\",\"-\",\"-\",\"\",\"\",\"1\"\n";
         assert!(matches!(
             parse("x", bad_country),
-            Err(CsvError::BadField { what: "country", .. })
+            Err(CsvError::BadField {
+                what: "country",
+                ..
+            })
         ));
         let bad_lat = "\"0\",\"255\",\"US\",\"-\",\"-\",\"C\",\"999\",\"0\",\"1\"\n";
         assert!(matches!(

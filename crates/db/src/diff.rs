@@ -166,7 +166,7 @@ mod tests {
         b.push_prefix("6.0.0.0/24".parse().unwrap(), rec("US", 40.0)); // unchanged
         b.push_prefix("6.0.1.0/24".parse().unwrap(), rec("CA", 55.0)); // country flip
         b.push_prefix("6.0.2.0/24".parse().unwrap(), rec("US", 41.0)); // ~111 km move
-        // 6.0.3.0/24 removed
+                                                                       // 6.0.3.0/24 removed
         b.push_prefix("6.0.4.0/24".parse().unwrap(), rec("US", 40.0)); // added
         let b = b.build().unwrap();
 

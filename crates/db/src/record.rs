@@ -1,6 +1,6 @@
 //! The location record model.
 
-use routergeo_geo::{CountryCode, Coordinate};
+use routergeo_geo::{Coordinate, CountryCode};
 
 /// How specific the underlying database entry is — the paper's
 /// "block-level (/24 block or larger) location" distinction (§5.2.3:

@@ -75,10 +75,27 @@ impl std::error::Error for RgdbError {}
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for b in bytes {
-        h ^= *b as u64;
+        h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// A stored `u32` link or offset as a slice index. `u32` always fits in
+/// `usize` on the 32/64-bit targets this crate supports; the check makes
+/// the conversion explicit rather than silently lossy.
+#[inline]
+fn ix(i: u32) -> usize {
+    usize::try_from(i).expect("u32 image offset fits in usize")
+}
+
+/// Quantize a coordinate component to integer micro-degrees.
+#[allow(clippy::cast_possible_truncation)] // bounded below; see waiver
+fn micro_deg(deg: f64) -> i32 {
+    let scaled = (deg * 1e6).round();
+    // Coordinate invariants bound |deg| by 180, so the scaled value stays
+    // far inside i32 range and the cast below cannot truncate.
+    scaled as i32 // xtask-allow: RG003 f64->i32 bounded by Coordinate's +/-180 degree invariant; no checked float conversion exists in std
 }
 
 // ---- record (de)serialization ----------------------------------------------
@@ -104,19 +121,19 @@ fn encode_record(rec: &LocationRecord, out: &mut BytesMut) {
     }
     if let Some(region) = &rec.region {
         let bytes = region.as_bytes();
-        let len = bytes.len().min(255);
-        out.put_u8(len as u8);
-        out.put_slice(&bytes[..len]);
+        let len = u8::try_from(bytes.len().min(255)).expect("length capped at 255");
+        out.put_u8(len);
+        out.put_slice(&bytes[..usize::from(len)]);
     }
     if let Some(city) = &rec.city {
         let bytes = city.as_bytes();
-        let len = bytes.len().min(255);
-        out.put_u8(len as u8);
-        out.put_slice(&bytes[..len]);
+        let len = u8::try_from(bytes.len().min(255)).expect("length capped at 255");
+        out.put_u8(len);
+        out.put_slice(&bytes[..usize::from(len)]);
     }
     if let Some(coord) = rec.coord {
-        out.put_i32_le((coord.lat() * 1e6).round() as i32);
-        out.put_i32_le((coord.lon() * 1e6).round() as i32);
+        out.put_i32_le(micro_deg(coord.lat()));
+        out.put_i32_le(micro_deg(coord.lon()));
     }
 }
 
@@ -140,7 +157,7 @@ fn decode_record(mut buf: &[u8]) -> Result<LocationRecord, RgdbError> {
         if buf.is_empty() {
             return Err(RgdbError::Corrupt(what));
         }
-        let len = buf.get_u8() as usize;
+        let len = usize::from(buf.get_u8());
         if buf.len() < len {
             return Err(RgdbError::Corrupt(what));
         }
@@ -164,8 +181,8 @@ fn decode_record(mut buf: &[u8]) -> Result<LocationRecord, RgdbError> {
         if buf.len() < 8 {
             return Err(RgdbError::Corrupt("coord"));
         }
-        let lat = buf.get_i32_le() as f64 / 1e6;
-        let lon = buf.get_i32_le() as f64 / 1e6;
+        let lat = f64::from(buf.get_i32_le()) / 1e6;
+        let lon = f64::from(buf.get_i32_le()) / 1e6;
         Some(Coordinate::new(lat, lon).map_err(|_| RgdbError::Corrupt("coord range"))?)
     } else {
         None
@@ -199,7 +216,8 @@ where
         encode_record(rec, &mut tmp);
         let key = tmp.to_vec();
         let offset = *offsets.entry(key).or_insert_with(|| {
-            let off = data.len() as u32;
+            let off =
+                u32::try_from(data.len()).expect("RGDB data section exceeds u32 offset space");
             data.put_slice(&tmp);
             off
         });
@@ -214,17 +232,18 @@ where
         let mut node = 0usize;
         let addr = prefix.network_u32();
         for depth in 0..prefix.len() {
-            let bit = ((addr >> (31 - depth as u32)) & 1) as usize;
+            let bit = usize::from((addr >> (31 - u32::from(depth))) & 1 == 1);
             let next = nodes[node][bit];
             let next = if next == NONE {
-                let idx = nodes.len() as u32;
+                let idx =
+                    u32::try_from(nodes.len()).expect("RGDB node section exceeds u32 link space");
                 nodes.push([NONE, NONE, NONE]);
                 nodes[node][bit] = idx;
                 idx
             } else {
                 next
             };
-            node = next as usize;
+            node = ix(next);
         }
         nodes[node][2] = *offset;
     });
@@ -243,10 +262,10 @@ where
     let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
     out.put_slice(MAGIC);
     out.put_u16_le(VERSION);
-    out.put_u16_le(name_bytes.len() as u16);
-    out.put_u32_le(nodes.len() as u32);
-    out.put_u32_le(offsets.len() as u32);
-    out.put_u32_le(data.len() as u32);
+    out.put_u16_le(u16::try_from(name_bytes.len()).expect("database name exceeds u16 length"));
+    out.put_u32_le(u32::try_from(nodes.len()).expect("node count exceeds u32"));
+    out.put_u32_le(u32::try_from(offsets.len()).expect("record count exceeds u32"));
+    out.put_u32_le(u32::try_from(data.len()).expect("data length exceeds u32"));
     out.put_u64_le(checksum);
     out.put_slice(&payload);
     out.freeze()
@@ -281,14 +300,14 @@ impl RgdbReader {
         if version != VERSION {
             return Err(RgdbError::BadVersion(version));
         }
-        let name_len = h.get_u16_le() as usize;
+        let name_len = usize::from(h.get_u16_le());
         let node_count = h.get_u32_le();
         let record_count = h.get_u32_le();
-        let data_len = h.get_u32_le() as usize;
+        let data_len = ix(h.get_u32_le());
         let checksum = h.get_u64_le();
 
         let nodes_start = HEADER_LEN + name_len;
-        let nodes_len = node_count as usize * 12;
+        let nodes_len = ix(node_count) * 12;
         let data_start = nodes_start + nodes_len;
         let expected_total = data_start + data_len;
         if image.len() != expected_total {
@@ -329,7 +348,7 @@ impl RgdbReader {
         if idx >= self.node_count {
             return Err(RgdbError::Corrupt("node index"));
         }
-        let at = self.nodes_start + idx as usize * 12;
+        let at = self.nodes_start + ix(idx) * 12;
         let mut b = &self.image[at..at + 12];
         Ok((b.get_u32_le(), b.get_u32_le(), b.get_u32_le()))
     }
@@ -357,7 +376,7 @@ impl RgdbReader {
         match best {
             None => Ok(None),
             Some(off) => {
-                let off = off as usize;
+                let off = ix(off);
                 if off >= self.data_len {
                     return Err(RgdbError::Corrupt("data offset"));
                 }

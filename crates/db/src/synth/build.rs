@@ -158,7 +158,7 @@ mod tests {
     use crate::synth::VendorId;
     use crate::GeoDatabase;
     use routergeo_geo::CITY_RANGE_KM;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn all_dbs(world: &World) -> Vec<InMemoryDb> {
         let signals = SignalWorld::new(world);
@@ -296,7 +296,9 @@ mod tests {
         let dbs = all_dbs(&w);
         for db in &dbs {
             for iface in w.interfaces.iter().step_by(23) {
-                let Some(r) = db.lookup(iface.ip) else { continue };
+                let Some(r) = db.lookup(iface.ip) else {
+                    continue;
+                };
                 if !r.has_city() {
                     continue;
                 }

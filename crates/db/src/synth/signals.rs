@@ -258,8 +258,7 @@ impl<'w> SignalWorld<'w> {
                 .iter()
                 .filter(|c| {
                     c.country != country
-                        && routergeo_geo::country::lookup(c.country).map(|i| i.rir)
-                            == Some(rir)
+                        && routergeo_geo::country::lookup(c.country).map(|i| i.rir) == Some(rir)
                 })
                 .map(|c| c.id)
                 .collect();
@@ -325,7 +324,7 @@ impl<'w> SignalWorld<'w> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn setup() -> World {
         World::generate(WorldConfig::tiny(161))

@@ -191,7 +191,7 @@ fn hint_less(original: &str, rng: &mut StdRng) -> String {
 mod tests {
     use super::*;
     use crate::rules::RuleEngine;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn gt_interfaces(w: &World) -> Vec<InterfaceId> {
         let mut out = Vec::new();
@@ -223,7 +223,10 @@ mod tests {
         }
         let n = ifaces.len() as f64;
         assert!((same as f64 / n - 0.691).abs() < 0.05, "same {same}/{n}");
-        assert!((changed as f64 / n - 0.24).abs() < 0.05, "changed {changed}");
+        assert!(
+            (changed as f64 / n - 0.24).abs() < 0.05,
+            "changed {changed}"
+        );
         assert!((gone as f64 / n - 0.069).abs() < 0.04, "gone {gone}");
     }
 

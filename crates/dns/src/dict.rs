@@ -74,7 +74,7 @@ impl HintDictionary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     #[test]
     fn dictionary_covers_every_city() {

@@ -67,11 +67,8 @@ pub fn rdns(world: &World, iface: InterfaceId) -> Option<String> {
         ),
         HostnameStyle::Clli => {
             let cc = city.country.as_str().to_ascii_lowercase();
-            let clli = routergeo_world::names::clli_code(
-                &city.airport,
-                &city.name,
-                city.country.as_str(),
-            );
+            let clli =
+                routergeo_world::names::clli_code(&city.airport, &city.name, city.country.as_str());
             format!(
                 "{}.r{:02}.{}{:02}.{}.bb.{}",
                 if_label(h),
@@ -95,7 +92,7 @@ pub fn rdns(world: &World, iface: InterfaceId) -> Option<String> {
             mix(world.config.seed, ip, 0x0FACE) & 0xFFFF_FFFF,
             domain
         ),
-        HostnameStyle::None => unreachable!("checked above"),
+        HostnameStyle::None => return None,
     };
     Some(label)
 }
@@ -109,10 +106,7 @@ pub fn domain_of(hostname: &str) -> &str {
         let skip: usize = labels[..3].iter().map(|l| l.len() + 1).sum();
         &hostname[skip..]
     } else if labels.len() >= 2 {
-        let skip: usize = labels[..labels.len() - 2]
-            .iter()
-            .map(|l| l.len() + 1)
-            .sum();
+        let skip: usize = labels[..labels.len() - 2].iter().map(|l| l.len() + 1).sum();
         &hostname[skip..]
     } else {
         hostname
@@ -122,7 +116,7 @@ pub fn domain_of(hostname: &str) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn world() -> World {
         World::generate(WorldConfig::tiny(61))

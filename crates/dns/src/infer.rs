@@ -101,9 +101,7 @@ pub fn infer_rules(
                 let Some(city) = rule.decode(&sample.hostname, &dict) else {
                     continue;
                 };
-                let tally = tallies
-                    .entry((domain.clone(), idx, k as u8))
-                    .or_default();
+                let tally = tallies.entry((domain.clone(), idx, k as u8)).or_default();
                 tally.attempts += 1;
                 let coord = world.city(city).coord;
                 if coord.distance_km(&sample.location) <= config.agree_km {
@@ -184,7 +182,10 @@ mod tests {
     #[test]
     fn inference_recovers_the_gt_domains() {
         let (_, rules) = setup();
-        let domains: Vec<&str> = rules.iter().map(|r| r.rule.domain_suffix.as_str()).collect();
+        let domains: Vec<&str> = rules
+            .iter()
+            .map(|r| r.rule.domain_suffix.as_str())
+            .collect();
         for d in ["cogentco.com", "ntt.net", "pnap.net", "seabone.net"] {
             assert!(domains.contains(&d), "missing {d}; got {domains:?}");
         }
@@ -209,7 +210,10 @@ mod tests {
     fn opaque_domains_yield_no_rules() {
         let (_, rules) = setup();
         for r in &rules {
-            assert_ne!(r.rule.domain_suffix, "gtt.net", "opaque domain learned a rule");
+            assert_ne!(
+                r.rule.domain_suffix, "gtt.net",
+                "opaque domain learned a rule"
+            );
         }
     }
 
@@ -258,9 +262,7 @@ mod tests {
             }
         }
         let rules = infer_rules(&w, &samples, &InferenceConfig::default());
-        assert!(rules
-            .iter()
-            .any(|r| r.rule.domain_suffix == "cogentco.com"));
+        assert!(rules.iter().any(|r| r.rule.domain_suffix == "cogentco.com"));
     }
 
     #[test]

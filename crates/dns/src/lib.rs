@@ -36,7 +36,7 @@ pub mod infer;
 pub mod rules;
 
 pub use churn::{ChurnConfig, ChurnModel, ChurnOutcome};
-pub use infer::{infer_rules, InferenceConfig, InferredRule, TrainingSample};
 pub use dict::HintDictionary;
 pub use hostname::rdns;
+pub use infer::{infer_rules, InferenceConfig, InferredRule, TrainingSample};
 pub use rules::{DomainRule, GenericDecoder, HintKind, RuleEngine};

@@ -105,7 +105,10 @@ impl RuleEngine {
 
     /// The rule domains (for reporting).
     pub fn domains(&self) -> Vec<&str> {
-        self.rules.iter().map(|r| r.domain_suffix.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.domain_suffix.as_str())
+            .collect()
     }
 
     /// The dictionary in use.
@@ -122,7 +125,9 @@ impl RuleEngine {
 
     /// Decode a hostname with the authoritative rules.
     pub fn decode(&self, hostname: &str) -> Option<CityId> {
-        self.rules.iter().find_map(|r| r.decode(hostname, &self.dict))
+        self.rules
+            .iter()
+            .find_map(|r| r.decode(hostname, &self.dict))
     }
 }
 
@@ -192,7 +197,7 @@ pub fn geolocate_interface(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{InterfaceId, WorldConfig, World};
+    use routergeo_world::{InterfaceId, World, WorldConfig};
 
     fn world() -> World {
         World::generate(WorldConfig::tiny(81))
@@ -341,9 +346,7 @@ mod tests {
         let old = ifaces
             .iter()
             .find_map(|id| {
-                hostname::rdns(&w, *id).filter(|_| {
-                    geolocate_interface(&w, &engine, *id).is_some()
-                })
+                hostname::rdns(&w, *id).filter(|_| geolocate_interface(&w, &engine, *id).is_some())
             })
             .expect("some decodable cogent hostname");
         let old_city = engine.decode(&old).unwrap();

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use routergeo_geo::distance::destination;
-use routergeo_geo::{CountryCode, Coordinate};
+use routergeo_geo::{Coordinate, CountryCode};
 use routergeo_world::World;
 use std::collections::HashMap;
 
@@ -167,11 +167,7 @@ mod tests {
     fn wrong_country_misses() {
         let (w, g) = setup();
         let city = &w.cities[0];
-        let other = w
-            .cities
-            .iter()
-            .find(|c| c.country != city.country)
-            .unwrap();
+        let other = w.cities.iter().find(|c| c.country != city.country).unwrap();
         assert!(g.lookup(&city.name, None, other.country).is_none());
     }
 

@@ -71,6 +71,7 @@ impl Coordinate {
     pub fn wrapped(lat: f64, lon: f64) -> Self {
         let lat = lat.clamp(-90.0, 90.0);
         let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        // xtask-allow: RG004 exact canonicalization branch: rem_euclid yields exactly -180.0 for antimeridian inputs
         if lon == -180.0 {
             lon = 180.0;
         }
@@ -171,8 +172,7 @@ impl Coordinate {
             Some(f) => f.trim().parse().ok()?,
             None => 0.0,
         };
-        if fields.next().is_some() || !(0.0..60.0).contains(&min) || !(0.0..60.0).contains(&sec)
-        {
+        if fields.next().is_some() || !(0.0..60.0).contains(&min) || !(0.0..60.0).contains(&sec) {
             return None;
         }
         Some(sign * (deg + min / 60.0 + sec / 3600.0))
@@ -294,12 +294,12 @@ mod tests {
     fn parse_dms_rejects_junk() {
         for s in [
             "",
-            "N51°00′00″",                 // missing longitude
-            "X51°00′00″ E09°00′00″",      // bad hemisphere
-            "N51°72′00″ E09°00′00″",      // minutes out of range
-            "N91°00′00″ E09°00′00″",      // latitude out of range
+            "N51°00′00″",            // missing longitude
+            "X51°00′00″ E09°00′00″", // bad hemisphere
+            "N51°72′00″ E09°00′00″", // minutes out of range
+            "N91°00′00″ E09°00′00″", // latitude out of range
             "N51°00′00″ E09°00′00″ extra",
-            "N51°00′00″00″ E09°00′00″",   // too many fields
+            "N51°00′00″00″ E09°00′00″", // too many fields
         ] {
             assert!(Coordinate::parse_dms(s).is_err(), "{s:?} accepted");
         }

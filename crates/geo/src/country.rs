@@ -25,7 +25,10 @@ impl CountryCode {
     /// Lower-case input is folded to upper-case.
     pub fn new(a: u8, b: u8) -> Option<CountryCode> {
         if a.is_ascii_alphabetic() && b.is_ascii_alphabetic() {
-            Some(CountryCode([a.to_ascii_uppercase(), b.to_ascii_uppercase()]))
+            Some(CountryCode([
+                a.to_ascii_uppercase(),
+                b.to_ascii_uppercase(),
+            ]))
         } else {
             None
         }
@@ -88,6 +91,7 @@ impl FromStr for CountryCode {
 /// panicking on invalid input. Intended for tests and embedded tables.
 pub fn cc(code: &str) -> CountryCode {
     CountryCode::from_str_exact(code)
+        // xtask-allow: RG002 documented panicking constructor for static literals; fallible path is FromStr
         .unwrap_or_else(|| panic!("invalid country code literal {code:?}"))
 }
 
@@ -124,8 +128,7 @@ impl CountryInfo {
     /// falls back to when only the country is known — the signature the
     /// paper's probe-disqualification step looks for (§3.2).
     pub fn centroid(&self) -> Coordinate {
-        Coordinate::new(self.centroid_lat, self.centroid_lon)
-            .expect("embedded centroid is valid")
+        Coordinate::new(self.centroid_lat, self.centroid_lon).expect("embedded centroid is valid")
     }
 }
 
@@ -150,7 +153,16 @@ macro_rules! country {
 /// geographic centres; radii approximate the equal-area disk radius; weights
 /// approximate relative router-infrastructure density.
 pub static COUNTRIES: &[CountryInfo] = &[
-    country!("AE", "ARE", "United Arab Emirates", 23.9, 54.3, 163.0, RipeNcc, 8),
+    country!(
+        "AE",
+        "ARE",
+        "United Arab Emirates",
+        23.9,
+        54.3,
+        163.0,
+        RipeNcc,
+        8
+    ),
     country!("AL", "ALB", "Albania", 41.1, 20.1, 96.0, RipeNcc, 2),
     country!("AM", "ARM", "Armenia", 40.2, 45.0, 97.0, RipeNcc, 2),
     country!("AO", "AGO", "Angola", -12.3, 17.5, 630.0, Afrinic, 2),
@@ -158,7 +170,16 @@ pub static COUNTRIES: &[CountryInfo] = &[
     country!("AT", "AUT", "Austria", 47.6, 14.1, 163.0, RipeNcc, 12),
     country!("AU", "AUS", "Australia", -25.7, 134.5, 1565.0, Apnic, 22),
     country!("AZ", "AZE", "Azerbaijan", 40.3, 47.7, 166.0, RipeNcc, 2),
-    country!("BA", "BIH", "Bosnia and Herzegovina", 44.2, 17.8, 127.0, RipeNcc, 2),
+    country!(
+        "BA",
+        "BIH",
+        "Bosnia and Herzegovina",
+        44.2,
+        17.8,
+        127.0,
+        RipeNcc,
+        2
+    ),
     country!("BD", "BGD", "Bangladesh", 23.7, 90.4, 217.0, Apnic, 6),
     country!("BE", "BEL", "Belgium", 50.6, 4.6, 98.0, RipeNcc, 12),
     country!("BG", "BGR", "Bulgaria", 42.7, 25.5, 188.0, RipeNcc, 9),
@@ -179,7 +200,16 @@ pub static COUNTRIES: &[CountryInfo] = &[
     country!("CZ", "CZE", "Czechia", 49.8, 15.5, 158.0, RipeNcc, 12),
     country!("DE", "DEU", "Germany", 51.0, 9.0, 337.0, RipeNcc, 70),
     country!("DK", "DNK", "Denmark", 56.0, 10.0, 117.0, RipeNcc, 9),
-    country!("DO", "DOM", "Dominican Republic", 18.7, -70.2, 124.0, Lacnic, 1),
+    country!(
+        "DO",
+        "DOM",
+        "Dominican Republic",
+        18.7,
+        -70.2,
+        124.0,
+        Lacnic,
+        1
+    ),
     country!("DZ", "DZA", "Algeria", 28.0, 2.6, 870.0, Afrinic, 3),
     country!("EC", "ECU", "Ecuador", -1.8, -78.2, 300.0, Lacnic, 2),
     country!("EE", "EST", "Estonia", 58.7, 25.5, 120.0, RipeNcc, 3),
@@ -189,7 +219,16 @@ pub static COUNTRIES: &[CountryInfo] = &[
     country!("FI", "FIN", "Finland", 64.9, 26.0, 328.0, RipeNcc, 9),
     country!("FJ", "FJI", "Fiji", -17.7, 178.0, 76.0, Apnic, 1),
     country!("FR", "FRA", "France", 46.2, 2.2, 419.0, RipeNcc, 48),
-    country!("GB", "GBR", "United Kingdom", 54.0, -2.0, 278.0, RipeNcc, 55),
+    country!(
+        "GB",
+        "GBR",
+        "United Kingdom",
+        54.0,
+        -2.0,
+        278.0,
+        RipeNcc,
+        55
+    ),
     country!("GE", "GEO", "Georgia", 42.3, 43.4, 149.0, RipeNcc, 2),
     country!("GH", "GHA", "Ghana", 7.9, -1.2, 276.0, Afrinic, 2),
     country!("GR", "GRC", "Greece", 39.0, 22.0, 205.0, RipeNcc, 8),
@@ -243,7 +282,16 @@ pub static COUNTRIES: &[CountryInfo] = &[
     country!("OM", "OMN", "Oman", 21.0, 57.0, 314.0, RipeNcc, 1),
     country!("PA", "PAN", "Panama", 8.5, -80.8, 155.0, Lacnic, 2),
     country!("PE", "PER", "Peru", -9.2, -75.0, 640.0, Lacnic, 4),
-    country!("PG", "PNG", "Papua New Guinea", -6.5, 145.0, 384.0, Apnic, 1),
+    country!(
+        "PG",
+        "PNG",
+        "Papua New Guinea",
+        -6.5,
+        145.0,
+        384.0,
+        Apnic,
+        1
+    ),
     country!("PH", "PHL", "Philippines", 12.9, 122.9, 309.0, Apnic, 7),
     country!("PK", "PAK", "Pakistan", 30.0, 69.3, 503.0, Apnic, 6),
     country!("PL", "POL", "Poland", 52.0, 19.4, 315.0, RipeNcc, 20),
@@ -265,7 +313,16 @@ pub static COUNTRIES: &[CountryInfo] = &[
     country!("TJ", "TJK", "Tajikistan", 38.9, 71.3, 213.0, RipeNcc, 1),
     country!("TN", "TUN", "Tunisia", 34.1, 9.6, 228.0, Afrinic, 2),
     country!("TR", "TUR", "Turkey", 39.0, 35.0, 499.0, RipeNcc, 14),
-    country!("TT", "TTO", "Trinidad and Tobago", 10.7, -61.2, 40.0, Lacnic, 1),
+    country!(
+        "TT",
+        "TTO",
+        "Trinidad and Tobago",
+        10.7,
+        -61.2,
+        40.0,
+        Lacnic,
+        1
+    ),
     country!("TW", "TWN", "Taiwan", 23.7, 121.0, 107.0, Apnic, 10),
     country!("TZ", "TZA", "Tanzania", -6.3, 34.8, 549.0, Afrinic, 2),
     country!("UA", "UKR", "Ukraine", 48.4, 31.2, 438.0, RipeNcc, 14),
@@ -322,10 +379,7 @@ mod tests {
     #[test]
     fn table_covers_all_rirs() {
         for rir in Rir::ALL {
-            assert!(
-                countries_in_rir(rir).count() > 0,
-                "no countries for {rir}"
-            );
+            assert!(countries_in_rir(rir).count() > 0, "no countries for {rir}");
         }
     }
 
@@ -383,8 +437,8 @@ mod tests {
         // Figure 4 lists the 20 countries with the most ground-truth
         // addresses; all must exist in our table.
         for code in [
-            "US", "DE", "GB", "IT", "FR", "NL", "JP", "CA", "ES", "SG", "CH", "RU", "PL",
-            "BG", "AU", "CZ", "SE", "RO", "UA", "HK",
+            "US", "DE", "GB", "IT", "FR", "NL", "JP", "CA", "ES", "SG", "CH", "RU", "PL", "BG",
+            "AU", "CZ", "SE", "RO", "UA", "HK",
         ] {
             assert!(lookup(cc(code)).is_some(), "missing {code}");
         }

@@ -22,6 +22,25 @@ pub const LIGHT_SPEED_KM_PER_MS: f64 = 299.792_458;
 /// statement: `0.5 ms / 2 (round trip) * ~200 km/ms = 50 km`.
 pub const FIBER_SPEED_KM_PER_MS: f64 = LIGHT_SPEED_KM_PER_MS * 2.0 / 3.0;
 
+/// Default tolerance for coordinate-degree comparisons: about 0.11 m of
+/// latitude, far below the precision of any geolocation database.
+pub const COORD_EPSILON: f64 = 1e-6;
+
+/// Whether two floating-point values agree within `eps`.
+///
+/// NaN never compares equal to anything, matching IEEE semantics.
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Whether two coordinate components agree within [`COORD_EPSILON`].
+///
+/// This is the epsilon comparison the RG004 lint requires in place of
+/// exact `==` / `!=` on coordinate values.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, COORD_EPSILON)
+}
+
 /// Great-circle distance between two coordinates in kilometres, using the
 /// haversine formula.
 ///
@@ -69,8 +88,8 @@ pub fn destination(origin: &Coordinate, bearing_deg: f64, distance_km: f64) -> C
     let lat1 = origin.lat_rad();
     let lon1 = origin.lon_rad();
     let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-    let lon2 = lon1
-        + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+    let lon2 =
+        lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
     Coordinate::wrapped(lat2.to_degrees(), lon2.to_degrees())
 }
 

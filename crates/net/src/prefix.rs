@@ -84,7 +84,7 @@ impl Prefix {
         if len == 0 {
             0
         } else {
-            u32::MAX << (32 - len as u32)
+            u32::MAX << (32 - u32::from(len))
         }
     }
 
@@ -110,7 +110,7 @@ impl Prefix {
     /// Number of addresses covered (as `u64`, since `/0` covers 2^32).
     #[inline]
     pub fn size(&self) -> u64 {
-        1u64 << (32 - self.len as u32)
+        1u64 << (32 - u32::from(self.len))
     }
 
     /// First address (== network address).
@@ -153,7 +153,7 @@ impl Prefix {
             len,
         };
         let hi = Prefix {
-            network: self.network | (1u32 << (32 - len as u32)),
+            network: self.network | (1u32 << (32 - u32::from(len))),
             len,
         };
         Some((lo, hi))
@@ -165,11 +165,12 @@ impl Prefix {
     /// Panics if `sub_len < self.len()` or `sub_len > 32`.
     pub fn subnets(&self, sub_len: u8) -> impl Iterator<Item = Prefix> + '_ {
         assert!(sub_len >= self.len && sub_len <= 32, "invalid subnet split");
-        let count = 1u64 << (sub_len - self.len) as u32;
-        let step = 1u64 << (32 - sub_len as u32);
-        let base = self.network as u64;
+        let count = 1u64 << u32::from(sub_len - self.len);
+        let step = 1u64 << (32 - u32::from(sub_len));
+        let base = u64::from(self.network);
         (0..count).map(move |i| Prefix {
-            network: (base + i * step) as u32,
+            network: u32::try_from(base + i * step)
+                .expect("subnet enumeration stays inside the 32-bit address space"),
             len: sub_len,
         })
     }
@@ -177,13 +178,17 @@ impl Prefix {
     /// Iterate all addresses in the prefix. Only sensible for small blocks.
     pub fn addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
         let (lo, hi) = self.range_u32();
-        (u64::from(lo)..=u64::from(hi)).map(|v| Ipv4Addr::from(v as u32))
+        (u64::from(lo)..=u64::from(hi))
+            .map(|v| Ipv4Addr::from(u32::try_from(v).expect("range_u32 bounds fit in 32 bits")))
     }
 
     /// The nth address within the prefix, if in range.
     pub fn nth(&self, n: u64) -> Option<Ipv4Addr> {
         if n < self.size() {
-            Some(Ipv4Addr::from((self.network as u64 + n) as u32))
+            let addr = u64::from(self.network) + n;
+            Some(Ipv4Addr::from(
+                u32::try_from(addr).expect("n < size() keeps the address in 32 bits"),
+            ))
         } else {
             None
         }
@@ -202,9 +207,9 @@ impl Prefix {
             // … that still fits before `end`.
             let span_bits = 64 - (end - cur + 1).leading_zeros() - 1;
             let bits = align.min(span_bits).min(32);
-            let len = (32 - bits) as u8;
+            let len = u8::try_from(32 - bits).expect("bits capped at 32");
             out.push(Prefix {
-                network: cur as u32,
+                network: u32::try_from(cur).expect("cur <= end fits in 32 bits"),
                 len,
             });
             cur += 1u64 << bits;
@@ -341,19 +346,13 @@ mod tests {
 
     #[test]
     fn cover_range_exact_block() {
-        let cover = Prefix::cover_range(
-            Ipv4Addr::new(10, 0, 0, 0),
-            Ipv4Addr::new(10, 0, 0, 255),
-        );
+        let cover = Prefix::cover_range(Ipv4Addr::new(10, 0, 0, 0), Ipv4Addr::new(10, 0, 0, 255));
         assert_eq!(cover, vec![p("10.0.0.0/24")]);
     }
 
     #[test]
     fn cover_range_unaligned() {
-        let cover = Prefix::cover_range(
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 6),
-        );
+        let cover = Prefix::cover_range(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 6));
         // 1, 2-3, 4-5, 6.
         assert_eq!(
             cover,
@@ -371,10 +370,8 @@ mod tests {
 
     #[test]
     fn cover_range_full_space() {
-        let cover = Prefix::cover_range(
-            Ipv4Addr::new(0, 0, 0, 0),
-            Ipv4Addr::new(255, 255, 255, 255),
-        );
+        let cover =
+            Prefix::cover_range(Ipv4Addr::new(0, 0, 0, 0), Ipv4Addr::new(255, 255, 255, 255));
         assert_eq!(cover, vec![p("0.0.0.0/0")]);
     }
 
@@ -385,8 +382,7 @@ mod tests {
             vec![p("1.2.3.4/32")]
         );
         assert!(
-            Prefix::cover_range(Ipv4Addr::new(1, 2, 3, 5), Ipv4Addr::new(1, 2, 3, 4))
-                .is_empty()
+            Prefix::cover_range(Ipv4Addr::new(1, 2, 3, 5), Ipv4Addr::new(1, 2, 3, 4)).is_empty()
         );
     }
 

@@ -11,6 +11,14 @@ use std::net::Ipv4Addr;
 
 const NO_NODE: u32 = u32::MAX;
 
+/// Arena link as a slice index. `u32` always fits in `usize` on the
+/// 32/64-bit targets this crate supports, so the check never fires; it
+/// exists to make the conversion explicit rather than silently lossy.
+#[inline]
+fn ix(i: u32) -> usize {
+    usize::try_from(i).expect("u32 arena index fits in usize")
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     children: [u32; 2],
@@ -69,7 +77,7 @@ impl<V> PrefixTrie<V> {
 
     #[inline]
     fn bit(addr: u32, depth: u8) -> usize {
-        ((addr >> (31 - depth as u32)) & 1) as usize
+        usize::from((addr >> (31 - u32::from(depth))) & 1 == 1)
     }
 
     /// Insert `prefix -> value`, replacing any existing value at exactly
@@ -79,25 +87,27 @@ impl<V> PrefixTrie<V> {
         let mut node = 0u32;
         for depth in 0..prefix.len() {
             let b = Self::bit(addr, depth);
-            let next = self.nodes[node as usize].children[b];
+            let next = self.nodes[ix(node)].children[b];
             let next = if next == NO_NODE {
-                let idx = self.nodes.len() as u32;
+                let idx = u32::try_from(self.nodes.len())
+                    .expect("trie arena exceeds the u32 node-link limit");
                 self.nodes.push(Node::new());
-                self.nodes[node as usize].children[b] = idx;
+                self.nodes[ix(node)].children[b] = idx;
                 idx
             } else {
                 next
             };
             node = next;
         }
-        let slot = &mut self.nodes[node as usize].value;
+        let slot = &mut self.nodes[ix(node)].value;
         if *slot == NO_NODE {
-            *slot = self.values.len() as u32;
+            *slot = u32::try_from(self.values.len())
+                .expect("trie value table exceeds the u32 link limit");
             self.values.push((prefix, value));
             None
         } else {
-            let old = std::mem::replace(&mut self.values[*slot as usize].1, value);
-            self.values[*slot as usize].0 = prefix;
+            let old = std::mem::replace(&mut self.values[ix(*slot)].1, value);
+            self.values[ix(*slot)].0 = prefix;
             Some(old)
         }
     }
@@ -110,7 +120,7 @@ impl<V> PrefixTrie<V> {
         let mut best: Option<u32> = None;
         let mut depth = 0u8;
         loop {
-            let n = &self.nodes[node as usize];
+            let n = &self.nodes[ix(node)];
             if n.value != NO_NODE {
                 best = Some(n.value);
             }
@@ -126,7 +136,7 @@ impl<V> PrefixTrie<V> {
             depth += 1;
         }
         best.map(|i| {
-            let (p, v) = &self.values[i as usize];
+            let (p, v) = &self.values[ix(i)];
             (p, v)
         })
     }
@@ -137,14 +147,14 @@ impl<V> PrefixTrie<V> {
         let mut node = 0u32;
         for depth in 0..prefix.len() {
             let b = Self::bit(addr, depth);
-            let next = self.nodes[node as usize].children[b];
+            let next = self.nodes[ix(node)].children[b];
             if next == NO_NODE {
                 return None;
             }
             node = next;
         }
-        let v = self.nodes[node as usize].value;
-        (v != NO_NODE).then(|| &self.values[v as usize].1)
+        let v = self.nodes[ix(node)].value;
+        (v != NO_NODE).then(|| &self.values[ix(v)].1)
     }
 
     /// Iterate all `(prefix, value)` pairs in insertion order.
@@ -159,9 +169,9 @@ impl<V> PrefixTrie<V> {
     }
 
     fn walk_node<F: FnMut(&Prefix, &V)>(&self, node: u32, f: &mut F) {
-        let n = &self.nodes[node as usize];
+        let n = &self.nodes[ix(node)];
         if n.value != NO_NODE {
-            let (p, v) = &self.values[n.value as usize];
+            let (p, v) = &self.values[ix(n.value)];
             f(p, v);
         }
         for b in 0..2 {

@@ -1,6 +1,6 @@
 //! The finished RTT-proximity ground-truth dataset.
 
-use routergeo_geo::{CountryCode, Coordinate};
+use routergeo_geo::{Coordinate, CountryCode};
 use routergeo_world::ProbeId;
 use std::net::Ipv4Addr;
 

@@ -106,7 +106,7 @@ pub fn extract_candidates(
 mod tests {
     use super::*;
     use routergeo_trace::{AtlasBuiltins, AtlasConfig, Topology};
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn candidates(seed: u64) -> (World, CandidateSet) {
         let w = World::generate(WorldConfig::tiny(seed));
@@ -190,8 +190,7 @@ mod tests {
     fn min_rtt_is_kept_per_probe() {
         let (_, set) = candidates(104);
         for probes in set.by_ip.values() {
-            let unique: std::collections::HashSet<_> =
-                probes.iter().map(|(p, _)| *p).collect();
+            let unique: std::collections::HashSet<_> = probes.iter().map(|(p, _)| *p).collect();
             assert_eq!(unique.len(), probes.len(), "duplicate probe entries");
         }
     }

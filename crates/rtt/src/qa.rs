@@ -103,8 +103,14 @@ pub fn build_from_candidates(
                 if d > config.nearby_max_km {
                     group_inconsistent = true;
                     if d > config.prominent_km {
-                        conflicts.entry(probes[i].0).or_default().insert(probes[j].0);
-                        conflicts.entry(probes[j].0).or_default().insert(probes[i].0);
+                        conflicts
+                            .entry(probes[i].0)
+                            .or_default()
+                            .insert(probes[j].0);
+                        conflicts
+                            .entry(probes[j].0)
+                            .or_default()
+                            .insert(probes[i].0);
                     }
                 } else {
                     *agreements.entry(probes[i].0).or_default() += 1;
@@ -177,7 +183,7 @@ mod tests {
     use super::*;
     use routergeo_trace::{AtlasBuiltins, AtlasConfig, Topology};
     use routergeo_world::probes::ProbeLocationQuality;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn dataset(seed: u64) -> (World, RttProximityDataset, QaReport) {
         let w = World::generate(WorldConfig::small(seed));
@@ -281,8 +287,7 @@ mod tests {
             .map(|seed| World::generate(WorldConfig::small(seed)))
             .find(|w| {
                 w.probes.iter().any(|p| {
-                    p.quality == ProbeLocationQuality::Moved
-                        && p.registration_error_km() > 200.0
+                    p.quality == ProbeLocationQuality::Moved && p.registration_error_km() > 200.0
                 })
             })
             .expect("some seed yields a far-moved probe");
@@ -294,10 +299,7 @@ mod tests {
         let moved = w
             .probes
             .iter()
-            .find(|p| {
-                p.quality == ProbeLocationQuality::Moved
-                    && p.registration_error_km() > 200.0
-            })
+            .find(|p| p.quality == ProbeLocationQuality::Moved && p.registration_error_km() > 200.0)
             .expect("a far-moved probe");
         let ip = w.interfaces[0].ip;
         let mut set = CandidateSet::default();
@@ -305,20 +307,16 @@ mod tests {
             .insert(ip, vec![(honest.id, 0.3), (moved.id, 0.4)]);
         // Give the honest probe an agreeing partner on another address so
         // the vote favours it.
-        let honest2 = w
-            .probes
-            .iter()
-            .find(|p| {
-                p.quality == ProbeLocationQuality::Accurate
-                    && p.id != honest.id
-                    && p.registered_coord.distance_km(&honest.registered_coord) < 100.0
-            });
+        let honest2 = w.probes.iter().find(|p| {
+            p.quality == ProbeLocationQuality::Accurate
+                && p.id != honest.id
+                && p.registered_coord.distance_km(&honest.registered_coord) < 100.0
+        });
         if let Some(h2) = honest2 {
             set.by_ip
                 .insert(w.interfaces[1].ip, vec![(honest.id, 0.2), (h2.id, 0.3)]);
         }
-        let (_, report) =
-            build_from_candidates(&w, set, &ProximityConfig::default());
+        let (_, report) = build_from_candidates(&w, set, &ProximityConfig::default());
         assert!(report.inconsistent_groups >= 1);
         assert!(
             report.disqualified_probes.contains(&moved.id),

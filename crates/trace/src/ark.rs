@@ -193,7 +193,7 @@ impl<'w> ArkCampaign<'w> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn campaign(world: &World) -> (Topology, ArkConfig) {
         let topo = Topology::build(world);

@@ -111,9 +111,7 @@ impl<'w> AtlasBuiltins<'w> {
                 let Some((_, tree)) = target
                     .instances
                     .iter()
-                    .filter_map(|(_pop, tree)| {
-                        tree.distance_km(probe.host_pop).map(|d| (d, tree))
-                    })
+                    .filter_map(|(_pop, tree)| tree.distance_km(probe.host_pop).map(|d| (d, tree)))
                     .min_by(|a, b| a.0.total_cmp(&b.0))
                 else {
                     continue;
@@ -146,7 +144,7 @@ impl<'w> AtlasBuiltins<'w> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn run_builtins(seed: u64) -> (World, Vec<TracerouteRecord>) {
         let w = World::generate(WorldConfig::tiny(seed));
@@ -164,8 +162,7 @@ mod tests {
     fn every_probe_measures_every_target() {
         let (w, records) = run_builtins(51);
         assert_eq!(records.len(), w.probes.len() * 4);
-        let probes: std::collections::HashSet<_> =
-            records.iter().map(|r| r.origin_id).collect();
+        let probes: std::collections::HashSet<_> = records.iter().map(|r| r.origin_id).collect();
         assert_eq!(probes.len(), w.probes.len());
     }
 

@@ -201,7 +201,7 @@ mod tests {
     use super::*;
     use crate::graph::Topology;
     use routergeo_geo::distance::min_rtt_ms;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn setup() -> (World, Topology) {
         let w = World::generate(WorldConfig::tiny(31));
@@ -219,10 +219,24 @@ mod tests {
         let dst_pop = w.pops[w.pops.len() / 2].id;
         let dst_ip: Ipv4Addr = "198.51.100.7".parse().unwrap();
         let a = engine
-            .trace(&tree, src_coord, 0, "203.0.113.1".parse().unwrap(), dst_pop, dst_ip)
+            .trace(
+                &tree,
+                src_coord,
+                0,
+                "203.0.113.1".parse().unwrap(),
+                dst_pop,
+                dst_ip,
+            )
             .unwrap();
         let b = engine
-            .trace(&tree, src_coord, 0, "203.0.113.1".parse().unwrap(), dst_pop, dst_ip)
+            .trace(
+                &tree,
+                src_coord,
+                0,
+                "203.0.113.1".parse().unwrap(),
+                dst_pop,
+                dst_ip,
+            )
             .unwrap();
         assert_eq!(a, b);
     }

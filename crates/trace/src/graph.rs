@@ -291,7 +291,7 @@ impl PathTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use routergeo_world::{WorldConfig, World};
+    use routergeo_world::{World, WorldConfig};
 
     fn world() -> World {
         World::generate(WorldConfig::tiny(21))

@@ -36,6 +36,7 @@ pub mod ark;
 pub mod atlas;
 pub mod engine;
 pub mod graph;
+pub mod json;
 pub mod record;
 pub mod rttmodel;
 pub mod wire;

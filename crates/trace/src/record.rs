@@ -6,9 +6,10 @@
 //! faithful-enough JSON mapping (`prb_id`, `src_addr`, `dst_addr`,
 //! `result[].hop`, `result[].result[].from/rtt`, `"x": "*"` for timeouts)
 //! so the downstream extraction code parses the same shape it would parse
-//! from a real Atlas dump.
+//! from a real Atlas dump. Serialization is hand-rolled over
+//! [`crate::json`] — the workspace builds without `serde`.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -72,14 +73,44 @@ impl TracerouteRecord {
 
     /// Serialize to Atlas-shaped JSON.
     pub fn to_atlas_json(&self) -> String {
-        serde_json::to_string(&AtlasTraceroute::from(self)).expect("record serializes")
+        let mut out = String::with_capacity(96 + self.hops.len() * 48);
+        out.push_str("{\"prb_id\":");
+        out.push_str(&self.origin_id.to_string());
+        out.push_str(",\"src_addr\":");
+        json::write_escaped(&mut out, &self.src_ip.to_string());
+        out.push_str(",\"dst_addr\":");
+        json::write_escaped(&mut out, &self.dst_ip.to_string());
+        out.push_str(",\"type\":\"traceroute\",\"result\":[");
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"hop\":");
+            out.push_str(&h.hop.to_string());
+            out.push_str(",\"result\":[{");
+            match (h.ip, h.rtt_ms) {
+                (Some(ip), rtt) => {
+                    out.push_str("\"from\":");
+                    json::write_escaped(&mut out, &ip.to_string());
+                    if let Some(rtt) = rtt {
+                        out.push_str(",\"rtt\":");
+                        json::write_f64(&mut out, rtt);
+                    }
+                }
+                (None, _) => out.push_str("\"x\":\"*\""),
+            }
+            out.push_str("}]}");
+        }
+        out.push_str("],\"destination_replied\":");
+        out.push_str(if self.reached { "true" } else { "false" });
+        out.push('}');
+        out
     }
 
     /// Parse from Atlas-shaped JSON.
     pub fn from_atlas_json(s: &str) -> Result<TracerouteRecord, RecordParseError> {
-        let raw: AtlasTraceroute =
-            serde_json::from_str(s).map_err(|e| RecordParseError(e.to_string()))?;
-        raw.try_into()
+        let doc = json::parse(s).map_err(|e| RecordParseError(e.to_string()))?;
+        record_from_value(&doc)
     }
 }
 
@@ -97,110 +128,84 @@ impl std::error::Error for RecordParseError {}
 
 // ---- Atlas JSON shape -------------------------------------------------------
 
-#[derive(Serialize, Deserialize)]
-struct AtlasTraceroute {
-    prb_id: u32,
-    src_addr: String,
-    dst_addr: String,
-    #[serde(rename = "type")]
-    kind: String,
-    result: Vec<AtlasHop>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    destination_replied: Option<bool>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct AtlasHop {
-    hop: u8,
-    result: Vec<AtlasReply>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct AtlasReply {
-    #[serde(skip_serializing_if = "Option::is_none")]
-    from: Option<String>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    rtt: Option<f64>,
-    /// `"*"` marker for timeouts, as in real Atlas dumps.
-    #[serde(skip_serializing_if = "Option::is_none")]
-    x: Option<String>,
-}
-
-impl From<&TracerouteRecord> for AtlasTraceroute {
-    fn from(r: &TracerouteRecord) -> Self {
-        AtlasTraceroute {
-            prb_id: r.origin_id,
-            src_addr: r.src_ip.to_string(),
-            dst_addr: r.dst_ip.to_string(),
-            kind: "traceroute".to_string(),
-            result: r
-                .hops
-                .iter()
-                .map(|h| AtlasHop {
-                    hop: h.hop,
-                    result: vec![match (h.ip, h.rtt_ms) {
-                        (Some(ip), rtt) => AtlasReply {
-                            from: Some(ip.to_string()),
-                            rtt,
-                            x: None,
-                        },
-                        (None, _) => AtlasReply {
-                            from: None,
-                            rtt: None,
-                            x: Some("*".to_string()),
-                        },
-                    }],
-                })
-                .collect(),
-            destination_replied: Some(r.reached),
-        }
+fn record_from_value(doc: &Value) -> Result<TracerouteRecord, RecordParseError> {
+    let kind = doc
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| RecordParseError("missing measurement type".into()))?;
+    if kind != "traceroute" {
+        return Err(RecordParseError(format!(
+            "unsupported measurement type {kind:?}"
+        )));
     }
-}
+    let prb_id = doc
+        .get("prb_id")
+        .and_then(Value::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| RecordParseError("missing or invalid prb_id".into()))?;
+    let src_ip = parse_ip(doc.get("src_addr"), "src_addr")?;
+    let dst_ip = parse_ip(doc.get("dst_addr"), "dst_addr")?;
+    let result = doc
+        .get("result")
+        .and_then(Value::as_array)
+        .ok_or_else(|| RecordParseError("missing result array".into()))?;
 
-impl TryFrom<AtlasTraceroute> for TracerouteRecord {
-    type Error = RecordParseError;
-
-    fn try_from(raw: AtlasTraceroute) -> Result<Self, Self::Error> {
-        if raw.kind != "traceroute" {
-            return Err(RecordParseError(format!(
-                "unsupported measurement type {:?}",
-                raw.kind
-            )));
-        }
-        let parse_ip = |s: &str| -> Result<Ipv4Addr, RecordParseError> {
-            s.parse()
-                .map_err(|_| RecordParseError(format!("bad address {s:?}")))
-        };
-        let mut hops = Vec::with_capacity(raw.result.len());
-        for h in &raw.result {
-            let reply = h
-                .result
-                .first()
-                .ok_or_else(|| RecordParseError("hop with no result entries".into()))?;
-            match (&reply.from, &reply.x) {
-                (Some(from), _) => {
-                    let ip = parse_ip(from)?;
-                    let rtt = reply.rtt.filter(|r| r.is_finite() && *r >= 0.0);
-                    hops.push(Hop {
-                        hop: h.hop,
-                        ip: Some(ip),
-                        rtt_ms: rtt,
-                    });
-                }
-                (None, Some(_)) => hops.push(Hop::timeout(h.hop)),
-                (None, None) => {
-                    return Err(RecordParseError("hop reply with neither from nor x".into()))
-                }
+    let mut hops = Vec::with_capacity(result.len());
+    for h in result {
+        let hop_no = h
+            .get("hop")
+            .and_then(Value::as_u64)
+            .and_then(|v| u8::try_from(v).ok())
+            .ok_or_else(|| RecordParseError("missing or invalid hop number".into()))?;
+        let replies = h
+            .get("result")
+            .and_then(Value::as_array)
+            .ok_or_else(|| RecordParseError("hop without result array".into()))?;
+        let reply = replies
+            .first()
+            .ok_or_else(|| RecordParseError("hop with no result entries".into()))?;
+        let from = reply.get("from");
+        let timeout = reply.get("x");
+        match (from, timeout) {
+            (Some(from), _) => {
+                let ip = from
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| RecordParseError(format!("bad address {from:?}")))?;
+                let rtt = reply
+                    .get("rtt")
+                    .and_then(Value::as_f64)
+                    .filter(|r| r.is_finite() && *r >= 0.0);
+                hops.push(Hop {
+                    hop: hop_no,
+                    ip: Some(ip),
+                    rtt_ms: rtt,
+                });
+            }
+            (None, Some(_)) => hops.push(Hop::timeout(hop_no)),
+            (None, None) => {
+                return Err(RecordParseError("hop reply with neither from nor x".into()))
             }
         }
-        Ok(TracerouteRecord {
-            origin_id: raw.prb_id,
-            src_ip: parse_ip(&raw.src_addr)?,
-            dst_ip: parse_ip(&raw.dst_addr)?,
-            hops,
-            reached: raw.destination_replied.unwrap_or(false),
-        })
     }
+    Ok(TracerouteRecord {
+        origin_id: prb_id,
+        src_ip,
+        dst_ip,
+        hops,
+        reached: doc
+            .get("destination_replied")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+fn parse_ip(v: Option<&Value>, what: &str) -> Result<Ipv4Addr, RecordParseError> {
+    let s = v
+        .and_then(Value::as_str)
+        .ok_or_else(|| RecordParseError(format!("missing {what}")))?;
+    s.parse()
+        .map_err(|_| RecordParseError(format!("bad address {s:?}")))
 }
 
 #[cfg(test)]
@@ -257,10 +262,12 @@ mod tests {
         assert!(TracerouteRecord::from_atlas_json("{}").is_err());
         assert!(TracerouteRecord::from_atlas_json("not json").is_err());
         // Wrong measurement type.
-        let ping = r#"{"prb_id":1,"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","type":"ping","result":[]}"#;
+        let ping =
+            r#"{"prb_id":1,"src_addr":"1.1.1.1","dst_addr":"2.2.2.2","type":"ping","result":[]}"#;
         assert!(TracerouteRecord::from_atlas_json(ping).is_err());
         // Bad address.
-        let bad = r#"{"prb_id":1,"src_addr":"zz","dst_addr":"2.2.2.2","type":"traceroute","result":[]}"#;
+        let bad =
+            r#"{"prb_id":1,"src_addr":"zz","dst_addr":"2.2.2.2","type":"traceroute","result":[]}"#;
         assert!(TracerouteRecord::from_atlas_json(bad).is_err());
     }
 

@@ -68,11 +68,7 @@ impl SplitMix64 {
 /// Hash a flow identity into a seed (FNV-1a over the fields).
 pub fn flow_seed(campaign_seed: u64, src: u32, dst: u32) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64 ^ campaign_seed;
-    for b in src
-        .to_be_bytes()
-        .into_iter()
-        .chain(dst.to_be_bytes())
-    {
+    for b in src.to_be_bytes().into_iter().chain(dst.to_be_bytes()) {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }

@@ -245,7 +245,12 @@ impl<'a> WartsReader<'a> {
             }
             let ip = if flags & 1 != 0 {
                 let p = need(&mut at, 4)?;
-                Some(Ipv4Addr::new(body[p], body[p + 1], body[p + 2], body[p + 3]))
+                Some(Ipv4Addr::new(
+                    body[p],
+                    body[p + 1],
+                    body[p + 2],
+                    body[p + 3],
+                ))
             } else {
                 None
             };

@@ -13,7 +13,10 @@ fn arb_record() -> impl Strategy<Value = TracerouteRecord> {
         any::<u32>(),
         any::<u32>(),
         proptest::collection::vec(
-            (any::<u8>(), proptest::option::of((any::<u32>(), proptest::option::of(0.0f64..1e5)))),
+            (
+                any::<u8>(),
+                proptest::option::of((any::<u32>(), proptest::option::of(0.0f64..1e5))),
+            ),
             0..30,
         ),
         any::<bool>(),

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use routergeo_geo::country::{CountryInfo, COUNTRIES};
 use routergeo_geo::distance::destination;
-use routergeo_geo::{CountryCode, Coordinate};
+use routergeo_geo::{Coordinate, CountryCode};
 use std::collections::HashSet;
 
 /// A synthetic city.

@@ -14,7 +14,7 @@
 //!   two "nearby" probes 867 km apart).
 
 use crate::ids::{CityId, PopId, ProbeId};
-use routergeo_geo::{CountryCode, Coordinate};
+use routergeo_geo::{Coordinate, CountryCode};
 
 /// Why a probe's registered location is (in)accurate. Ground truth for
 /// evaluating the probe-QA logic in `routergeo-rtt` — never consulted by

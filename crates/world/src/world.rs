@@ -2,8 +2,7 @@
 
 use crate::addressing::{AddressPlan, BlockInfo, RirAllocator};
 use crate::ases::{
-    GlobalOperatorSpec, HostnameStyle, Operator, OperatorKind, EXTRA_GLOBAL_OPERATORS,
-    GT_OPERATORS,
+    GlobalOperatorSpec, HostnameStyle, Operator, OperatorKind, EXTRA_GLOBAL_OPERATORS, GT_OPERATORS,
 };
 use crate::cities::City;
 use crate::config::{Scale, WorldConfig};
@@ -15,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use routergeo_geo::country::{lookup, COUNTRIES};
 use routergeo_geo::distance::destination;
-use routergeo_geo::{CountryCode, Coordinate, Rir};
+use routergeo_geo::{Coordinate, CountryCode, Rir};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -316,8 +315,7 @@ fn build_operators(
                 let abroad: Vec<CityId> = cities
                     .iter()
                     .filter(|c| {
-                        c.country != country
-                            && lookup(c.country).map(|i| i.rir) == Some(info.rir)
+                        c.country != country && lookup(c.country).map(|i| i.rir) == Some(info.rir)
                     })
                     .map(|c| c.id)
                     .collect();
@@ -438,11 +436,7 @@ fn pick_cities_global(
     rng: &mut StdRng,
 ) -> Vec<CityId> {
     let mut picked = vec![hq];
-    let mut rest: Vec<CityId> = cities
-        .iter()
-        .filter(|c| c.id != hq)
-        .map(|c| c.id)
-        .collect();
+    let mut rest: Vec<CityId> = cities.iter().filter(|c| c.id != hq).map(|c| c.id).collect();
     let target = target.min(cities.len());
     while picked.len() < target && !rest.is_empty() {
         // Weighted by city weight with a home bias: ×3 same country,
@@ -499,7 +493,16 @@ fn build_topology(world: &mut World, p: &ScaleParams, rng: &mut StdRng) {
     let iface_counts: [(u32, f64); 4] = [(2, 0.25), (3, 0.35), (4, 0.25), (5, 0.15)];
 
     #[allow(clippy::type_complexity)] // one-shot generation scratch tuple
-    let ops: Vec<(AsId, OperatorKind, Vec<CityId>, u16, f64, Rir, CountryCode, CityId)> = world
+    let ops: Vec<(
+        AsId,
+        OperatorKind,
+        Vec<CityId>,
+        u16,
+        f64,
+        Rir,
+        CountryCode,
+        CityId,
+    )> = world
         .operators
         .iter()
         .map(|o| {
@@ -809,8 +812,7 @@ fn build_probes(world: &mut World, rng: &mut StdRng) {
             let w = pops
                 .iter()
                 .map(|pid| {
-                    (world.cities[world.pops[pid.index()].city.index()].weight as f64)
-                        .powf(0.4)
+                    (world.cities[world.pops[pid.index()].city.index()].weight as f64).powf(0.4)
                 })
                 .collect();
             (*rir, w)
@@ -850,31 +852,30 @@ fn build_probes(world: &mut World, rng: &mut StdRng) {
 
         let true_coord = jitter(rng, &city.coord, 8.0);
         let roll: f64 = rng.gen();
-        let (registered_coord, registered_country, quality) =
-            if roll < world.config.probe_default_centroid_rate {
-                (
-                    jitter(rng, &info.centroid(), 2.0),
-                    city.country,
-                    ProbeLocationQuality::DefaultCentroid,
-                )
-            } else if roll
-                < world.config.probe_default_centroid_rate + world.config.probe_moved_rate
-            {
-                // Stale registration: points at a different city.
-                let other = stale_city(world, city_id, rng);
-                let oc = &world.cities[other.index()];
-                (
-                    jitter(rng, &oc.coord, 2.0),
-                    oc.country,
-                    ProbeLocationQuality::Moved,
-                )
-            } else {
-                (
-                    jitter(rng, &true_coord, 1.5),
-                    city.country,
-                    ProbeLocationQuality::Accurate,
-                )
-            };
+        let (registered_coord, registered_country, quality) = if roll
+            < world.config.probe_default_centroid_rate
+        {
+            (
+                jitter(rng, &info.centroid(), 2.0),
+                city.country,
+                ProbeLocationQuality::DefaultCentroid,
+            )
+        } else if roll < world.config.probe_default_centroid_rate + world.config.probe_moved_rate {
+            // Stale registration: points at a different city.
+            let other = stale_city(world, city_id, rng);
+            let oc = &world.cities[other.index()];
+            (
+                jitter(rng, &oc.coord, 2.0),
+                oc.country,
+                ProbeLocationQuality::Moved,
+            )
+        } else {
+            (
+                jitter(rng, &true_coord, 1.5),
+                city.country,
+                ProbeLocationQuality::Accurate,
+            )
+        };
 
         world.probes.push(Probe {
             id: ProbeId::from_index(i),

@@ -1,0 +1,382 @@
+//! Offline manifest checker for `cargo xtask deps`.
+//!
+//! Enforces the workspace dependency policy without touching the
+//! network or the cargo resolver:
+//!
+//! - **XD001** — member crates must inherit every dependency from the
+//!   workspace (`foo.workspace = true` / `foo = { workspace = true }`),
+//!   never declare a local `version`, `path`, or `git`.
+//! - **XD002** — every dependency a member names must exist in the root
+//!   `[workspace.dependencies]` table.
+//! - **XD003** — every `path` entry in `[workspace.dependencies]` must
+//!   point at a directory whose `Cargo.toml` declares the same package
+//!   name, so the unified graph is closed under the repository.
+//! - **XD004** — member `[package]` tables must inherit `version`,
+//!   `edition`, and `license` from `[workspace.package]` so releases
+//!   stay version-unified.
+//!
+//! The parser is a line-oriented subset of TOML sufficient for this
+//! workspace's manifests: section headers, `key = value`, and one-line
+//! inline tables. It is deliberately strict — anything it cannot parse
+//! in a dependency position is reported rather than skipped.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One dependency-policy violation.
+#[derive(Debug, Clone)]
+pub struct DepViolation {
+    /// Workspace-relative manifest path.
+    pub file: String,
+    /// 1-based line in the manifest.
+    pub line: u32,
+    /// `XD001` … `XD004`.
+    pub rule: &'static str,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for DepViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A `key = value` entry with its line number.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: String,
+    value: String,
+    line: u32,
+}
+
+/// A parsed manifest: entries grouped by section header.
+#[derive(Debug, Default)]
+struct Manifest {
+    sections: Vec<(String, Vec<Entry>)>,
+}
+
+impl Manifest {
+    fn section(&self, name: &str) -> Option<&[Entry]> {
+        self.sections
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, e)| e.as_slice())
+    }
+}
+
+fn parse_manifest(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut current = String::new();
+    for (ix, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            current = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            m.sections.push((current.clone(), Vec::new()));
+            continue;
+        }
+        if let Some(eq) = find_top_level_eq(line) {
+            let key = line[..eq].trim().trim_matches('"').to_string();
+            let value = line[eq + 1..].trim().to_string();
+            if current.is_empty() {
+                m.sections.push((String::new(), Vec::new()));
+                current = String::new();
+            }
+            if let Some((_, entries)) = m.sections.iter_mut().rev().find(|(s, _)| *s == current) {
+                entries.push(Entry {
+                    key,
+                    value,
+                    line: (ix + 1) as u32,
+                });
+            }
+        }
+    }
+    m
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Position of the first `=` outside quotes and braces (so inline-table
+/// values like `{ workspace = true }` stay intact).
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            '=' if !in_str && depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether a dependency value inherits from the workspace.
+fn inherits_workspace(value: &str) -> bool {
+    if value == "true" {
+        // `foo.workspace = true` arrives with key `foo.workspace`.
+        return true;
+    }
+    value.starts_with('{')
+        && value.contains("workspace")
+        && inline_table_has(value, "workspace", "true")
+        && !value.contains("path")
+        && !value.contains("git")
+        && !value.contains("version")
+}
+
+fn inline_table_has(table: &str, key: &str, want: &str) -> bool {
+    let inner = table.trim_start_matches('{').trim_end_matches('}');
+    inner.split(',').any(|pair| {
+        let mut it = pair.splitn(2, '=');
+        let k = it.next().unwrap_or("").trim();
+        let v = it.next().unwrap_or("").trim();
+        k == key && v == want
+    })
+}
+
+/// Extract a string field (`path = "…"`) from an inline table value.
+fn inline_table_str(table: &str, key: &str) -> Option<String> {
+    let inner = table.trim_start_matches('{').trim_end_matches('}');
+    for pair in inner.split(',') {
+        let mut it = pair.splitn(2, '=');
+        let k = it.next().unwrap_or("").trim();
+        let v = it.next().unwrap_or("").trim();
+        if k == key {
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+const DEP_SECTIONS: [&str; 3] = ["dependencies", "dev-dependencies", "build-dependencies"];
+const INHERITED_PACKAGE_KEYS: [&str; 3] = ["version", "edition", "license"];
+
+/// Run the dependency policy over the workspace rooted at `root`.
+/// Returns all violations, sorted by manifest path and line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<DepViolation>> {
+    let mut out = Vec::new();
+
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_text = fs::read_to_string(&root_manifest_path)?;
+    let root_manifest = parse_manifest(&root_text);
+
+    // Names available for inheritance.
+    let mut workspace_deps: Vec<(String, String, u32)> = Vec::new();
+    if let Some(entries) = root_manifest.section("workspace.dependencies") {
+        for e in entries {
+            workspace_deps.push((e.key.clone(), e.value.clone(), e.line));
+        }
+    }
+
+    // XD003: workspace path deps resolve to a matching package.
+    for (name, value, line) in &workspace_deps {
+        let Some(path) = inline_table_str(value, "path") else {
+            out.push(DepViolation {
+                file: "Cargo.toml".into(),
+                line: *line,
+                rule: "XD003",
+                message: format!(
+                    "workspace dependency `{name}` has no `path` — this offline workspace \
+                     only supports vendored path dependencies"
+                ),
+            });
+            continue;
+        };
+        let target = root.join(&path).join("Cargo.toml");
+        match fs::read_to_string(&target) {
+            Err(_) => out.push(DepViolation {
+                file: "Cargo.toml".into(),
+                line: *line,
+                rule: "XD003",
+                message: format!(
+                    "workspace dependency `{name}` points at `{path}` which has no Cargo.toml"
+                ),
+            }),
+            Ok(text) => {
+                let pkg = parse_manifest(&text);
+                let pkg_name = pkg
+                    .section("package")
+                    .and_then(|es| es.iter().find(|e| e.key == "name"))
+                    .map(|e| e.value.trim_matches('"').to_string());
+                if pkg_name.as_deref() != Some(name.as_str()) {
+                    out.push(DepViolation {
+                        file: "Cargo.toml".into(),
+                        line: *line,
+                        rule: "XD003",
+                        message: format!(
+                            "workspace dependency `{name}` points at `{path}` whose package \
+                             is named `{}`",
+                            pkg_name.unwrap_or_else(|| "<missing>".into())
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Member manifests: root package + crates/* + vendor/*.
+    let mut members: Vec<std::path::PathBuf> = vec![root_manifest_path.clone()];
+    for group in ["crates", "vendor"] {
+        let dir = root.join(group);
+        let Ok(rd) = fs::read_dir(&dir) else { continue };
+        let mut paths: Vec<_> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for p in paths {
+            let manifest = p.join("Cargo.toml");
+            if manifest.is_file() {
+                members.push(manifest);
+            }
+        }
+    }
+
+    for manifest_path in &members {
+        let rel = manifest_path
+            .strip_prefix(root)
+            .unwrap_or(manifest_path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(manifest_path)?;
+        let manifest = parse_manifest(&text);
+        let is_vendor = rel.starts_with("vendor/");
+
+        for section in DEP_SECTIONS {
+            let Some(entries) = manifest.section(section) else {
+                continue;
+            };
+            for e in entries {
+                // `foo.workspace = true` parses as key `foo.workspace`.
+                let (name, dotted_workspace) = match e.key.strip_suffix(".workspace") {
+                    Some(base) => (base.to_string(), true),
+                    None => (e.key.clone(), false),
+                };
+                let ok = (dotted_workspace && e.value == "true") || inherits_workspace(&e.value);
+                if !ok {
+                    out.push(DepViolation {
+                        file: rel.clone(),
+                        line: e.line,
+                        rule: "XD001",
+                        message: format!(
+                            "dependency `{name}` does not inherit from the workspace — \
+                             write `{name}.workspace = true` and declare it once in \
+                             [workspace.dependencies]"
+                        ),
+                    });
+                    continue;
+                }
+                if !workspace_deps.iter().any(|(n, _, _)| *n == name) {
+                    out.push(DepViolation {
+                        file: rel.clone(),
+                        line: e.line,
+                        rule: "XD002",
+                        message: format!(
+                            "dependency `{name}` is not declared in [workspace.dependencies]"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // XD004: version unification via [workspace.package] inheritance.
+        // Vendor stubs are exempt: they must carry the upstream crate's
+        // own version to satisfy semver requirements.
+        if rel == "Cargo.toml" || is_vendor {
+            continue;
+        }
+        if let Some(entries) = manifest.section("package") {
+            for key in INHERITED_PACKAGE_KEYS {
+                let dotted = format!("{key}.workspace");
+                let inherited = entries.iter().any(|e| {
+                    (e.key == dotted && e.value == "true")
+                        || (e.key == key && inherits_workspace(&e.value))
+                });
+                if !inherited {
+                    let line = entries
+                        .iter()
+                        .find(|e| e.key == key || e.key == dotted)
+                        .map(|e| e.line)
+                        .unwrap_or(1);
+                    out.push(DepViolation {
+                        file: rel.clone(),
+                        line,
+                        rule: "XD004",
+                        message: format!(
+                            "package `{key}` is not inherited — use `{key}.workspace = true` \
+                             so releases stay unified"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sections_and_inline_tables() {
+        let m = parse_manifest(
+            "[package]\nname = \"demo\"\n\n[dependencies]\n\
+             a.workspace = true\nb = { workspace = true }\nc = \"1.0\" # pinned\n",
+        );
+        let deps = m.section("dependencies").expect("dependencies section");
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].key, "a.workspace");
+        assert_eq!(deps[0].value, "true");
+        assert!(inherits_workspace(&deps[1].value));
+        assert!(!inherits_workspace(&deps[2].value));
+        assert_eq!(deps[2].line, 7);
+    }
+
+    #[test]
+    fn local_path_overrides_are_not_inheritance() {
+        assert!(!inherits_workspace("{ workspace = true, path = \"../x\" }"));
+        assert!(!inherits_workspace("{ version = \"1\" }"));
+        assert!(inherits_workspace("{ workspace = true }"));
+    }
+
+    #[test]
+    fn comment_stripping_respects_strings() {
+        assert_eq!(strip_comment("a = \"x # y\" # real"), "a = \"x # y\" ");
+        assert_eq!(strip_comment("# whole line"), "");
+    }
+
+    #[test]
+    fn inline_table_path_extraction() {
+        assert_eq!(
+            inline_table_str("{ path = \"vendor/rand\" }", "path"),
+            Some("vendor/rand".into())
+        );
+        assert_eq!(inline_table_str("{ workspace = true }", "path"), None);
+    }
+}

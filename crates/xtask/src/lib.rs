@@ -1,0 +1,21 @@
+//! Workspace automation for the routergeo repository.
+//!
+//! The `xtask` crate hosts the project's custom static-analysis gate,
+//! invoked through the cargo alias defined in `.cargo/config.toml`:
+//!
+//! ```text
+//! cargo xtask lint            # RG001–RG005 over workspace sources
+//! cargo xtask lint --waivers  # also list every active waiver
+//! cargo xtask fix-audit       # burn-down dashboard by rule and crate
+//! cargo xtask deps            # offline manifest / dependency policy
+//! ```
+//!
+//! The engine parses Rust at the token level ([`lexer`]), evaluates the
+//! rules ([`rules`]), classifies files and applies waivers ([`engine`]),
+//! and checks manifests ([`deps`]). See CONTRIBUTING.md for the rule
+//! catalogue and how to add a rule.
+
+pub mod deps;
+pub mod engine;
+pub mod lexer;
+pub mod rules;

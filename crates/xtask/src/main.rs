@@ -1,0 +1,162 @@
+//! `cargo xtask` — entry point for the workspace static-analysis gate.
+
+use std::collections::BTreeMap;
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{deps, engine};
+
+const USAGE: &str = "usage: cargo xtask <command>\n\n\
+commands:\n  \
+  lint [--waivers]   run RG001-RG005 over workspace sources; non-zero exit on violations\n  \
+  fix-audit          print the violation/waiver burn-down dashboard by rule and crate\n  \
+  deps               check manifests against the workspace dependency policy\n";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(root) = current_root() else {
+        eprintln!("xtask: could not locate the workspace root from the current directory");
+        return ExitCode::FAILURE;
+    };
+
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let show_waivers = args.iter().any(|a| a == "--waivers");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--waivers") {
+                eprintln!("xtask lint: unknown flag `{bad}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            run_lint(&root, show_waivers)
+        }
+        Some("fix-audit") => run_fix_audit(&root),
+        Some("deps") => run_deps(&root),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn current_root() -> Option<PathBuf> {
+    let cwd = env::current_dir().ok()?;
+    engine::find_root(&cwd)
+}
+
+fn run_lint(root: &PathBuf, show_waivers: bool) -> ExitCode {
+    let outcome = match engine::lint_workspace(root) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("xtask lint: failed to walk workspace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &outcome.violations {
+        println!("{v}");
+    }
+    if show_waivers {
+        if outcome.waivers.is_empty() {
+            println!("no active waivers");
+        } else {
+            println!("active waivers:");
+            for w in &outcome.waivers {
+                println!(
+                    "  {}:{} {} ({} finding{}) — {}",
+                    w.file,
+                    w.line,
+                    w.rules.join(","),
+                    w.suppressed,
+                    if w.suppressed == 1 { "" } else { "s" },
+                    w.reason
+                );
+            }
+        }
+    }
+    eprintln!(
+        "xtask lint: {} file(s) scanned, {} violation(s), {} active waiver(s)",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.waivers.len()
+    );
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fix_audit(root: &PathBuf) -> ExitCode {
+    let outcome = match engine::lint_workspace(root) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("xtask fix-audit: failed to walk workspace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut by_rule: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for v in &outcome.violations {
+        by_rule.entry(v.rule.clone()).or_default().0 += 1;
+    }
+    for w in &outcome.waivers {
+        for r in &w.rules {
+            by_rule.entry(r.clone()).or_default().1 += w.suppressed;
+        }
+    }
+    let mut by_crate: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for v in &outcome.violations {
+        by_crate.entry(crate_of(&v.file)).or_default().0 += 1;
+    }
+    for w in &outcome.waivers {
+        by_crate.entry(crate_of(&w.file)).or_default().1 += w.suppressed;
+    }
+
+    println!("burn-down by rule:");
+    println!("  {:<8} {:>10} {:>8}", "rule", "violations", "waived");
+    for (rule, (open, waived)) in &by_rule {
+        println!("  {rule:<8} {open:>10} {waived:>8}");
+    }
+    println!();
+    println!("burn-down by crate:");
+    println!("  {:<12} {:>10} {:>8}", "crate", "violations", "waived");
+    for (krate, (open, waived)) in &by_crate {
+        println!("  {krate:<12} {open:>10} {waived:>8}");
+    }
+    println!();
+    println!(
+        "total: {} open violation(s), {} waived finding(s) across {} file(s)",
+        outcome.violations.len(),
+        outcome.waivers.iter().map(|w| w.suppressed).sum::<usize>(),
+        outcome.files_scanned
+    );
+    ExitCode::SUCCESS
+}
+
+fn crate_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("routergeo")
+        .to_string()
+}
+
+fn run_deps(root: &PathBuf) -> ExitCode {
+    let violations = match deps::check_workspace(root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("xtask deps: failed to read manifests: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!("xtask deps: {} violation(s)", violations.len());
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,674 @@
+//! The lint rules (RG001–RG005) evaluated over a lexed token stream.
+//!
+//! Each rule is a pure function of the token stream plus precomputed
+//! context (test-region mask, attribute spans, doc-comment lines). Test
+//! code — anything under `#[cfg(test)]` or annotated `#[test]` — is
+//! exempt from every rule, matching the project policy that panics are
+//! the correct failure mode inside tests.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Which rules apply to a given file. Produced by
+/// [`crate::engine::rules_for`] from the file's workspace-relative path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    /// RG001: no `.unwrap()` / `.expect("")` in library code.
+    pub rg001: bool,
+    /// RG002: no bare `panic!` / `unreachable!` outside tests.
+    pub rg002: bool,
+    /// RG003: no numeric `as` casts on lookup-path files.
+    pub rg003: bool,
+    /// RG004: no `==` / `!=` on floating-point values.
+    pub rg004: bool,
+    /// RG005: every `pub fn` carries a doc comment.
+    pub rg005: bool,
+}
+
+impl RuleSet {
+    /// A set with every rule enabled (used by fixtures).
+    pub fn all() -> Self {
+        RuleSet {
+            rg001: true,
+            rg002: true,
+            rg003: true,
+            rg004: true,
+            rg005: true,
+        }
+    }
+
+    /// Whether no rule at all applies.
+    pub fn is_empty(&self) -> bool {
+        *self == RuleSet::default()
+    }
+}
+
+/// A single finding, before waiver application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`RG001` … `RG005`, or `XW00x` for waiver faults).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Context shared by the rules: which tokens are test code, which lines
+/// are covered by attributes, and which lines carry doc comments.
+pub struct Context {
+    /// `mask[i]` is true when token `i` belongs to a test item.
+    pub test_mask: Vec<bool>,
+    /// Inclusive line spans covered by attributes (`#[...]`).
+    pub attr_spans: Vec<(u32, u32)>,
+    /// Lines on which a doc comment starts or continues.
+    pub doc_lines: Vec<u32>,
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+const COORD_ACCESSORS: [&str; 4] = ["lat", "lon", "latitude", "longitude"];
+
+/// Build the shared [`Context`] for a lexed file.
+pub fn build_context(lexed: &Lexed) -> Context {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    let mut attr_spans = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        if mask[i] {
+            i += 1;
+            continue;
+        }
+        if !is_attr_start(toks, i) {
+            i += 1;
+            continue;
+        }
+        // Parse `#[...]` / `#![...]` to its closing bracket.
+        let open = if toks[i + 1].text == "!" {
+            i + 2
+        } else {
+            i + 1
+        };
+        let close = match matching_bracket(toks, open) {
+            Some(c) => c,
+            None => break,
+        };
+        attr_spans.push((toks[i].line, toks[close].line));
+        if attr_gates_tests(&toks[open + 1..close]) {
+            let end = item_end(toks, close + 1).unwrap_or(toks.len() - 1);
+            for slot in mask.iter_mut().take(end + 1).skip(i) {
+                *slot = true;
+            }
+            i = end + 1;
+        } else {
+            i = close + 1;
+        }
+    }
+
+    let mut doc_lines = Vec::new();
+    for c in &lexed.comments {
+        if c.doc {
+            let span = c.text.matches('\n').count() as u32;
+            for l in c.line..=c.line + span {
+                doc_lines.push(l);
+            }
+        }
+    }
+
+    Context {
+        test_mask: mask,
+        attr_spans,
+        doc_lines,
+    }
+}
+
+fn is_attr_start(toks: &[Tok], i: usize) -> bool {
+    if toks[i].text != "#" || toks[i].kind != TokKind::Punct {
+        return false;
+    }
+    match toks.get(i + 1) {
+        Some(t) if t.text == "[" => true,
+        Some(t) if t.text == "!" => toks.get(i + 2).is_some_and(|t| t.text == "["),
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the attribute body (tokens between the brackets) gates the
+/// following item to test builds. Heuristic: the body mentions `test`
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[tokio::test]`)
+/// without a `not(…)` or a `cfg_attr` wrapper — `#[cfg(not(test))]` code
+/// and `#[cfg_attr(test, …)]` items still compile into non-test builds.
+fn attr_gates_tests(body: &[Tok]) -> bool {
+    let mut saw_test = false;
+    for t in body {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "cfg_attr" | "not" => return false,
+            "test" => saw_test = true,
+            _ => {}
+        }
+    }
+    saw_test
+}
+
+/// Index of the last token of the item starting at `start`: the matching
+/// `}` of its first brace, or the first top-level `;` for body-less items
+/// (`mod tests;`, gated `use` statements).
+fn item_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            ";" if depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Run every enabled rule; findings come back in token order.
+pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &lexed.tokens;
+
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        if rules.rg001 {
+            check_rg001(toks, i, &mut findings);
+        }
+        if rules.rg002 {
+            check_rg002(toks, i, &mut findings);
+        }
+        if rules.rg003 {
+            check_rg003(toks, i, &mut findings);
+        }
+        if rules.rg004 {
+            check_rg004(toks, i, &mut findings);
+        }
+        if rules.rg005 {
+            check_rg005(toks, ctx, i, &mut findings);
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+fn tok_is(toks: &[Tok], i: usize, kind: TokKind, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == kind && t.text == text)
+}
+
+/// RG001: `.unwrap()` or `.expect("")` in library code.
+fn check_rg001(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    if !tok_is(toks, i, TokKind::Punct, ".") {
+        return;
+    }
+    let Some(name) = toks.get(i + 1) else { return };
+    if name.kind != TokKind::Ident {
+        return;
+    }
+    if name.text == "unwrap"
+        && tok_is(toks, i + 2, TokKind::Punct, "(")
+        && tok_is(toks, i + 3, TokKind::Punct, ")")
+    {
+        out.push(Finding {
+            rule: "RG001",
+            line: name.line,
+            col: name.col,
+            message: "`.unwrap()` in library code — propagate an error or use \
+                      `.expect(\"non-empty reason\")`"
+                .into(),
+        });
+    }
+    if name.text == "expect" && tok_is(toks, i + 2, TokKind::Punct, "(") {
+        if let Some(arg) = toks.get(i + 3) {
+            if arg.kind == TokKind::Str
+                && arg.text.trim().is_empty()
+                && tok_is(toks, i + 4, TokKind::Punct, ")")
+            {
+                out.push(Finding {
+                    rule: "RG001",
+                    line: name.line,
+                    col: name.col,
+                    message: "`.expect(\"\")` with an empty message — give the panic a \
+                              diagnosable reason or propagate an error"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// RG002: bare `panic!` / `unreachable!` outside tests.
+fn check_rg002(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || (t.text != "panic" && t.text != "unreachable") {
+        return;
+    }
+    if !tok_is(toks, i + 1, TokKind::Punct, "!") {
+        return;
+    }
+    // `std::panic::catch_unwind` never matches: the token after a path
+    // segment `panic` is `::`, not `!`.
+    out.push(Finding {
+        rule: "RG002",
+        line: t.line,
+        col: t.col,
+        message: format!(
+            "`{}!` outside tests — return an error variant instead of aborting the caller",
+            t.text
+        ),
+    });
+}
+
+/// RG003: numeric `as` casts on lookup-path files. Token-level analysis
+/// cannot prove a cast lossy, so every numeric `as` in the scoped files
+/// is flagged; lossless conversions should be written with `From`, and
+/// the rare justified cast carries a waiver explaining why it is safe.
+fn check_rg003(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || t.text != "as" {
+        return;
+    }
+    let Some(ty) = toks.get(i + 1) else { return };
+    if ty.kind != TokKind::Ident || !NUMERIC_TYPES.contains(&ty.text.as_str()) {
+        return;
+    }
+    // `use foo as u32`-style renames can't collide with primitive names;
+    // no extra guard needed.
+    out.push(Finding {
+        rule: "RG003",
+        line: t.line,
+        col: t.col,
+        message: format!(
+            "`as {}` cast on a lookup path — use `From`/`TryFrom` so width changes are checked",
+            ty.text
+        ),
+    });
+}
+
+/// RG004: `==` / `!=` on floating-point values. Heuristic: either side
+/// of the operator is a float literal, or the left operand is a call to
+/// a coordinate accessor (`lat()`, `lon()`, …).
+fn check_rg004(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+        return;
+    }
+    let float_right = match toks.get(i + 1) {
+        Some(n) if n.kind == TokKind::Float => true,
+        // Negated literal: `== -180.0`.
+        Some(n) if n.kind == TokKind::Punct && n.text == "-" => {
+            toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Float)
+        }
+        _ => false,
+    };
+    let float_neighbor = (i > 0 && toks[i - 1].kind == TokKind::Float) || float_right;
+    let coord_left =
+        i > 0 && tok_is(toks, i - 1, TokKind::Punct, ")") && coord_call_end(toks, i - 1);
+    let coord_right = coord_call_ahead(toks, i + 1);
+    if float_neighbor || coord_left || coord_right {
+        out.push(Finding {
+            rule: "RG004",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "float `{}` comparison — use an epsilon helper from `geo::distance` \
+                 (`approx_eq`) instead of exact equality",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Whether the `)` at `close` ends a call to a coordinate accessor,
+/// i.e. the tokens read `… . lat ( )`.
+fn coord_call_end(toks: &[Tok], close: usize) -> bool {
+    if close < 2 || !tok_is(toks, close - 1, TokKind::Punct, "(") {
+        return false;
+    }
+    let name = &toks[close - 2];
+    name.kind == TokKind::Ident && COORD_ACCESSORS.contains(&name.text.as_str())
+}
+
+/// Whether a coordinate accessor call appears shortly after `start`,
+/// before the expression plausibly ends. Bounded lookahead keeps this a
+/// heuristic rather than an expression parser.
+fn coord_call_ahead(toks: &[Tok], start: usize) -> bool {
+    for j in start..(start + 8).min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct
+            && matches!(t.text.as_str(), ";" | "," | "{" | "&" | "|" | "==" | "!=")
+        {
+            return false;
+        }
+        if t.kind == TokKind::Ident
+            && COORD_ACCESSORS.contains(&t.text.as_str())
+            && tok_is(toks, j + 1, TokKind::Punct, "(")
+            && tok_is(toks, j + 2, TokKind::Punct, ")")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// RG005: every externally-visible `pub fn` has a doc comment directly
+/// above it (attribute lines in between are allowed). `pub(crate)` and
+/// narrower visibilities are internal API and exempt.
+fn check_rg005(toks: &[Tok], ctx: &Context, i: usize, out: &mut Vec<Finding>) {
+    if !tok_is(toks, i, TokKind::Ident, "pub") {
+        return;
+    }
+    // Skip restricted visibility: `pub(crate)`, `pub(super)`, …
+    let mut j = i + 1;
+    if tok_is(toks, j, TokKind::Punct, "(") {
+        return;
+    }
+    // Modifiers between `pub` and `fn`.
+    loop {
+        let Some(t) = toks.get(j) else { return };
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "fn" => break,
+                "const" | "async" | "unsafe" => j += 1,
+                "extern" => {
+                    j += 1;
+                    if toks.get(j).is_some_and(|t| t.kind == TokKind::Str) {
+                        j += 1;
+                    }
+                }
+                _ => return, // pub struct / pub mod / pub use …
+            }
+        } else {
+            return;
+        }
+    }
+    let Some(name) = toks.get(j + 1) else { return };
+    if name.kind != TokKind::Ident {
+        return;
+    }
+
+    // Walk upward from the line above `pub`, skipping attribute lines,
+    // and require a doc-comment line there.
+    let mut line = toks[i].line.saturating_sub(1);
+    while line > 0
+        && ctx
+            .attr_spans
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    {
+        line = line.saturating_sub(1);
+    }
+    if line == 0 || !ctx.doc_lines.contains(&line) {
+        out.push(Finding {
+            rule: "RG005",
+            line: toks[i].line,
+            col: toks[i].col,
+            message: format!("public function `{}` lacks a doc comment", name.text),
+        });
+    }
+}
+
+/// A parsed `xtask-allow` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the waiver comment sits on.
+    pub line: u32,
+    /// Line the waiver applies to (its own line if it trails code, the
+    /// next code line when it stands alone).
+    pub applies_to: u32,
+    /// Rule IDs the waiver covers.
+    pub rules: Vec<String>,
+    /// Mandatory free-form justification.
+    pub reason: String,
+}
+
+/// Marker that introduces a waiver inside a comment.
+pub const WAIVER_MARKER: &str = "xtask-allow:";
+
+/// Extract waivers from comments. Malformed waivers (no rule ID or no
+/// reason) are reported as `XW001` findings so they cannot silently
+/// disable a rule.
+pub fn parse_waivers(lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let rest = &c.text[pos + WAIVER_MARKER.len()..];
+        let mut rules = Vec::new();
+        let mut reason_start = rest.len();
+        for (off, word) in split_words(rest) {
+            let id = word.trim_end_matches(',');
+            if is_rule_id(id) {
+                rules.push(id.to_string());
+            } else {
+                reason_start = off;
+                break;
+            }
+        }
+        let reason = rest[reason_start.min(rest.len())..].trim().to_string();
+        if rules.is_empty() || reason.is_empty() {
+            findings.push(Finding {
+                rule: "XW001",
+                line: c.line,
+                col: 1,
+                message: "malformed waiver — expected `// xtask-allow: RGxxx <reason>` \
+                          with at least one rule ID and a non-empty reason"
+                    .into(),
+            });
+            continue;
+        }
+        let end_line = c.line + c.text.matches('\n').count() as u32;
+        let standalone = !lexed.tokens.iter().any(|t| t.line == c.line);
+        let applies_to = if standalone {
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .filter(|&l| l > end_line)
+                .min()
+                .unwrap_or(end_line + 1)
+        } else {
+            c.line
+        };
+        waivers.push(Waiver {
+            line: c.line,
+            applies_to,
+            rules,
+            reason,
+        });
+    }
+    waivers
+}
+
+fn split_words(s: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, ch) in s.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(st) = start.take() {
+                out.push((st, &s[st..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(st) = start {
+        out.push((st, &s[st..]));
+    }
+    out
+}
+
+fn is_rule_id(word: &str) -> bool {
+    word.len() == 5
+        && (word.starts_with("RG") || word.starts_with("XW"))
+        && word[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str, rules: RuleSet) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ctx = build_context(&lexed);
+        run_rules(&lexed, &ctx, &rules)
+    }
+
+    #[test]
+    fn rg001_flags_unwrap_and_empty_expect() {
+        let fs = findings(
+            "fn f() { x.unwrap(); y.expect(\"\"); z.expect(\"reason\"); w.unwrap_or(3); }",
+            RuleSet {
+                rg001: true,
+                ..RuleSet::default()
+            },
+        );
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|f| f.rule == "RG001"));
+    }
+
+    #[test]
+    fn rg002_skips_test_modules() {
+        let src = "fn a() { panic!(\"boom\"); }\n\
+                   #[cfg(test)]\nmod tests {\n fn b() { panic!(\"ok in tests\"); }\n}\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg002: true,
+                ..RuleSet::default()
+            },
+        );
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn a() { panic!(); }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg002: true,
+                ..RuleSet::default()
+            },
+        );
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn rg003_flags_numeric_casts_only() {
+        let src = "fn f(x: u64, p: *const u8) { let a = x as u32; let b = p as *const i8; \
+                   let c = x as f64; }";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg003: true,
+                ..RuleSet::default()
+            },
+        );
+        // `as u32`, `as f64`, and the pointee `i8` after `*const` —
+        // pointer casts keep the primitive name adjacent to `as`? No:
+        // `as *const i8` puts `*` after `as`, so only 2 findings.
+        assert_eq!(fs.len(), 2);
+    }
+
+    #[test]
+    fn rg004_float_literal_and_accessors() {
+        let src = "fn f() { if x == 0.0 {} if a.lat() == b.lat() {} if n == 3 {} }";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg004: true,
+                ..RuleSet::default()
+            },
+        );
+        assert_eq!(fs.len(), 2);
+    }
+
+    #[test]
+    fn rg005_requires_doc_above_pub_fn() {
+        let src = "/// Documented.\npub fn good() {}\n\npub fn bad() {}\n\
+                   \n#[inline]\npub fn also_bad() {}\n\
+                   \n/// Doc.\n#[inline]\npub fn attr_between() {}\n\
+                   \npub(crate) fn internal() {}\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg005: true,
+                ..RuleSet::default()
+            },
+        );
+        let names: Vec<_> = fs.iter().map(|f| f.message.clone()).collect();
+        assert_eq!(fs.len(), 2, "{names:?}");
+        assert!(names[0].contains("bad"));
+        assert!(names[1].contains("also_bad"));
+    }
+
+    #[test]
+    fn waiver_parsing_and_malformed() {
+        let src = "// xtask-allow: RG001 index checked above\nlet x = v.get(0);\n\
+                   // xtask-allow: RG001\nlet y = 1;\n";
+        let lexed = lex(src);
+        let mut faults = Vec::new();
+        let ws = parse_waivers(&lexed, &mut faults);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].applies_to, 2);
+        assert_eq!(ws[0].reason, "index checked above");
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].rule, "XW001");
+    }
+
+    #[test]
+    fn trailing_waiver_applies_to_own_line() {
+        let src = "let x = v.unwrap(); // xtask-allow: RG001 seeded above\n";
+        let lexed = lex(src);
+        let mut faults = Vec::new();
+        let ws = parse_waivers(&lexed, &mut faults);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].applies_to, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: every lint rule fires at a known line and column.
+
+pub fn undocumented(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn empty_expect(x: Option<u32>) -> u32 {
+    x.expect("")
+}
+
+fn boom(flag: bool) {
+    if flag {
+        panic!("kaboom");
+    } else {
+        unreachable!();
+    }
+}
+
+fn casts(x: u64) -> u32 {
+    x as u32
+}
+
+fn float_eq(a: f64) -> bool {
+    a == 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        Some(1).unwrap();
+        let _ = 1u64 as u32;
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: waivers that match nothing, or lack a reason, fail the lint.
+
+fn clean() -> u32 {
+    42 // xtask-allow: RG001 nothing on this line needs waiving
+}
+
+fn also_clean() {} // xtask-allow: RG001

@@ -1,0 +1,16 @@
+//! Fixture: the same violations, each carrying an audited waiver.
+
+fn lookup(x: Option<u32>) -> u32 {
+    x.unwrap() // xtask-allow: RG001 fixture demonstrates a trailing waiver
+}
+
+// xtask-allow: RG002 fixture demonstrates a standalone waiver on the next line
+fn boom() { panic!("waived"); }
+
+fn casts(x: u64) -> u32 {
+    x as u32 // xtask-allow: RG003 fixture: truncation is the point
+}
+
+fn float_eq(a: f64) -> bool {
+    a == 0.5 // xtask-allow: RG004 fixture: exact sentinel comparison
+}

@@ -1,0 +1,162 @@
+//! End-to-end fixture tests for the lint engine: exact rule IDs, line
+//! numbers, and waiver behaviour — plus the acceptance gate that the
+//! workspace's own tree lints clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::deps;
+use xtask::engine::{self, lint_source, rules_for};
+use xtask::rules::RuleSet;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).expect("fixture file readable")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the root")
+        .to_path_buf()
+}
+
+#[test]
+fn bad_fixture_reports_exact_rules_and_lines() {
+    let out = lint_source("bad_rules.rs", &fixture("bad_rules.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG005", 3),  // pub fn undocumented
+            ("RG001", 4),  // .unwrap()
+            ("RG001", 8),  // .expect("")
+            ("RG002", 13), // panic!
+            ("RG002", 15), // unreachable!
+            ("RG003", 20), // x as u32
+            ("RG004", 24), // a == 0.5
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    assert!(out.waivers.is_empty());
+}
+
+#[test]
+fn bad_fixture_reports_exact_columns() {
+    let out = lint_source("bad_rules.rs", &fixture("bad_rules.rs"), &RuleSet::all());
+    let unwrap = &out.violations[1];
+    assert_eq!((unwrap.line, unwrap.col), (4, 7), "col of `unwrap` token");
+    let cast = &out.violations[5];
+    assert_eq!((cast.line, cast.col), (20, 7), "col of `as` token");
+}
+
+#[test]
+fn bad_fixture_would_fail_the_lint_gate() {
+    // The acceptance criterion: reintroducing any fixture-bad snippet
+    // makes the lint exit non-zero, which maps to a non-empty violation
+    // list here.
+    let out = lint_source("bad_rules.rs", &fixture("bad_rules.rs"), &RuleSet::all());
+    assert!(!out.violations.is_empty());
+}
+
+#[test]
+fn test_code_in_fixture_is_exempt() {
+    let out = lint_source("bad_rules.rs", &fixture("bad_rules.rs"), &RuleSet::all());
+    assert!(
+        out.violations.iter().all(|v| v.line < 26),
+        "nothing inside #[cfg(test)] may be flagged: {:#?}",
+        out.violations
+    );
+}
+
+#[test]
+fn waived_fixture_is_clean_and_audited() {
+    let out = lint_source(
+        "good_waived.rs",
+        &fixture("good_waived.rs"),
+        &RuleSet::all(),
+    );
+    assert!(
+        out.violations.is_empty(),
+        "waivers must suppress everything: {:#?}",
+        out.violations
+    );
+    let got: Vec<(u32, &str)> = out
+        .waivers
+        .iter()
+        .map(|w| (w.line, w.rules[0].as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(4, "RG001"), (7, "RG002"), (11, "RG003"), (15, "RG004")]
+    );
+    assert!(
+        out.waivers.iter().all(|w| !w.reason.is_empty()),
+        "every audited waiver carries its reason"
+    );
+}
+
+#[test]
+fn stale_and_malformed_waivers_fail() {
+    let out = lint_source(
+        "bad_waivers.rs",
+        &fixture("bad_waivers.rs"),
+        &RuleSet::all(),
+    );
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(XW_STALE, 4), (XW_MALFORMED, 7)],
+        "{:#?}",
+        out.violations
+    );
+}
+
+const XW_STALE: &str = "XW002";
+const XW_MALFORMED: &str = "XW001";
+
+#[test]
+fn fixtures_are_outside_workspace_lint_scope() {
+    assert!(rules_for("crates/xtask/tests/fixtures/bad_rules.rs").is_none());
+}
+
+#[test]
+fn workspace_tree_lints_clean() {
+    let out = engine::lint_workspace(&workspace_root()).expect("workspace walk succeeds");
+    assert!(out.files_scanned > 50, "walk found the workspace sources");
+    assert!(
+        out.violations.is_empty(),
+        "the tree must stay lint-clean; fix or waive:\n{}",
+        out.violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_manifests_pass_dependency_policy() {
+    let violations = deps::check_workspace(&workspace_root()).expect("manifests readable");
+    assert!(
+        violations.is_empty(),
+        "dependency policy violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -39,11 +39,7 @@ fn main() {
     // CSV: IP2Location-style range rows.
     let csv = csvdb::write(&db);
     let csv_db = csvdb::parse(db.name(), &csv).expect("valid CSV");
-    println!(
-        "CSV: {} lines, {} bytes",
-        csv.lines().count(),
-        csv.len()
-    );
+    println!("CSV: {} lines, {} bytes", csv.lines().count(), csv.len());
     println!("first row: {}", csv.lines().next().unwrap_or(""));
 
     // All three answer identically for every interface.

@@ -48,7 +48,10 @@ fn main() {
         .collect();
 
     // Coverage over the Ark set (§5.1).
-    println!("{:<18} country-cov  city-cov   (over the Ark set)", "database");
+    println!(
+        "{:<18} country-cov  city-cov   (over the Ark set)",
+        "database"
+    );
     for db in &dbs {
         let cov = coverage(db, &ark.interfaces);
         println!(

@@ -29,7 +29,10 @@ fn main() {
         .collect();
 
     // 3. Look up a few router interfaces and compare against the truth.
-    println!("\n{:<16} {:<18} {:<22} answer", "address", "truth", "database");
+    println!(
+        "\n{:<16} {:<18} {:<22} answer",
+        "address", "truth", "database"
+    );
     for iface in world.interfaces.iter().step_by(world.interfaces.len() / 5) {
         let (city_id, coord) = world.true_location(iface.ip).expect("oracle");
         let city = world.city(city_id);

@@ -32,7 +32,10 @@ fn main() {
     ips.push("203.0.113.99".parse().unwrap());
 
     let answers = bulk_lookup(server.addr(), &ips).expect("bulk query");
-    println!("\n{:<16} {:<8} {:<18} {:<4} registry", "address", "asn", "prefix", "cc");
+    println!(
+        "\n{:<16} {:<8} {:<18} {:<4} registry",
+        "address", "asn", "prefix", "cc"
+    );
     for answer in &answers {
         match answer {
             BulkAnswer::Found(ip, rec) => {

@@ -86,10 +86,7 @@ fn main() -> ExitCode {
             match engine.decode(name) {
                 Some(city) => {
                     let c = world.city(city);
-                    println!(
-                        "rules:  {} ({}, {})",
-                        c.name, c.country, c.coord
-                    );
+                    println!("rules:  {} ({}, {})", c.name, c.country, c.coord);
                 }
                 None => println!(
                     "rules:  no match{}",

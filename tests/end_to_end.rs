@@ -93,10 +93,17 @@ fn paper_ordering_holds_end_to_end() {
     let report = evaluate(&p.dbs, &p.gt, 20);
 
     // NetAcuity best country accuracy; registry-fed databases comparable.
-    let accs: Vec<f64> = report.overall.iter().map(|a| a.country_accuracy()).collect();
+    let accs: Vec<f64> = report
+        .overall
+        .iter()
+        .map(|a| a.country_accuracy())
+        .collect();
     assert!(accs[3] > accs[0] && accs[3] > accs[1] && accs[3] > accs[2]);
     let spread = (accs[0] - accs[1]).abs().max((accs[0] - accs[2]).abs());
-    assert!(spread < 0.08, "registry-fed databases not comparable: {accs:?}");
+    assert!(
+        spread < 0.08,
+        "registry-fed databases not comparable: {accs:?}"
+    );
 
     // MaxMind city coverage low, paid above free; full-coverage databases
     // at (near) 100%.
@@ -110,7 +117,10 @@ fn paper_ordering_holds_end_to_end() {
 
     // The recommendation engine reaches the paper's conclusion from data.
     let recs = recommendations(&report);
-    assert!(recs.iter().any(|r| r.text.contains("NetAcuity")), "{recs:#?}");
+    assert!(
+        recs.iter().any(|r| r.text.contains("NetAcuity")),
+        "{recs:#?}"
+    );
 }
 
 #[test]

@@ -57,7 +57,9 @@ fn rgdb_rejects_any_single_byte_corruption_of_the_header() {
     let entries: Vec<(Prefix, routergeo::db::LocationRecord)> = db
         .iter()
         .flat_map(|(s, e, r)| {
-            Prefix::cover_range(s, e).into_iter().map(move |p| (p, r.clone()))
+            Prefix::cover_range(s, e)
+                .into_iter()
+                .map(move |p| (p, r.clone()))
         })
         .collect();
     let image = rgdb::write(db.name(), entries.iter().map(|(p, r)| (*p, r)));

@@ -1,0 +1,96 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = sample_len(&self.size, rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+/// If the element domain is too small to reach the target, the set is
+/// returned at the size achieved after a bounded number of draws (but
+/// always at least `size.start` when that is achievable).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = sample_len(&self.size, rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        let budget = target * 32 + 64;
+        while set.len() < target && attempts < budget {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+fn sample_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(size.start < size.end, "empty size range");
+    size.start + rng.below(size.end - size.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::from_seed(5);
+        let s = vec(0u8..=255, 2..9);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_meets_achievable_targets() {
+        let mut rng = TestRng::from_seed(6);
+        let s = btree_set(0u8..=255, 1..20);
+        for _ in 0..50 {
+            let set = s.sample(&mut rng);
+            assert!(!set.is_empty() && set.len() < 20);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A position into a collection whose length is only known at use time.
+/// Obtained via `any::<prop::sample::Index>()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Index {
+    unit: f64,
+}
+
+impl Index {
+    /// Build from a unit-interval draw.
+    pub fn from_unit(unit: f64) -> Index {
+        Index {
+            unit: unit.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Resolve against a collection of `len` elements. Panics when
+    /// `len == 0`, matching upstream proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (((self.unit * len as f64) as usize).min(len - 1)).max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        for unit in [0.0, 0.25, 0.999_999, 1.0, 2.0, -1.0] {
+            let idx = Index::from_unit(unit);
+            for len in [1usize, 2, 7, 100] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

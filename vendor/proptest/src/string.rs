@@ -1,0 +1,130 @@
+//! String strategies: a `&str` pattern of the form `[class]{min,max}` acts
+//! as a strategy generating matching strings.
+//!
+//! This covers the subset of regex syntax the workspace's tests use
+//! (character classes with literal chars, `a-z` ranges, and `\n`/`\\`-style
+//! escapes, repeated a bounded number of times). Any other pattern panics
+//! at sample time with a clear message.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pattern = ClassPattern::parse(self)
+            .unwrap_or_else(|why| panic!("unsupported regex strategy {self:?}: {why}"));
+        let len = pattern.min + rng.below(pattern.max - pattern.min + 1);
+        (0..len)
+            .map(|_| pattern.alphabet[rng.below(pattern.alphabet.len())])
+            .collect()
+    }
+}
+
+struct ClassPattern {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+impl ClassPattern {
+    fn parse(pattern: &str) -> Result<ClassPattern, &'static str> {
+        let rest = pattern.strip_prefix('[').ok_or("expected leading [")?;
+        let close = find_unescaped_close(rest).ok_or("missing ]")?;
+        let class = &rest[..close];
+        let rest = &rest[close + 1..];
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or("expected {min,max} repetition")?;
+        let (lo, hi) = counts.split_once(',').ok_or("expected min,max")?;
+        let min: usize = lo.trim().parse().map_err(|_| "bad min")?;
+        let max: usize = hi.trim().parse().map_err(|_| "bad max")?;
+        if min > max {
+            return Err("min > max");
+        }
+        let alphabet = parse_class(class)?;
+        if alphabet.is_empty() {
+            return Err("empty character class");
+        }
+        Ok(ClassPattern { alphabet, min, max })
+    }
+}
+
+fn find_unescaped_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_class(class: &str) -> Result<Vec<char>, &'static str> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = decode_at(&chars, &mut i)?;
+        // Range `a-z` when a dash follows and another char closes it.
+        if i + 1 < chars.len() && chars[i] == '-' {
+            i += 1;
+            let end = decode_at(&chars, &mut i)?;
+            if (end as u32) < (c as u32) {
+                return Err("descending range");
+            }
+            for u in (c as u32)..=(end as u32) {
+                if let Some(ch) = char::from_u32(u) {
+                    out.push(ch);
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_at(chars: &[char], i: &mut usize) -> Result<char, &'static str> {
+    let c = chars[*i];
+    *i += 1;
+    if c != '\\' {
+        return Ok(c);
+    }
+    let esc = *chars.get(*i).ok_or("dangling escape")?;
+    *i += 1;
+    Ok(match esc {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::from_seed(12);
+        let s = "[ -~\n]{0,40}";
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v.len() <= 40);
+            assert!(v.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_literals() {
+        let alphabet = parse_class("a-cxyz").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c', 'x', 'y', 'z']);
+    }
+}

@@ -1,0 +1,150 @@
+//! Slice sampling helpers mirroring `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+use std::fmt;
+
+/// Error from [`SliceRandom::choose_weighted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The slice was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::NoItem => f.write_str("cannot sample from an empty slice"),
+            WeightedError::InvalidWeight => f.write_str("invalid weight (negative or non-finite)"),
+            WeightedError::AllWeightsZero => f.write_str("all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Random-order and random-pick operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Random element with probability proportional to `weight(item)`.
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&Self::Item, WeightedError>
+    where
+        R: RngCore + ?Sized,
+        F: Fn(&Self::Item) -> f64;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&T, WeightedError>
+    where
+        R: RngCore + ?Sized,
+        F: Fn(&T) -> f64,
+    {
+        if self.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        let mut total = 0.0f64;
+        for item in self {
+            let w = weight(item);
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        let mut roll = rng.gen_range(0.0..total);
+        for item in self {
+            roll -= weight(item);
+            if roll < 0.0 {
+                return Ok(item);
+            }
+        }
+        // Float accumulation landed exactly on `total`; return the last
+        // positively weighted item.
+        self.iter()
+            .rev()
+            .find(|item| weight(item) > 0.0)
+            .ok_or(WeightedError::AllWeightsZero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_items() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let c = items.choose(&mut rng).expect("non-empty");
+            seen[(*c - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_weighted_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let items = [(0, 0.0), (1, 5.0), (2, 0.0)];
+        for _ in 0..100 {
+            let picked = items
+                .choose_weighted(&mut rng, |(_, w)| *w)
+                .expect("positive total");
+            assert_eq!(picked.0, 1);
+        }
+        assert_eq!(
+            items.choose_weighted(&mut rng, |_| 0.0),
+            Err(WeightedError::AllWeightsZero)
+        );
+        let empty: [(u8, f64); 0] = [];
+        assert_eq!(
+            empty.choose_weighted(&mut rng, |(_, w)| *w),
+            Err(WeightedError::NoItem)
+        );
+    }
+}
