@@ -14,6 +14,21 @@ cargo xtask lint
 echo "==> cargo xtask deps"
 cargo xtask deps
 
+# Fault-matrix gate: the resilient bulk-whois path must stay wall-clock
+# deterministic. Backoff sleeps run on an injected clock, so the whole
+# matrix — retries, timeouts, circuit breaker — completes in seconds of
+# real time; a wall-clock budget catches any regression to real sleeps.
+echo "==> fault matrix (wall-clock budget 60s)"
+cargo test -q -p routergeo-cymru --test fault_matrix --no-run
+fm_start=$(date +%s)
+cargo test -q -p routergeo-cymru --test fault_matrix
+fm_elapsed=$(( $(date +%s) - fm_start ))
+echo "fault matrix completed in ${fm_elapsed}s"
+if [ "$fm_elapsed" -gt 60 ]; then
+    echo "ci.sh: fault matrix took ${fm_elapsed}s (> 60s) — backoff is sleeping on wall time" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 

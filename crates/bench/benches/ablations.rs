@@ -166,6 +166,7 @@ fn ablate_registry_weight(c: &mut Criterion) {
     let gt = GroundTruth {
         entries: lab.gt.entries.clone(),
         overlap: lab.gt.overlap.clone(),
+        degraded: lab.gt.degraded.clone(),
     };
     let _ = whois;
     println!("== Ablation: measurement corpus availability (MaxMind-Paid profile) ==");

@@ -150,6 +150,7 @@ pub fn table1(lab: &Lab) -> (Table1Row, Table1Row, TextTable) {
             "AFRINIC",
             "LACNIC",
             "RIPENCC",
+            "degraded",
         ],
     );
     for (name, row) in [("DNS-based", &dns), ("RTT-proximity", &rtt)] {
@@ -163,6 +164,7 @@ pub fn table1(lab: &Lab) -> (Table1Row, Table1Row, TextTable) {
             row.per_rir[2].to_string(),
             row.per_rir[3].to_string(),
             row.per_rir[4].to_string(),
+            row.degraded.to_string(),
         ]);
     }
     (dns, rtt, t)
@@ -310,6 +312,21 @@ pub fn fig3(report: &AccuracyReport) -> TextTable {
         let mut cells = vec![rir.name().to_string(), n.to_string()];
         for db in 0..report.databases.len() {
             let a = &report.by_rir[db][k];
+            cells.push(pct(1.0 - a.country_accuracy()));
+        }
+        t.row(&cells);
+    }
+    // Degraded-coverage line: when the RIR annotation lost addresses
+    // (whois service partially down), report the bucket instead of
+    // silently shrinking the regional rows.
+    if report.rir_coverage < 1.0 && !report.degraded.is_empty() {
+        let n = report.degraded[0].total;
+        let mut cells = vec![
+            format!("UNKNOWN (RIR coverage {})", pct(report.rir_coverage)),
+            n.to_string(),
+        ];
+        for db in 0..report.databases.len() {
+            let a = &report.degraded[db];
             cells.push(pct(1.0 - a.country_accuracy()));
         }
         t.row(&cells);

@@ -1,7 +1,7 @@
 //! Lab assembly: build the whole pipeline once, reuse across experiments.
 
-use routergeo_core::groundtruth::GroundTruth;
-use routergeo_cymru::MappingService;
+use routergeo_core::groundtruth::{GroundTruth, RirAnnotation};
+use routergeo_cymru::{BulkClient, MappingService, WhoisServer};
 use routergeo_db::synth::{build_vendor, SignalWorld, VendorProfile};
 use routergeo_db::InMemoryDb;
 use routergeo_dns::RuleEngine;
@@ -181,6 +181,20 @@ impl Lab {
             gt,
             gazetteer,
         }
+    }
+
+    /// Spawn a live bulk whois server over this lab's world — the
+    /// socket twin of [`Lab::whois`], for exercising the resilient
+    /// lookup path (optionally through a fault-injecting proxy).
+    pub fn spawn_whois(&self) -> std::io::Result<WhoisServer> {
+        WhoisServer::spawn(std::sync::Arc::new(MappingService::build(&self.world)))
+    }
+
+    /// Re-annotate the ground truth's RIRs through `client` (typically
+    /// pointed at [`Lab::spawn_whois`], possibly via a chaos proxy).
+    /// Failures degrade the per-region report instead of aborting.
+    pub fn annotate_rir_over_socket(&mut self, client: &BulkClient) -> RirAnnotation {
+        self.gt.annotate_rir_bulk(client)
     }
 
     /// Convenience: a small lab for tests.

@@ -107,6 +107,14 @@ pub struct AccuracyReport {
     /// Per-method accuracy, `[DnsBased, RttProximity]` per database
     /// (§5.2.4).
     pub by_method: Vec<[VendorAccuracy; 2]>,
+    /// Per-database accuracy over the entries whose RIR annotation
+    /// degraded (see `GroundTruth::degraded`). Empty totals on a
+    /// healthy run; on a partially-down whois service this is the
+    /// bucket the per-RIR breakdown lost.
+    pub degraded: Vec<VendorAccuracy>,
+    /// Fraction of ground-truth entries with a known RIR — the
+    /// degraded-coverage number the §5.2 report prints when < 1.
+    pub rir_coverage: f64,
 }
 
 /// Evaluate all databases over the full ground truth with every breakdown
@@ -161,12 +169,28 @@ pub fn evaluate<D: GeoDatabase>(
         })
         .collect();
 
+    let degraded_set: std::collections::HashSet<std::net::Ipv4Addr> =
+        gt.degraded.iter().copied().collect();
+    let degraded = dbs
+        .iter()
+        .map(|d| {
+            evaluate_entries(
+                d,
+                gt.entries.iter().filter(|e| degraded_set.contains(&e.ip)),
+            )
+        })
+        .collect();
+    let with_rir = gt.entries.iter().filter(|e| e.rir.is_some()).count();
+    let rir_coverage = ratio(with_rir, gt.entries.len());
+
     AccuracyReport {
         databases: dbs.iter().map(|d| d.name().to_string()).collect(),
         overall,
         by_rir,
         by_country,
         by_method,
+        degraded,
+        rir_coverage,
     }
 }
 
@@ -238,7 +262,7 @@ mod tests {
                     GtMethod::RttProximity,
                 ),
             ],
-            overlap: vec![],
+            ..GroundTruth::default()
         }
     }
 
@@ -296,6 +320,29 @@ mod tests {
         assert_eq!(report.by_method[0][1].total, 1);
         // Figure 4 ranking: US/CA/DE with one address each... counts.
         assert_eq!(report.by_country.len(), 3);
+    }
+
+    #[test]
+    fn degraded_entries_form_their_own_report_slice() {
+        let db = simple_db("d", &[("6.0.0.0/24", "US", 40.0, -100.0)]);
+        let mut gt = sample_gt();
+        // Simulate a failed RIR annotation for the Canadian entry.
+        gt.entries[1].rir = None;
+        gt.degraded = vec![gt.entries[1].ip];
+        let report = evaluate(&[db], &gt, 20);
+        // The degraded entry left the per-RIR breakdown (ARIN down to 1)…
+        assert_eq!(report.by_rir[0][0].total, 1);
+        // …and landed in the degraded bucket instead of vanishing.
+        assert_eq!(report.degraded[0].total, 1);
+        assert!((report.rir_coverage - 2.0 / 3.0).abs() < 1e-12);
+        // Healthy ground truth reports full coverage and an empty bucket.
+        let clean = evaluate(
+            &[simple_db("d", &[("6.0.0.0/24", "US", 40.0, -100.0)])],
+            &sample_gt(),
+            20,
+        );
+        assert_eq!(clean.rir_coverage, 1.0);
+        assert_eq!(clean.degraded[0].total, 0);
     }
 
     #[test]

@@ -139,6 +139,7 @@ mod tests {
                 entry("6.0.1.1", "US", 40.0, -100.0, Rir::Arin),
             ],
             overlap: vec![],
+            degraded: vec![],
         };
         let mut b = InMemoryDbBuilder::new("mm");
         let us_city = LocationRecord {
@@ -172,6 +173,7 @@ mod tests {
         let gt = GroundTruth {
             entries: vec![entry("6.0.0.1", "US", 40.0, -100.0, Rir::Arin)],
             overlap: vec![],
+            degraded: vec![],
         };
         let mut b = InMemoryDbBuilder::new("mm");
         b.push_prefix(
@@ -197,6 +199,7 @@ mod tests {
         let gt = GroundTruth {
             entries: vec![entry("31.0.0.1", "DE", 51.0, 9.0, Rir::RipeNcc)],
             overlap: vec![],
+            degraded: vec![],
         };
         let db = InMemoryDbBuilder::new("mm").build().unwrap();
         let case = arin_case_study(&db, &gt);

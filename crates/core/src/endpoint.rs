@@ -166,6 +166,7 @@ mod tests {
         let router_gt = GroundTruth {
             entries: router_entries,
             overlap: vec![],
+            degraded: vec![],
         };
         let cmp = routers_vs_endpoints(&dbs, &w, &router_gt, 1_000);
         assert_eq!(cmp.len(), 4);

@@ -1,8 +1,9 @@
 //! Ground-truth construction (§2.3) and Table 1 statistics.
 
-use routergeo_cymru::MappingService;
+use routergeo_cymru::{BulkClient, MappingService};
 use routergeo_dns::rules::geolocate_interface;
 use routergeo_dns::RuleEngine;
+use routergeo_geo::stats::ratio;
 use routergeo_geo::{Coordinate, CountryCode, Rir};
 use routergeo_rtt::RttProximityDataset;
 use routergeo_world::{InterfaceId, World};
@@ -56,6 +57,13 @@ pub struct GroundTruth {
     pub entries: Vec<GtEntry>,
     /// Addresses found by both pipelines (the 109 of §3.1).
     pub overlap: Vec<Ipv4Addr>,
+    /// Addresses whose RIR annotation over the bulk whois socket path
+    /// exhausted its retries (see [`GroundTruth::annotate_rir_bulk`]).
+    /// These entries carry `rir: None` and are reported as a degraded
+    /// bucket in the §5.2 per-region breakdown instead of failing the
+    /// run. Empty when the annotation ran in-process. This is a
+    /// run-time artifact and is not serialized to the released CSV.
+    pub degraded: Vec<Ipv4Addr>,
 }
 
 impl GroundTruth {
@@ -148,7 +156,11 @@ impl GroundTruth {
             }
         }
         overlap.sort();
-        GroundTruth { entries, overlap }
+        GroundTruth {
+            entries,
+            overlap,
+            degraded: Vec::new(),
+        }
     }
 
     /// Number of entries.
@@ -167,18 +179,24 @@ impl GroundTruth {
     }
 
     /// Table 1 row for one method: (total, countries, unique coords,
-    /// per-RIR counts in ARIN, APNIC, AFRINIC, LACNIC, RIPENCC order).
+    /// per-RIR counts in ARIN, APNIC, AFRINIC, LACNIC, RIPENCC order,
+    /// plus addresses whose RIR annotation degraded).
     pub fn table1_row(&self, method: GtMethod) -> Table1Row {
         let mut countries = std::collections::HashSet::new();
         let mut coords = std::collections::HashSet::new();
         let mut by_rir: HashMap<Rir, usize> = HashMap::new();
         let mut total = 0usize;
+        let mut degraded = 0usize;
+        let degraded_set: std::collections::HashSet<Ipv4Addr> =
+            self.degraded.iter().copied().collect();
         for e in self.of_method(method) {
             total += 1;
             countries.insert(e.country);
             coords.insert(e.coord);
             if let Some(rir) = e.rir {
                 *by_rir.entry(rir).or_default() += 1;
+            } else if degraded_set.contains(&e.ip) {
+                degraded += 1;
             }
         }
         Table1Row {
@@ -186,7 +204,74 @@ impl GroundTruth {
             countries: countries.len(),
             unique_coords: coords.len(),
             per_rir: Rir::TABLE1_ORDER.map(|r| by_rir.get(&r).copied().unwrap_or(0)),
+            degraded,
         }
+    }
+
+    /// Re-annotate every entry's RIR over the bulk whois **socket
+    /// path**, with graceful degradation: addresses whose lookups
+    /// exhaust the client's retries keep `rir: None` and are recorded
+    /// in [`GroundTruth::degraded`], so a partially-down whois service
+    /// shrinks the per-region breakdown instead of aborting the run.
+    pub fn annotate_rir_bulk(&mut self, client: &BulkClient) -> RirAnnotation {
+        let ips: Vec<Ipv4Addr> = self.entries.iter().map(|e| e.ip).collect();
+        let outcome = client.lookup(&ips);
+        let rir_by_ip: HashMap<Ipv4Addr, Rir> = outcome
+            .found
+            .iter()
+            .map(|(ip, rec)| (*ip, rec.rir))
+            .collect();
+        let failed: std::collections::HashSet<Ipv4Addr> =
+            outcome.failed.iter().map(|f| f.ip).collect();
+        let mut ann = RirAnnotation {
+            total: self.entries.len(),
+            ..RirAnnotation::default()
+        };
+        self.degraded.clear();
+        for e in &mut self.entries {
+            if let Some(rir) = rir_by_ip.get(&e.ip) {
+                e.rir = Some(*rir);
+                ann.resolved += 1;
+            } else if failed.contains(&e.ip) {
+                e.rir = None;
+                ann.degraded += 1;
+                self.degraded.push(e.ip);
+            } else {
+                e.rir = None;
+                ann.not_found += 1;
+            }
+        }
+        ann
+    }
+}
+
+/// Summary of one socket-path RIR annotation pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RirAnnotation {
+    /// Ground-truth addresses annotated.
+    pub total: usize,
+    /// Addresses the whois service mapped to a RIR.
+    pub resolved: usize,
+    /// Addresses the service answered `NA` for.
+    pub not_found: usize,
+    /// Addresses whose lookups exhausted retries (degraded bucket).
+    pub degraded: usize,
+}
+
+impl RirAnnotation {
+    /// Fraction of addresses with a resolved RIR.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.resolved, self.total)
+    }
+
+    /// Fraction of addresses in the degraded bucket.
+    pub fn degraded_fraction(&self) -> f64 {
+        ratio(self.degraded, self.total)
+    }
+
+    /// Whether the annotation degraded at all.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded > 0
     }
 }
 
@@ -260,6 +345,7 @@ impl GroundTruth {
         Ok(GroundTruth {
             entries,
             overlap: Vec::new(),
+            degraded: Vec::new(),
         })
     }
 }
@@ -293,6 +379,9 @@ pub struct Table1Row {
     /// Counts per RIR in Table 1 column order
     /// (ARIN, APNIC, AFRINIC, LACNIC, RIPENCC).
     pub per_rir: [usize; 5],
+    /// Addresses whose RIR annotation degraded (unknown registry after
+    /// retry exhaustion); 0 on a healthy run.
+    pub degraded: usize,
 }
 
 #[cfg(test)]
@@ -384,8 +473,57 @@ mod tests {
             assert_eq!(row.total, gt.of_method(method).count());
             assert!(row.countries <= row.unique_coords.max(1));
             let rir_sum: usize = row.per_rir.iter().sum();
-            assert_eq!(rir_sum, row.total, "all addresses must map to a RIR");
+            assert_eq!(
+                rir_sum + row.degraded,
+                row.total,
+                "all addresses must map to a RIR or the degraded bucket"
+            );
+            assert_eq!(row.degraded, 0, "in-process annotation cannot degrade");
         }
+    }
+
+    #[test]
+    fn socket_annotation_matches_in_process_annotation() {
+        let (w, mut gt) = build_gt(208);
+        let before: Vec<_> = gt.entries.iter().map(|e| (e.ip, e.rir)).collect();
+        let svc = std::sync::Arc::new(MappingService::build(&w));
+        let mut srv = routergeo_cymru::WhoisServer::spawn(svc).expect("spawn");
+        let ann = gt.annotate_rir_bulk(&BulkClient::new(srv.addr()));
+        assert_eq!(ann.total, gt.len());
+        assert_eq!(ann.degraded, 0);
+        assert!(ann.coverage() > 0.99, "coverage {}", ann.coverage());
+        assert!(gt.degraded.is_empty());
+        let after: Vec<_> = gt.entries.iter().map(|e| (e.ip, e.rir)).collect();
+        assert_eq!(before, after, "socket path must agree with in-process");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn dead_whois_service_degrades_instead_of_failing() {
+        let (_, mut gt) = build_gt(209);
+        // Bind then immediately drop: connections to this port are
+        // refused, so every chunk exhausts its retries.
+        let addr = {
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = routergeo_cymru::BulkConfig {
+            retry: routergeo_cymru::RetryPolicy {
+                max_attempts: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (_, clock) = routergeo_cymru::clock::TestClock::shared();
+        let ann = gt.annotate_rir_bulk(&BulkClient::with_config(addr, config, clock));
+        assert_eq!(ann.degraded, ann.total);
+        assert!(ann.is_degraded());
+        assert_eq!(ann.coverage(), 0.0);
+        assert_eq!(gt.degraded.len(), gt.len());
+        // The degraded bucket flows into Table 1 instead of an error.
+        let row = gt.table1_row(GtMethod::DnsBased);
+        assert_eq!(row.degraded, row.total);
+        assert_eq!(row.per_rir.iter().sum::<usize>(), 0);
     }
 
     #[test]

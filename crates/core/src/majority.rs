@@ -189,6 +189,7 @@ mod tests {
                 domain: None,
             }],
             overlap: vec![],
+            degraded: vec![],
         }
     }
 

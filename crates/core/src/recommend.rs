@@ -185,6 +185,7 @@ mod tests {
                 })
                 .collect(),
             overlap: vec![],
+            degraded: vec![],
         };
         let city_good = LocationRecord {
             country: Some("US".parse().unwrap()),

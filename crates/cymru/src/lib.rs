@@ -17,8 +17,15 @@
 pub mod client;
 pub mod server;
 
-pub use client::bulk_lookup;
-pub use server::WhoisServer;
+pub use client::{
+    bulk_lookup, AddrFailure, BulkAnswer, BulkClient, BulkConfig, BulkOutcome, BulkStats,
+    FailReason, RetryPolicy,
+};
+pub use server::{ServerConfig, WhoisServer};
+
+// Re-export the injectable clock so client code can drive retry/backoff
+// on virtual time without depending on the fault-injection crate.
+pub use routergeo_faultnet::clock;
 
 use routergeo_geo::{CountryCode, Rir};
 use routergeo_net::{Prefix, RangeMap, RangeMapBuilder};

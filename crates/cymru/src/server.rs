@@ -13,20 +13,52 @@
 //! server: 1012 | 31.0.0.9 | 31.0.0.0/24 | DE | ripencc
 //! ```
 //!
-//! The server answers one connection per thread and shuts down cleanly on
-//! [`WhoisServer::shutdown`] (the listener is nudged awake by a local
-//! connection so `accept` never blocks forever).
+//! Connections are served by a **bounded worker pool** fed through a
+//! bounded queue: when both are saturated the server answers
+//! `Error: busy` and closes instead of spawning without limit, so load
+//! shedding is explicit and clients can back off. Every connection
+//! carries read/write deadlines — a client that sends `begin` and then
+//! stalls is dropped when its read deadline fires, it cannot pin a
+//! worker forever. [`WhoisServer::shutdown`] drains in flight
+//! connections (bounded wait) and reports how many leaked.
 
 use crate::MappingService;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Maximum addresses accepted per bulk request (protocol hygiene: a
 /// misbehaving client cannot hold a worker forever).
 pub const MAX_BULK: usize = 100_000;
+
+/// Worker-pool sizing and per-connection deadlines.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub max_workers: usize,
+    /// Accepted connections that may wait for a worker; beyond this the
+    /// server sheds load with `Error: busy`.
+    pub queue_depth: usize,
+    /// Per-connection read deadline (per line, not per request).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_workers: 16,
+            queue_depth: 32,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Handle to a running whois server.
 pub struct WhoisServer {
@@ -34,40 +66,60 @@ pub struct WhoisServer {
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl WhoisServer {
-    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving the given
-    /// mapping. The service runs until [`WhoisServer::shutdown`] or drop.
+    /// Bind to `127.0.0.1:0` (ephemeral port) and serve the given
+    /// mapping with [`ServerConfig::default`] pool sizing.
     pub fn spawn(service: Arc<MappingService>) -> std::io::Result<WhoisServer> {
+        WhoisServer::spawn_with(service, ServerConfig::default())
+    }
+
+    /// Bind to `127.0.0.1:0` and serve with explicit pool sizing and
+    /// deadlines. The service runs until [`WhoisServer::shutdown`] or
+    /// drop.
+    pub fn spawn_with(
+        service: Arc<MappingService>,
+        config: ServerConfig,
+    ) -> std::io::Result<WhoisServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        // Workers are detached and tracked by a live-connection counter:
-        // storing JoinHandles would leak a zombie thread per connection
-        // until shutdown, which a bulk client hammering the service turns
-        // into memory exhaustion.
         let active = Arc::new(AtomicUsize::new(0));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..config.max_workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let svc = Arc::clone(&service);
+                let counter = Arc::clone(&active);
+                let config = config.clone();
+                std::thread::spawn(move || worker_loop(&rx, &svc, &counter, &config))
+            })
+            .collect();
+
+        let stop2 = Arc::clone(&stop);
         let active2 = Arc::clone(&active);
+        let write_timeout = config.write_timeout;
         let accept_thread = std::thread::spawn(move || {
+            // `tx` lives in this closure: when the accept loop exits the
+            // sender drops, workers see `recv` fail and drain out.
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
-                match conn {
-                    Ok(stream) => {
-                        let svc = Arc::clone(&service);
-                        let counter = Arc::clone(&active2);
-                        counter.fetch_add(1, Ordering::SeqCst);
-                        std::thread::spawn(move || {
-                            // A failed connection is the client's problem;
-                            // the server keeps accepting.
-                            let _ = handle_connection(stream, &svc);
-                            counter.fetch_sub(1, Ordering::SeqCst);
-                        });
+                let Ok(stream) = conn else { continue };
+                active2.fetch_add(1, Ordering::SeqCst);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                        // Pool and queue saturated: shed load explicitly
+                        // rather than queueing without bound.
+                        reject_busy(stream, write_timeout);
+                        active2.fetch_sub(1, Ordering::SeqCst);
                     }
-                    Err(_) => continue,
                 }
             }
         });
@@ -76,6 +128,7 @@ impl WhoisServer {
             stop,
             active,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -84,24 +137,41 @@ impl WhoisServer {
         self.addr
     }
 
-    /// Stop accepting and join the accept thread.
-    pub fn shutdown(&mut self) {
+    /// Stop accepting, drain in-flight connections (bounded wait), and
+    /// join the pool. Returns the number of connections still active
+    /// when the drain deadline expired — 0 on a clean shutdown.
+    pub fn shutdown(&mut self) -> usize {
         if self.accept_thread.is_none() {
-            return;
+            return 0;
         }
         self.stop.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept.
-        let _ = TcpStream::connect(self.addr);
+        // Nudge the blocking accept (deadline-bounded like every other
+        // connect in the workspace).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         // Drain in-flight connections (bounded wait).
+        let mut leaked = self.active.load(Ordering::SeqCst);
         for _ in 0..200 {
-            if self.active.load(Ordering::SeqCst) == 0 {
+            if leaked == 0 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(5));
+            leaked = self.active.load(Ordering::SeqCst);
         }
+        if leaked == 0 {
+            // The sender dropped with the accept thread, so idle workers
+            // exit as soon as the queue is empty.
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        } else {
+            // Leaked connections still hold workers; detach rather than
+            // hang the caller, and report the leak.
+            self.workers.clear();
+        }
+        leaked
     }
 }
 
@@ -111,7 +181,57 @@ impl Drop for WhoisServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &MappingService) -> std::io::Result<()> {
+/// Answer `Error: busy` (deadline-bounded) and close.
+fn reject_busy(stream: TcpStream, write_timeout: Duration) {
+    // Bound the whole rejection so a stalling client cannot wedge the
+    // accept loop.
+    let deadline = write_timeout.min(Duration::from_secs(1));
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(deadline));
+    let _ = stream.set_read_timeout(Some(deadline));
+    let _ = stream.write_all(b"Error: busy\n");
+    // Drain the client's request before closing: closing with unread
+    // bytes in the receive buffer makes the kernel answer with RST,
+    // which can destroy the busy line in flight.
+    let mut sink = [0u8; 512];
+    loop {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Pool worker: serve queued connections until the sender drops.
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    service: &MappingService,
+    active: &AtomicUsize,
+    config: &ServerConfig,
+) {
+    loop {
+        let conn = {
+            let Ok(guard) = rx.lock() else { return };
+            guard.recv()
+        };
+        let Ok(stream) = conn else { return };
+        // A failed connection is the client's problem; the worker keeps
+        // serving.
+        let _ = handle_connection(stream, service, config);
+        active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &MappingService,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    // Deadlines first: a stalled client is dropped when the next line
+    // read exceeds `read_timeout`, freeing the worker.
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     let peer = stream.try_clone()?;
     let mut reader = BufReader::new(peer);
     let mut writer = BufWriter::new(stream);
@@ -183,7 +303,7 @@ mod tests {
         assert!(out.contains(&ip.to_string()), "{out}");
         let info = w.block_info(ip).unwrap();
         assert!(out.contains(&info.rir.name().to_ascii_lowercase()), "{out}");
-        srv.shutdown();
+        assert_eq!(srv.shutdown(), 0);
     }
 
     #[test]
@@ -243,13 +363,67 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(srv.active.load(Ordering::SeqCst), 0);
-        srv.shutdown();
+        assert_eq!(srv.shutdown(), 0);
+    }
+
+    #[test]
+    fn saturated_pool_sheds_load_with_busy() {
+        let w = World::generate(WorldConfig::tiny(142));
+        let svc = Arc::new(MappingService::build(&w));
+        // One worker, rendezvous queue: a single held connection
+        // saturates the server.
+        let config = ServerConfig {
+            max_workers: 1,
+            queue_depth: 0,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        };
+        let mut srv = WhoisServer::spawn_with(svc, config).expect("bind");
+
+        // Hold the only worker: send `begin` and stall mid-request.
+        let mut held = TcpStream::connect(srv.addr()).unwrap();
+        held.write_all(b"begin\n").unwrap();
+        // Let the worker dequeue the held connection.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let ip = w.interfaces[0].ip;
+        let out = talk(srv.addr(), &format!("begin\n{ip}\nend\n"));
+        assert!(out.starts_with("Error: busy"), "{out}");
+
+        // Release the worker; the next request is served normally.
+        held.write_all(b"end\n").unwrap();
+        drop(held);
+        std::thread::sleep(Duration::from_millis(50));
+        let out = talk(srv.addr(), &format!("begin\n{ip}\nend\n"));
+        assert!(out.contains(&ip.to_string()), "{out}");
+        assert_eq!(srv.shutdown(), 0);
+    }
+
+    #[test]
+    fn stalled_client_is_dropped_at_the_read_deadline() {
+        let w = World::generate(WorldConfig::tiny(143));
+        let svc = Arc::new(MappingService::build(&w));
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let mut srv = WhoisServer::spawn_with(svc, config).expect("bind");
+        // Send `begin` and stall: the server must hang up on us.
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"begin\n").unwrap();
+        let mut out = String::new();
+        // Banner arrives, then the connection closes at the deadline
+        // instead of holding the worker forever.
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("Bulk mode;"), "{out}");
+        assert_eq!(srv.shutdown(), 0);
     }
 
     #[test]
     fn shutdown_is_idempotent() {
         let (_, mut srv) = server();
-        srv.shutdown();
-        srv.shutdown();
+        assert_eq!(srv.shutdown(), 0);
+        assert_eq!(srv.shutdown(), 0);
     }
 }

@@ -9,7 +9,7 @@ use xtask::{deps, engine};
 
 const USAGE: &str = "usage: cargo xtask <command>\n\n\
 commands:\n  \
-  lint [--waivers]   run RG001-RG005 over workspace sources; non-zero exit on violations\n  \
+  lint [--waivers]   run RG001-RG006 over workspace sources; non-zero exit on violations\n  \
   fix-audit          print the violation/waiver burn-down dashboard by rule and crate\n  \
   deps               check manifests against the workspace dependency policy\n";
 

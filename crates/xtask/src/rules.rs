@@ -1,4 +1,4 @@
-//! The lint rules (RG001–RG005) evaluated over a lexed token stream.
+//! The lint rules (RG001–RG006) evaluated over a lexed token stream.
 //!
 //! Each rule is a pure function of the token stream plus precomputed
 //! context (test-region mask, attribute spans, doc-comment lines). Test
@@ -22,6 +22,9 @@ pub struct RuleSet {
     pub rg004: bool,
     /// RG005: every `pub fn` carries a doc comment.
     pub rg005: bool,
+    /// RG006: no deadline-less sockets — `TcpStream::connect` or
+    /// `set_read_timeout(None)` / `set_write_timeout(None)`.
+    pub rg006: bool,
 }
 
 impl RuleSet {
@@ -33,6 +36,7 @@ impl RuleSet {
             rg003: true,
             rg004: true,
             rg005: true,
+            rg006: true,
         }
     }
 
@@ -45,7 +49,7 @@ impl RuleSet {
 /// A single finding, before waiver application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`RG001` … `RG005`, or `XW00x` for waiver faults).
+    /// Rule identifier (`RG001` … `RG006`, or `XW00x` for waiver faults).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -227,6 +231,9 @@ pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> 
         }
         if rules.rg005 {
             check_rg005(toks, ctx, i, &mut findings);
+        }
+        if rules.rg006 {
+            check_rg006(toks, i, &mut findings);
         }
     }
     findings.sort_by_key(|f| (f.line, f.col));
@@ -450,6 +457,51 @@ fn check_rg005(toks: &[Tok], ctx: &Context, i: usize, out: &mut Vec<Finding>) {
     }
 }
 
+/// RG006: sockets without deadlines outside tests. Two shapes are
+/// flagged: `TcpStream::connect(...)` (blocks for the kernel default —
+/// minutes — on an unreachable peer; use `connect_timeout`) and
+/// `set_read_timeout(None)` / `set_write_timeout(None)` (clears a
+/// configured deadline, returning the socket to unbounded blocking).
+/// The rule cannot prove a freshly-accepted socket ever *gets* a
+/// deadline, so it polices the two constructions that demonstrably
+/// remove one; the justified exception carries a waiver.
+fn check_rg006(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    if t.text == "TcpStream"
+        && tok_is(toks, i + 1, TokKind::Punct, "::")
+        && tok_is(toks, i + 2, TokKind::Ident, "connect")
+        && tok_is(toks, i + 3, TokKind::Punct, "(")
+    {
+        let call = &toks[i + 2];
+        out.push(Finding {
+            rule: "RG006",
+            line: call.line,
+            col: call.col,
+            message: "`TcpStream::connect` has no deadline — use `connect_timeout` so an \
+                      unreachable peer cannot stall the caller"
+                .into(),
+        });
+    }
+    if (t.text == "set_read_timeout" || t.text == "set_write_timeout")
+        && tok_is(toks, i + 1, TokKind::Punct, "(")
+        && tok_is(toks, i + 2, TokKind::Ident, "None")
+    {
+        out.push(Finding {
+            rule: "RG006",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{}(None)` removes the socket deadline — pass `Some(duration)` so blocked \
+                 I/O cannot hang forever",
+                t.text
+            ),
+        });
+    }
+}
+
 /// A parsed `xtask-allow` waiver comment.
 #[derive(Debug, Clone)]
 pub struct Waiver {
@@ -627,6 +679,27 @@ mod tests {
             },
         );
         assert_eq!(fs.len(), 2);
+    }
+
+    #[test]
+    fn rg006_flags_deadline_less_sockets_only() {
+        let src = "fn f(a: SocketAddr) {\n\
+                   let s = TcpStream::connect(a);\n\
+                   let t = TcpStream::connect_timeout(&a, d);\n\
+                   t.set_read_timeout(None);\n\
+                   t.set_write_timeout(Some(d));\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn g(a: SocketAddr) { TcpStream::connect(a); } }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg006: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![2, 4], "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "RG006"));
     }
 
     #[test]

@@ -128,6 +128,31 @@ const XW_STALE: &str = "XW002";
 const XW_MALFORMED: &str = "XW001";
 
 #[test]
+fn rg006_fixture_reports_deadline_less_sockets_and_honours_waivers() {
+    let out = lint_source("bad_rg006.rs", &fixture("bad_rg006.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG006", 8),  // TcpStream::connect without a deadline
+            ("RG006", 16), // set_read_timeout(None)
+            ("RG006", 17), // set_write_timeout(None)
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // connect_timeout, Some(..) deadlines, and #[cfg(test)] code pass;
+    // the waived self-nudge is suppressed and audited.
+    assert_eq!(out.waivers.len(), 1);
+    assert_eq!(out.waivers[0].rules, vec!["RG006".to_string()]);
+    assert_eq!(out.waivers[0].suppressed, 1);
+}
+
+#[test]
 fn fixtures_are_outside_workspace_lint_scope() {
     assert!(rules_for("crates/xtask/tests/fixtures/bad_rules.rs").is_none());
 }
