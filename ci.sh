@@ -1,41 +1,83 @@
 #!/bin/sh
 # Offline CI gate for the routergeo workspace. Every step runs without
-# network access; failures stop the script immediately.
+# network access; failures stop the script immediately. A per-step
+# timing table prints on exit — including on failure — so slow or hung
+# gates are visible from the log alone.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+STEP_LOG=$(mktemp)
+CURRENT_STEP=""
+CURRENT_START=0
 
-echo "==> cargo xtask lint"
-cargo xtask lint
+summary() {
+    status=$?
+    if [ -n "$CURRENT_STEP" ]; then
+        # The step that was running when we exited never logged itself.
+        echo "$CURRENT_STEP $(( $(date +%s) - CURRENT_START )) INTERRUPTED" >> "$STEP_LOG"
+    fi
+    echo ""
+    echo "==> ci.sh step timing summary"
+    awk '{ printf "    %-28s %4ss  %s\n", $1, $2, $3 }' "$STEP_LOG"
+    rm -f "$STEP_LOG"
+    if [ "$status" -eq 0 ]; then
+        echo "ci.sh: all gates passed"
+    else
+        echo "ci.sh: FAILED (exit $status)" >&2
+    fi
+    exit "$status"
+}
+trap summary EXIT
 
-echo "==> cargo xtask deps"
-cargo xtask deps
+# step <name> <cmd...>: run a gate, echo a banner, record wall time.
+step() {
+    CURRENT_STEP=$1
+    shift
+    echo "==> $CURRENT_STEP"
+    CURRENT_START=$(date +%s)
+    "$@"
+    echo "$CURRENT_STEP $(( $(date +%s) - CURRENT_START )) ok" >> "$STEP_LOG"
+    CURRENT_STEP=""
+}
+
+step fmt cargo fmt --all --check
+step lint cargo xtask lint
+step deps cargo xtask deps
 
 # Fault-matrix gate: the resilient bulk-whois path must stay wall-clock
 # deterministic. Backoff sleeps run on an injected clock, so the whole
 # matrix — retries, timeouts, circuit breaker — completes in seconds of
 # real time; a wall-clock budget catches any regression to real sleeps.
-echo "==> fault matrix (wall-clock budget 60s)"
-cargo test -q -p routergeo-cymru --test fault_matrix --no-run
+step fault-matrix-build cargo test -q -p routergeo-cymru --test fault_matrix --no-run
 fm_start=$(date +%s)
-cargo test -q -p routergeo-cymru --test fault_matrix
+step fault-matrix cargo test -q -p routergeo-cymru --test fault_matrix
 fm_elapsed=$(( $(date +%s) - fm_start ))
-echo "fault matrix completed in ${fm_elapsed}s"
 if [ "$fm_elapsed" -gt 60 ]; then
     echo "ci.sh: fault matrix took ${fm_elapsed}s (> 60s) — backoff is sleeping on wall time" >&2
     exit 1
 fi
 
-echo "==> cargo build --release"
-cargo build --release
+step build-release cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# Determinism gate: the full Tiny-scale report must be byte-identical at
+# 1, 2, and 8 worker threads. The budget bounds the three lab builds —
+# a blowout means a parallel stage fell back to something quadratic or a
+# worker is deadlocked on the shard queue.
+step determinism-build cargo test -q --test parallel_determinism --no-run
+pd_start=$(date +%s)
+step determinism-gate cargo test -q --test parallel_determinism
+pd_elapsed=$(( $(date +%s) - pd_start ))
+if [ "$pd_elapsed" -gt 120 ]; then
+    echo "ci.sh: determinism gate took ${pd_elapsed}s (> 120s) — parallel stages regressed" >&2
+    exit 1
+fi
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+# Perf gate: fresh repro --timings vs the committed BENCH_pipeline.json
+# baseline; fails on a >2x per-stage wall-clock regression after
+# median-normalising away machine speed. Refresh with
+# `cargo xtask bench-check --bless` when a slowdown is intentional.
+step bench-check cargo xtask bench-check
 
-echo "ci.sh: all gates passed"
+step test cargo test -q
+step test-workspace cargo test --workspace -q

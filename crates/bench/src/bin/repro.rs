@@ -8,12 +8,19 @@
 //!   --csv DIR: additionally write every table as a CSV file into DIR
 //!   --gt-out FILE: export the ground-truth dataset (the paper's released
 //!                  artifact) as CSV
+//!   --threads N: worker threads for the parallel stages (output is
+//!                byte-identical at every N)
+//!   --timings FILE: write a machine-readable stage-timing report
+//!                   (the BENCH_pipeline.json format consumed by
+//!                   `cargo xtask bench-check`)
 //! environment:
-//!   ROUTERGEO_SCALE = tiny | small | tenth (default) | paper
-//!   ROUTERGEO_SEED  = u64 (default 20170301)
+//!   ROUTERGEO_SCALE   = tiny | small | tenth (default) | paper
+//!   ROUTERGEO_SEED    = u64 (default 20170301)
+//!   ROUTERGEO_THREADS = worker threads when --threads is not given
 //! ```
 
-use routergeo_bench::{experiments as exp, Lab, LabConfig};
+use routergeo_bench::lab::time_stage;
+use routergeo_bench::{experiments as exp, Lab, LabConfig, PipelineTimings};
 use routergeo_core::report::TextTable;
 use std::path::PathBuf;
 
@@ -39,6 +46,8 @@ impl Emitter {
 fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut gt_out: Option<PathBuf> = None;
+    let mut timings_out: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +64,22 @@ fn main() {
                 Some(file) => gt_out = Some(PathBuf::from(file)),
                 None => {
                     eprintln!("--gt-out requires a file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--timings" {
+            match args.next() {
+                Some(file) => timings_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--timings requires a file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--threads" {
+            match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer argument");
                     std::process::exit(2);
                 }
             }
@@ -82,13 +107,16 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20_170_301u64);
-    let config = LabConfig::from_env(seed);
+    let mut config = LabConfig::from_env(seed);
+    config.threads = threads;
     eprintln!(
-        "building lab: seed={} scale={:?} (ROUTERGEO_SCALE to change)…",
-        seed, config.scale
+        "building lab: seed={} scale={:?} threads={} (ROUTERGEO_SCALE to change)…",
+        seed,
+        config.scale,
+        config.pool().threads()
     );
     let t0 = std::time::Instant::now();
-    let lab = Lab::build(config);
+    let (lab, mut stages) = Lab::build_timed(config);
     eprintln!(
         "lab ready in {:.1?}: {} interfaces, {} routers, Ark set {}, GT {} ({} DNS / {} RTT), overlap {}",
         t0.elapsed(),
@@ -122,15 +150,30 @@ fn main() {
         out.emit("diag_gt_domains", &exp::gt_domain_stats(&lab));
     }
     if want("table1") {
-        let (_, _, t) = exp::table1(&lab);
+        let (_, _, t) = time_stage(
+            &mut stages,
+            "table1",
+            |_| lab.gt.len(),
+            || exp::table1(&lab),
+        );
         out.emit("table1", &t);
     }
     if want("coverage") {
-        let (_, t) = exp::ark_coverage(&lab);
+        let (_, t) = time_stage(
+            &mut stages,
+            "coverage",
+            |_| lab.ark.len() * lab.dbs.len(),
+            || exp::ark_coverage(&lab),
+        );
         out.emit("coverage", &t);
     }
     if want("consistency") || want("fig1") {
-        let (_, tables) = exp::ark_consistency(&lab);
+        let (_, tables) = time_stage(
+            &mut stages,
+            "consistency",
+            |_| lab.ark.len() * lab.dbs.len(),
+            || exp::ark_consistency(&lab),
+        );
         out.emit("consistency_country", &tables[0]);
         out.emit("fig1_summary", &tables[1]);
         if want_exactly("fig1") {
@@ -145,7 +188,12 @@ fn main() {
         .iter()
         .any(|e| want(e));
     if needs_accuracy {
-        let (report, tables) = exp::gt_accuracy(&lab);
+        let (report, tables) = time_stage(
+            &mut stages,
+            "accuracy",
+            |_| lab.gt.len() * lab.dbs.len(),
+            || exp::gt_accuracy(&lab),
+        );
         if want("fig2") {
             out.emit("fig2_summary", &tables[0]);
             if want_exactly("fig2") {
@@ -210,5 +258,27 @@ fn main() {
         let (drift, acc) = exp::temporal(&lab);
         out.emit("ext_temporal_drift", &drift);
         out.emit("ext_temporal_accuracy", &acc);
+    }
+
+    if let Some(path) = &timings_out {
+        let report = PipelineTimings {
+            schema: 1,
+            seed,
+            scale: lab.config.scale,
+            threads: lab.pool.threads(),
+            stages: std::mem::take(&mut stages),
+        };
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!(
+                "wrote stage timings ({} stages, {:.1} ms total) to {}",
+                report.stages.len(),
+                report.total_wall_ms(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
 }

@@ -7,8 +7,8 @@
 use crate::Lab;
 use routergeo_core::accuracy::{self, AccuracyReport};
 use routergeo_core::arin_case::{arin_case_study, ArinCaseStudy};
-use routergeo_core::consistency::{consistency, ConsistencyReport};
-use routergeo_core::coverage::{coverage, CoverageReport};
+use routergeo_core::consistency::{consistency_with, ConsistencyReport};
+use routergeo_core::coverage::{coverage_with, CoverageReport};
 use routergeo_core::groundtruth::{GtMethod, Table1Row};
 use routergeo_core::methodology::{methodology_checks, MethodologyReport};
 use routergeo_core::recommend::recommendations;
@@ -175,7 +175,7 @@ pub fn ark_coverage(lab: &Lab) -> (Vec<CoverageReport>, TextTable) {
     let reports: Vec<CoverageReport> = lab
         .dbs
         .iter()
-        .map(|db| coverage(db, &lab.ark.interfaces))
+        .map(|db| coverage_with(db, &lab.ark.interfaces, &lab.pool))
         .collect();
     let mut t = TextTable::new(
         format!(
@@ -196,7 +196,7 @@ pub fn ark_coverage(lab: &Lab) -> (Vec<CoverageReport>, TextTable) {
 
 /// E2b + E3 — §5.1 pairwise consistency and the Figure 1 distance CDFs.
 pub fn ark_consistency(lab: &Lab) -> (ConsistencyReport, Vec<TextTable>) {
-    let report = consistency(&lab.dbs, &lab.ark.interfaces);
+    let report = consistency_with(&lab.dbs, &lab.ark.interfaces, &lab.pool);
     let mut tables = Vec::new();
 
     let mut t = TextTable::new(
@@ -251,7 +251,7 @@ pub fn ark_consistency(lab: &Lab) -> (ConsistencyReport, Vec<TextTable>) {
 
 /// E4 — §5.2.1 coverage and accuracy over ground truth + Figure 2 CDFs.
 pub fn gt_accuracy(lab: &Lab) -> (AccuracyReport, Vec<TextTable>) {
-    let report = accuracy::evaluate(&lab.dbs, &lab.gt, 20);
+    let report = accuracy::evaluate_with(&lab.dbs, &lab.gt, 20, &lab.pool);
     let mut tables = Vec::new();
 
     let mut t = TextTable::new(
@@ -697,12 +697,12 @@ pub fn cbg(lab: &Lab) -> TextTable {
 /// small and the accuracy conclusions are unchanged.
 pub fn temporal(lab: &Lab) -> (TextTable, TextTable) {
     use routergeo_db::diff::diff_databases;
-    use routergeo_db::synth::{build_vendor, SignalWorld, VendorProfile};
+    use routergeo_db::synth::{build_vendor_with, SignalWorld, VendorProfile};
 
     let signals = SignalWorld::new(&lab.world);
     let later: Vec<_> = VendorProfile::all_presets()
         .into_iter()
-        .map(|p| build_vendor(&signals, &p.at_epoch(1)))
+        .map(|p| build_vendor_with(&signals, &p.at_epoch(1), &lab.pool))
         .collect();
 
     let gt_ips: Vec<std::net::Ipv4Addr> = lab.gt.entries.iter().map(|e| e.ip).collect();
@@ -729,8 +729,8 @@ pub fn temporal(lab: &Lab) -> (TextTable, TextTable) {
         ]);
     }
 
-    let before = accuracy::evaluate(&lab.dbs, &lab.gt, 5);
-    let after = accuracy::evaluate(&later, &lab.gt, 5);
+    let before = accuracy::evaluate_with(&lab.dbs, &lab.gt, 5, &lab.pool);
+    let after = accuracy::evaluate_with(&later, &lab.gt, 5, &lab.pool);
     let mut acc = TextTable::new(
         "Extension: accuracy before/after one release epoch",
         &[

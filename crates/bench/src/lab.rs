@@ -2,15 +2,57 @@
 
 use routergeo_core::groundtruth::{GroundTruth, RirAnnotation};
 use routergeo_cymru::{BulkClient, MappingService, WhoisServer};
-use routergeo_db::synth::{build_vendor, SignalWorld, VendorProfile};
+use routergeo_db::synth::{build_vendor_with, SignalWorld, VendorProfile};
 use routergeo_db::InMemoryDb;
 use routergeo_dns::RuleEngine;
 use routergeo_gazetteer::Gazetteer;
+use routergeo_pool::Pool;
 use routergeo_rtt::{build_dataset, ProximityConfig, QaReport, RttProximityDataset};
 use routergeo_trace::{
     ArkCampaign, ArkConfig, ArkDataset, AtlasBuiltins, AtlasConfig, Topology, TracerouteRecord,
 };
 use routergeo_world::{Scale, World, WorldConfig};
+use std::time::Instant;
+
+/// Wall-clock timing of one pipeline stage, for `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage name (stable identifier, used by `cargo xtask bench-check`).
+    pub stage: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Items processed (addresses, traceroutes, blocks — per stage).
+    pub items: usize,
+}
+
+impl StageTiming {
+    /// Throughput in items per second (0 when the stage was too fast to
+    /// time meaningfully).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.items as f64 / (self.wall_ms / 1000.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time one closure and append it to `stages` under `stage`.
+pub fn time_stage<T>(
+    stages: &mut Vec<StageTiming>,
+    stage: &str,
+    items: impl FnOnce(&T) -> usize,
+    f: impl FnOnce() -> T,
+) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    stages.push(StageTiming {
+        stage: stage.to_string(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+        items: items(&out),
+    });
+    out
+}
 
 /// Lab construction knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +74,10 @@ pub struct LabConfig {
     pub atlas_instances: usize,
     /// RTT-proximity thresholds and QA knobs.
     pub proximity: ProximityConfig,
+    /// Worker threads for the parallel stages (`None`: honour
+    /// `ROUTERGEO_THREADS`, falling back to the machine's parallelism).
+    /// Output is byte-identical at every setting.
+    pub threads: Option<usize>,
 }
 
 impl LabConfig {
@@ -57,6 +103,15 @@ impl LabConfig {
                 _ => 8,
             },
             proximity: ProximityConfig::default(),
+            threads: None,
+        }
+    }
+
+    /// The worker pool this config resolves to.
+    pub fn pool(&self) -> Pool {
+        match self.threads {
+            Some(n) => Pool::new(n),
+            None => Pool::from_env(),
         }
     }
 
@@ -97,28 +152,59 @@ pub struct Lab {
     pub gt: GroundTruth,
     /// GeoNames-like gazetteer (§4).
     pub gazetteer: Gazetteer,
+    /// Worker pool used for the parallel stages; experiments reuse it so
+    /// one `--threads` knob governs the whole run.
+    pub pool: Pool,
 }
 
 impl Lab {
     /// Build everything. The construction order mirrors the paper's
-    /// pipeline; every stage is deterministic in `config`.
+    /// pipeline; every stage is deterministic in `config` — including the
+    /// thread count, which never changes output bytes.
     pub fn build(config: LabConfig) -> Lab {
-        let world = World::generate(WorldConfig::new(config.seed, config.scale));
-        let topo = Topology::build(&world);
+        Lab::build_timed(config).0
+    }
+
+    /// [`Lab::build`] plus per-stage wall-clock timings, for
+    /// `repro --timings` / `BENCH_pipeline.json`.
+    pub fn build_timed(config: LabConfig) -> (Lab, Vec<StageTiming>) {
+        let pool = config.pool();
+        let mut stages = Vec::new();
+
+        let world = time_stage(
+            &mut stages,
+            "world",
+            |w: &World| w.interfaces.len(),
+            || World::generate(WorldConfig::new(config.seed, config.scale)),
+        );
+        let topo = time_stage(
+            &mut stages,
+            "topology",
+            |_| world.interfaces.len(),
+            || Topology::build(&world),
+        );
 
         // §2.1 Ark campaign → router interface dataset.
-        let ark = ArkCampaign::new(
-            &world,
-            &topo,
-            ArkConfig {
-                seed: config.seed ^ 0xA4C,
-                monitors: config.ark_monitors,
-                traceroutes: config.ark_traceroutes,
+        let ark = time_stage(
+            &mut stages,
+            "ark",
+            |d: &ArkDataset| d.interfaces.len(),
+            || {
+                ArkCampaign::new(
+                    &world,
+                    &topo,
+                    ArkConfig {
+                        seed: config.seed ^ 0xA4C,
+                        monitors: config.ark_monitors,
+                        traceroutes: config.ark_traceroutes,
+                    },
+                )
+                .extract_dataset_with(&pool)
             },
-        )
-        .extract_dataset();
+        );
 
         // §2.3.2 Atlas built-ins → RTT-proximity ground truth.
+        let atlas_t0 = Instant::now();
         let records = AtlasBuiltins::new(
             &world,
             &topo,
@@ -151,23 +237,42 @@ impl Lab {
             ..config.proximity.clone()
         };
         let (rtt_1ms, _) = build_dataset(&world, &records_1ms, &onems_cfg);
+        stages.push(StageTiming {
+            stage: "atlas_rtt".to_string(),
+            wall_ms: atlas_t0.elapsed().as_secs_f64() * 1000.0,
+            items: rtt.len() + rtt_1ms.len(),
+        });
 
         // §2.3.1 DNS-based ground truth + §2.3.3 combination.
         let engine = RuleEngine::with_gt_rules(&world);
         let whois = MappingService::build(&world);
-        let dns = GroundTruth::dns_based(&world, &engine, &whois, config.dns_gt_scale);
-        let gt = GroundTruth::combine(dns, GroundTruth::from_rtt(&rtt, &whois));
+        let gt = time_stage(
+            &mut stages,
+            "ground_truth",
+            |g: &GroundTruth| g.entries.len(),
+            || {
+                let dns = GroundTruth::dns_based(&world, &engine, &whois, config.dns_gt_scale);
+                GroundTruth::combine(dns, GroundTruth::from_rtt(&rtt, &whois))
+            },
+        );
 
         // §2.2 the four databases.
         let signals = SignalWorld::new(&world);
-        let dbs = VendorProfile::all_presets()
-            .iter()
-            .map(|p| build_vendor(&signals, p))
-            .collect();
+        let dbs = time_stage(
+            &mut stages,
+            "vendor_dbs",
+            |dbs: &Vec<InMemoryDb>| dbs.len() * world.plan().blocks().len(),
+            || {
+                VendorProfile::all_presets()
+                    .iter()
+                    .map(|p| build_vendor_with(&signals, p, &pool))
+                    .collect()
+            },
+        );
 
         let gazetteer = Gazetteer::from_world(&world, config.seed ^ 0x6E0, 3.0);
 
-        Lab {
+        let lab = Lab {
             config,
             world,
             dbs,
@@ -180,7 +285,9 @@ impl Lab {
             atlas_records: records,
             gt,
             gazetteer,
-        }
+            pool,
+        };
+        (lab, stages)
     }
 
     /// Spawn a live bulk whois server over this lab's world — the

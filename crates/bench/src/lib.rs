@@ -13,5 +13,7 @@
 
 pub mod experiments;
 pub mod lab;
+pub mod timing;
 
-pub use lab::{Lab, LabConfig};
+pub use lab::{Lab, LabConfig, StageTiming};
+pub use timing::PipelineTimings;

@@ -1,9 +1,11 @@
 //! Accuracy against ground truth (§5.2, Figures 2–5).
 
+use crate::coverage::LOOKUP_SHARD_SIZE;
 use crate::groundtruth::{GroundTruth, GtEntry, GtMethod};
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
 use routergeo_geo::{CountryCode, EmpiricalCdf, Rir, CITY_RANGE_KM};
+use routergeo_pool::Pool;
 use std::collections::HashMap;
 
 /// Accuracy of one database over one set of ground-truth entries.
@@ -48,37 +50,83 @@ impl VendorAccuracy {
     }
 }
 
-/// Evaluate one database over a set of ground-truth entries.
-pub fn evaluate_entries<'a, D: GeoDatabase>(
+/// Partial [`VendorAccuracy`] counts for one shard of entries.
+struct EntryTally {
+    total: usize,
+    country_covered: usize,
+    country_correct: usize,
+    city_covered: usize,
+    city_correct: usize,
+    errors: Vec<f64>,
+}
+
+fn tally_entries<D: GeoDatabase>(db: &D, entries: &[&GtEntry]) -> EntryTally {
+    let mut t = EntryTally {
+        total: 0,
+        country_covered: 0,
+        country_correct: 0,
+        city_covered: 0,
+        city_correct: 0,
+        errors: Vec::new(),
+    };
+    for e in entries {
+        t.total += 1;
+        let Some(rec) = db.lookup(e.ip) else { continue };
+        if let Some(cc) = rec.country {
+            t.country_covered += 1;
+            if cc == e.country {
+                t.country_correct += 1;
+            }
+        }
+        if rec.has_city() {
+            t.city_covered += 1;
+            let d = rec
+                .coord
+                .expect("has_city implies coord")
+                .distance_km(&e.coord);
+            t.errors.push(d);
+            if d <= CITY_RANGE_KM {
+                t.city_correct += 1;
+            }
+        }
+    }
+    t
+}
+
+/// Evaluate one database over a set of ground-truth entries. Thread
+/// count from the environment ([`Pool::from_env`]).
+pub fn evaluate_entries<'a, D: GeoDatabase + Sync>(
     db: &D,
     entries: impl IntoIterator<Item = &'a GtEntry>,
 ) -> VendorAccuracy {
+    evaluate_entries_with(db, entries, &Pool::from_env())
+}
+
+/// [`evaluate_entries`] on an explicit pool. Counts are summed and the
+/// error samples concatenated in shard order, so the Figure 2 CDF sees
+/// the same sample sequence the serial loop would produce.
+pub fn evaluate_entries_with<'a, D: GeoDatabase + Sync>(
+    db: &D,
+    entries: impl IntoIterator<Item = &'a GtEntry>,
+    pool: &Pool,
+) -> VendorAccuracy {
+    let list: Vec<&GtEntry> = entries.into_iter().collect();
+    let tallies = pool.map_shards(0, &list, LOOKUP_SHARD_SIZE, |_, chunk| {
+        tally_entries(db, chunk)
+    });
     let mut total = 0usize;
     let mut country_covered = 0usize;
     let mut country_correct = 0usize;
     let mut city_covered = 0usize;
     let mut city_correct = 0usize;
     let mut errors = Vec::new();
-    for e in entries {
-        total += 1;
-        let Some(rec) = db.lookup(e.ip) else { continue };
-        if let Some(cc) = rec.country {
-            country_covered += 1;
-            if cc == e.country {
-                country_correct += 1;
-            }
-        }
-        if rec.has_city() {
-            city_covered += 1;
-            let d = rec
-                .coord
-                .expect("has_city implies coord")
-                .distance_km(&e.coord);
-            errors.push(d);
-            if d <= CITY_RANGE_KM {
-                city_correct += 1;
-            }
-        }
+    for t in tallies {
+        total += t.total;
+        country_covered += t.country_covered;
+        country_correct += t.country_correct;
+        city_covered += t.city_covered;
+        city_correct += t.city_correct;
+        errors.extend(t.errors);
     }
     VendorAccuracy {
         database: db.name().to_string(),
@@ -119,15 +167,28 @@ pub struct AccuracyReport {
 
 /// Evaluate all databases over the full ground truth with every breakdown
 /// the paper reports. `top_countries` bounds the Figure 4 x-axis (the
-/// paper uses 20).
-pub fn evaluate<D: GeoDatabase>(
+/// paper uses 20). Thread count from the environment
+/// ([`Pool::from_env`]).
+pub fn evaluate<D: GeoDatabase + Sync>(
     dbs: &[D],
     gt: &GroundTruth,
     top_countries: usize,
 ) -> AccuracyReport {
+    evaluate_with(dbs, gt, top_countries, &Pool::from_env())
+}
+
+/// [`evaluate`] on an explicit pool; every breakdown slice is evaluated
+/// through [`evaluate_entries_with`], so the whole report is identical
+/// at every thread count.
+pub fn evaluate_with<D: GeoDatabase + Sync>(
+    dbs: &[D],
+    gt: &GroundTruth,
+    top_countries: usize,
+    pool: &Pool,
+) -> AccuracyReport {
     let overall: Vec<VendorAccuracy> = dbs
         .iter()
-        .map(|d| evaluate_entries(d, &gt.entries))
+        .map(|d| evaluate_entries_with(d, &gt.entries, pool))
         .collect();
 
     let by_rir = dbs
@@ -135,7 +196,13 @@ pub fn evaluate<D: GeoDatabase>(
         .map(|d| {
             Rir::TABLE1_ORDER
                 .iter()
-                .map(|rir| evaluate_entries(d, gt.entries.iter().filter(|e| e.rir == Some(*rir))))
+                .map(|rir| {
+                    evaluate_entries_with(
+                        d,
+                        gt.entries.iter().filter(|e| e.rir == Some(*rir)),
+                        pool,
+                    )
+                })
                 .collect()
         })
         .collect();
@@ -153,7 +220,9 @@ pub fn evaluate<D: GeoDatabase>(
         .map(|(cc, n)| {
             let accs = dbs
                 .iter()
-                .map(|d| evaluate_entries(d, gt.entries.iter().filter(|e| e.country == cc)))
+                .map(|d| {
+                    evaluate_entries_with(d, gt.entries.iter().filter(|e| e.country == cc), pool)
+                })
                 .collect();
             (cc, n, accs)
         })
@@ -163,8 +232,8 @@ pub fn evaluate<D: GeoDatabase>(
         .iter()
         .map(|d| {
             [
-                evaluate_entries(d, gt.of_method(GtMethod::DnsBased)),
-                evaluate_entries(d, gt.of_method(GtMethod::RttProximity)),
+                evaluate_entries_with(d, gt.of_method(GtMethod::DnsBased), pool),
+                evaluate_entries_with(d, gt.of_method(GtMethod::RttProximity), pool),
             ]
         })
         .collect();
@@ -174,9 +243,10 @@ pub fn evaluate<D: GeoDatabase>(
     let degraded = dbs
         .iter()
         .map(|d| {
-            evaluate_entries(
+            evaluate_entries_with(
                 d,
                 gt.entries.iter().filter(|e| degraded_set.contains(&e.ip)),
+                pool,
             )
         })
         .collect();

@@ -6,9 +6,11 @@
 //! yields a distance distribution over the addresses that are city-level
 //! in **all** participating databases (the paper's Figure 1 population).
 
+use crate::coverage::LOOKUP_SHARD_SIZE;
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
 use routergeo_geo::{EmpiricalCdf, CITY_RANGE_KM};
+use routergeo_pool::Pool;
 use std::net::Ipv4Addr;
 
 /// Pairwise and overall consistency over an address set.
@@ -54,17 +56,28 @@ impl ConsistencyReport {
     }
 }
 
-/// Compute the consistency report for a set of databases over `ips`.
-pub fn consistency<D: GeoDatabase>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyReport {
-    let n = dbs.len();
-    let mut both_have = vec![vec![0usize; n]; n];
-    let mut agree = vec![vec![0usize; n]; n];
-    let mut all_have = 0usize;
-    let mut all_agree = 0usize;
-    let mut pair_samples: Vec<Vec<f64>> = vec![Vec::new(); n * n];
-    let mut city_in_all = 0usize;
+/// Per-shard accumulator for [`consistency_with`]: every matrix is a
+/// flat `n*n` vector keyed `i*n + j` with `i < j`.
+struct ShardTally {
+    both_have: Vec<usize>,
+    agree: Vec<usize>,
+    all_have: usize,
+    all_agree: usize,
+    city_in_all: usize,
+    pair_samples: Vec<Vec<f64>>,
+}
 
-    for ip in ips {
+fn tally_chunk<D: GeoDatabase>(dbs: &[D], chunk: &[Ipv4Addr]) -> ShardTally {
+    let n = dbs.len();
+    let mut t = ShardTally {
+        both_have: vec![0usize; n * n],
+        agree: vec![0usize; n * n],
+        all_have: 0,
+        all_agree: 0,
+        city_in_all: 0,
+        pair_samples: vec![Vec::new(); n * n],
+    };
+    for ip in chunk {
         let records: Vec<_> = dbs.iter().map(|d| d.lookup(*ip)).collect();
         let countries: Vec<_> = records
             .iter()
@@ -74,18 +87,18 @@ pub fn consistency<D: GeoDatabase>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyRe
         for i in 0..n {
             for j in i + 1..n {
                 if let (Some(a), Some(b)) = (countries[i], countries[j]) {
-                    both_have[i][j] += 1;
+                    t.both_have[i * n + j] += 1;
                     if a == b {
-                        agree[i][j] += 1;
+                        t.agree[i * n + j] += 1;
                     }
                 }
             }
         }
         if countries.iter().all(|c| c.is_some()) {
-            all_have += 1;
+            t.all_have += 1;
             let first = countries[0];
             if countries.iter().all(|c| *c == first) {
-                all_agree += 1;
+                t.all_agree += 1;
             }
         }
 
@@ -96,13 +109,55 @@ pub fn consistency<D: GeoDatabase>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyRe
             .collect();
         let city_coords: Vec<_> = coords.iter().flatten().collect();
         if city_coords.len() == n {
-            city_in_all += 1;
+            t.city_in_all += 1;
             for i in 0..n {
                 for j in i + 1..n {
                     let d = city_coords[i].distance_km(city_coords[j]);
-                    pair_samples[i * n + j].push(d);
+                    t.pair_samples[i * n + j].push(d);
                 }
             }
+        }
+    }
+    t
+}
+
+/// Compute the consistency report for a set of databases over `ips`.
+/// Thread count from the environment ([`Pool::from_env`]).
+pub fn consistency<D: GeoDatabase + Sync>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyReport {
+    consistency_with(dbs, ips, &Pool::from_env())
+}
+
+/// [`consistency`] on an explicit pool. Shards tally independently;
+/// counts are summed and the pairwise distance samples concatenated in
+/// shard order, so the CDFs see the exact sample sequence the serial
+/// loop would produce and the report is byte-identical at every thread
+/// count.
+pub fn consistency_with<D: GeoDatabase + Sync>(
+    dbs: &[D],
+    ips: &[Ipv4Addr],
+    pool: &Pool,
+) -> ConsistencyReport {
+    let n = dbs.len();
+    let tallies = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
+        tally_chunk(dbs, chunk)
+    });
+
+    let mut both_have = vec![0usize; n * n];
+    let mut agree = vec![0usize; n * n];
+    let mut all_have = 0usize;
+    let mut all_agree = 0usize;
+    let mut city_in_all = 0usize;
+    let mut pair_samples: Vec<Vec<f64>> = vec![Vec::new(); n * n];
+    for t in tallies {
+        for k in 0..n * n {
+            both_have[k] += t.both_have[k];
+            agree[k] += t.agree[k];
+        }
+        all_have += t.all_have;
+        all_agree += t.all_agree;
+        city_in_all += t.city_in_all;
+        for (k, samples) in t.pair_samples.into_iter().enumerate() {
+            pair_samples[k].extend(samples);
         }
     }
 
@@ -114,7 +169,7 @@ pub fn consistency<D: GeoDatabase>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyRe
                         1.0
                     } else {
                         let (a, b) = (i.min(j), i.max(j));
-                        ratio(agree[a][b], both_have[a][b])
+                        ratio(agree[a * n + b], both_have[a * n + b])
                     }
                 })
                 .collect()

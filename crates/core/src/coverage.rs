@@ -3,7 +3,13 @@
 
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
+use routergeo_pool::Pool;
 use std::net::Ipv4Addr;
+
+/// Addresses per shard for the parallel evaluators in this crate.
+/// Lookups draw no randomness, so the shard seed is irrelevant; the
+/// size is fixed (never thread-derived) to keep merge order stable.
+pub(crate) const LOOKUP_SHARD_SIZE: usize = 4096;
 
 /// Coverage of one database over one address set.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,28 +38,49 @@ impl CoverageReport {
     }
 }
 
-/// Measure coverage of `db` over `ips`.
-pub fn coverage<D: GeoDatabase>(db: &D, ips: &[Ipv4Addr]) -> CoverageReport {
-    let mut with_record = 0usize;
-    let mut with_country = 0usize;
-    let mut with_city = 0usize;
-    for ip in ips {
-        let Some(rec) = db.lookup(*ip) else { continue };
-        with_record += 1;
-        if rec.has_country() {
-            with_country += 1;
+/// Measure coverage of `db` over `ips`. Thread count from the
+/// environment ([`Pool::from_env`]).
+pub fn coverage<D: GeoDatabase + Sync>(db: &D, ips: &[Ipv4Addr]) -> CoverageReport {
+    coverage_with(db, ips, &Pool::from_env())
+}
+
+/// [`coverage`] on an explicit pool: shards tally independently and the
+/// per-shard counts are summed in shard order, so the report is
+/// identical at every thread count.
+pub fn coverage_with<D: GeoDatabase + Sync>(
+    db: &D,
+    ips: &[Ipv4Addr],
+    pool: &Pool,
+) -> CoverageReport {
+    let tallies = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
+        let mut with_record = 0usize;
+        let mut with_country = 0usize;
+        let mut with_city = 0usize;
+        for ip in chunk {
+            let Some(rec) = db.lookup(*ip) else { continue };
+            with_record += 1;
+            if rec.has_country() {
+                with_country += 1;
+            }
+            if rec.has_city() {
+                with_city += 1;
+            }
         }
-        if rec.has_city() {
-            with_city += 1;
-        }
-    }
-    CoverageReport {
+        (with_record, with_country, with_city)
+    });
+    let mut report = CoverageReport {
         database: db.name().to_string(),
         total: ips.len(),
-        with_record,
-        with_country,
-        with_city,
+        with_record: 0,
+        with_country: 0,
+        with_city: 0,
+    };
+    for (record, country, city) in tallies {
+        report.with_record += record;
+        report.with_country += country;
+        report.with_city += city;
     }
+    report
 }
 
 #[cfg(test)]

@@ -83,7 +83,7 @@ impl EndpointComparison {
 }
 
 /// Evaluate every database over both populations.
-pub fn routers_vs_endpoints<D: GeoDatabase>(
+pub fn routers_vs_endpoints<D: GeoDatabase + Sync>(
     dbs: &[D],
     world: &World,
     router_gt: &GroundTruth,

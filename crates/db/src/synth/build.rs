@@ -6,7 +6,14 @@ use crate::inmem::{InMemoryDb, InMemoryDbBuilder};
 use crate::record::{Granularity, LocationRecord};
 use routergeo_geo::country::lookup;
 use routergeo_geo::Coordinate;
-use routergeo_world::CityId;
+use routergeo_pool::Pool;
+use routergeo_world::{BlockInfo, CityId};
+
+/// Address blocks per shard when building a vendor image in parallel.
+/// Fixed (never thread-derived): every block's record is a pure hash of
+/// `(vendor, block)` via [`SignalWorld`], so sharding only changes which
+/// worker computes it, never what is computed.
+const VENDOR_SHARD_SIZE: usize = 2048;
 
 /// How a vendor arrived at a block's location — drives the resolution and
 /// granularity of the published record.
@@ -45,110 +52,141 @@ fn vendor_city_coord(
     routergeo_geo::distance::destination(&c.coord, bearing, dist)
 }
 
-/// Build one vendor's database over the whole address plan.
-pub fn build_vendor(signals: &SignalWorld<'_>, profile: &VendorProfile) -> InMemoryDb {
+/// The record a vendor publishes for one block, or `None` when the
+/// vendor's corpus misses the block. Pure in `(signals, profile, info)`
+/// — every draw is a stateless hash — so blocks can be computed in any
+/// order, on any worker.
+fn block_record(
+    signals: &SignalWorld<'_>,
+    profile: &VendorProfile,
+    info: &BlockInfo,
+) -> Option<LocationRecord> {
     let world = signals.world();
-    let mut builder = InMemoryDbBuilder::new(profile.id.name());
 
-    for info in world.plan().blocks() {
-        // Record coverage: drawn on the corpus stream so vendors sharing a
-        // corpus (the MaxMind editions) miss the same blocks.
-        let cov = signals.draw(profile.corpus.salt() ^ 0xC07E, info);
-        if cov >= profile.record_coverage {
-            continue;
-        }
-
-        // Gather evidence in the vendor's priority order.
-        let dns = if profile.uses_dns {
-            signals.dns_hint(
-                profile.coord_table_salt,
-                profile.dns_avail,
-                profile.dns_stale,
-                info,
-            )
-        } else {
-            None
-        };
-        let avail = match signals.block_kind(info) {
-            super::signals::BlockKind::Stub => profile.meas_avail_stub,
-            super::signals::BlockKind::DomesticTransit => profile.meas_avail_domestic,
-            super::signals::BlockKind::GlobalTransit => profile.meas_avail_transit,
-        };
-        let meas = signals.measurement_at_epoch(
-            profile.corpus,
-            avail,
-            profile.corpus_lag,
-            profile.epoch,
-            info,
-        );
-        let (registry_country, registry_city) = signals.registry(info);
-
-        let evidence = match (dns, meas) {
-            (Some(city), _) => Evidence::Dns(city),
-            (None, Some(m)) if m.host_precision => Evidence::MeasHost(m.city),
-            (None, Some(m)) => Evidence::MeasBlock(m.city),
-            (None, None) => Evidence::Registry(registry_city),
-        };
-
-        let (city, granularity, confident) = match evidence {
-            Evidence::Dns(c) => (c, Granularity::SubBlock, true),
-            Evidence::MeasHost(c) => (c, Granularity::SubBlock, true),
-            Evidence::MeasBlock(c) => (c, Granularity::Block24, true),
-            Evidence::Registry(c) => (c, Granularity::Aggregate, false),
-        };
-
-        // Country: from the evidence city when confident, from the
-        // registry otherwise (the registry city *is* in the registry
-        // country, but stating it explicitly keeps the mechanism visible).
-        let country = if confident {
-            world.city(city).country
-        } else {
-            registry_country
-        };
-
-        // City policy decides the published resolution.
-        let publish_city = match profile.city_policy {
-            CityPolicy::Always { p_centroid } => {
-                if !confident && signals.draw(0x0CE2_701D, info) < p_centroid {
-                    // Country-centroid fallback: coordinates, no city.
-                    let record = LocationRecord {
-                        country: Some(country),
-                        region: None,
-                        city: None,
-                        coord: lookup(country).map(|i| i.centroid()),
-                        granularity,
-                    };
-                    builder.push_prefix(info.block, record);
-                    continue;
-                }
-                true
-            }
-            CityPolicy::Confident {
-                p_city_from_registry,
-            } => confident || signals.draw(0x02E6_C17F, info) < p_city_from_registry,
-        };
-
-        let record = if publish_city {
-            let c = world.city(city);
-            LocationRecord {
-                country: Some(country),
-                region: Some(c.region.clone()),
-                city: Some(c.name.clone()),
-                coord: Some(vendor_city_coord(
-                    world,
-                    profile.coord_table_salt,
-                    profile.coord_table_refresh,
-                    profile.coord_jitter_km,
-                    city,
-                )),
-                granularity,
-            }
-        } else {
-            LocationRecord::country_level(country, granularity)
-        };
-        builder.push_prefix(info.block, record);
+    // Record coverage: drawn on the corpus stream so vendors sharing a
+    // corpus (the MaxMind editions) miss the same blocks.
+    let cov = signals.draw(profile.corpus.salt() ^ 0xC07E, info);
+    if cov >= profile.record_coverage {
+        return None;
     }
 
+    // Gather evidence in the vendor's priority order.
+    let dns = if profile.uses_dns {
+        signals.dns_hint(
+            profile.coord_table_salt,
+            profile.dns_avail,
+            profile.dns_stale,
+            info,
+        )
+    } else {
+        None
+    };
+    let avail = match signals.block_kind(info) {
+        super::signals::BlockKind::Stub => profile.meas_avail_stub,
+        super::signals::BlockKind::DomesticTransit => profile.meas_avail_domestic,
+        super::signals::BlockKind::GlobalTransit => profile.meas_avail_transit,
+    };
+    let meas = signals.measurement_at_epoch(
+        profile.corpus,
+        avail,
+        profile.corpus_lag,
+        profile.epoch,
+        info,
+    );
+    let (registry_country, registry_city) = signals.registry(info);
+
+    let evidence = match (dns, meas) {
+        (Some(city), _) => Evidence::Dns(city),
+        (None, Some(m)) if m.host_precision => Evidence::MeasHost(m.city),
+        (None, Some(m)) => Evidence::MeasBlock(m.city),
+        (None, None) => Evidence::Registry(registry_city),
+    };
+
+    let (city, granularity, confident) = match evidence {
+        Evidence::Dns(c) => (c, Granularity::SubBlock, true),
+        Evidence::MeasHost(c) => (c, Granularity::SubBlock, true),
+        Evidence::MeasBlock(c) => (c, Granularity::Block24, true),
+        Evidence::Registry(c) => (c, Granularity::Aggregate, false),
+    };
+
+    // Country: from the evidence city when confident, from the
+    // registry otherwise (the registry city *is* in the registry
+    // country, but stating it explicitly keeps the mechanism visible).
+    let country = if confident {
+        world.city(city).country
+    } else {
+        registry_country
+    };
+
+    // City policy decides the published resolution.
+    let publish_city = match profile.city_policy {
+        CityPolicy::Always { p_centroid } => {
+            if !confident && signals.draw(0x0CE2_701D, info) < p_centroid {
+                // Country-centroid fallback: coordinates, no city.
+                return Some(LocationRecord {
+                    country: Some(country),
+                    region: None,
+                    city: None,
+                    coord: lookup(country).map(|i| i.centroid()),
+                    granularity,
+                });
+            }
+            true
+        }
+        CityPolicy::Confident {
+            p_city_from_registry,
+        } => confident || signals.draw(0x02E6_C17F, info) < p_city_from_registry,
+    };
+
+    let record = if publish_city {
+        let c = world.city(city);
+        LocationRecord {
+            country: Some(country),
+            region: Some(c.region.clone()),
+            city: Some(c.name.clone()),
+            coord: Some(vendor_city_coord(
+                world,
+                profile.coord_table_salt,
+                profile.coord_table_refresh,
+                profile.coord_jitter_km,
+                city,
+            )),
+            granularity,
+        }
+    } else {
+        LocationRecord::country_level(country, granularity)
+    };
+    Some(record)
+}
+
+/// Build one vendor's database over the whole address plan. Thread
+/// count from the environment ([`Pool::from_env`]).
+pub fn build_vendor(signals: &SignalWorld<'_>, profile: &VendorProfile) -> InMemoryDb {
+    build_vendor_with(signals, profile, &Pool::from_env())
+}
+
+/// [`build_vendor`] on an explicit pool. Shards of the block plan are
+/// rendered concurrently and their `(prefix, record)` rows fed to the
+/// builder in shard order — the same insertion sequence as the serial
+/// loop, so the image is byte-identical at every thread count.
+pub fn build_vendor_with(
+    signals: &SignalWorld<'_>,
+    profile: &VendorProfile,
+    pool: &Pool,
+) -> InMemoryDb {
+    let world = signals.world();
+    let blocks = world.plan().blocks();
+    let shards = pool.map_shards(0, blocks, VENDOR_SHARD_SIZE, |_, chunk| {
+        chunk
+            .iter()
+            .filter_map(|info| block_record(signals, profile, info).map(|r| (info.block, r)))
+            .collect::<Vec<_>>()
+    });
+
+    let mut builder = InMemoryDbBuilder::new(profile.id.name());
+    for (prefix, record) in shards.into_iter().flatten() {
+        builder.push_prefix(prefix, record);
+    }
     builder.build().expect("plan blocks are disjoint")
 }
 
@@ -177,6 +215,27 @@ mod tests {
         let b = build_vendor(&signals, &p);
         for iface in w.interfaces.iter().step_by(41) {
             assert_eq!(a.lookup(iface.ip), b.lookup(iface.ip));
+        }
+    }
+
+    #[test]
+    fn parallel_image_is_identical_to_serial() {
+        let w = World::generate(WorldConfig::tiny(178));
+        let signals = SignalWorld::new(&w);
+        for p in VendorProfile::all_presets() {
+            let serial = build_vendor_with(&signals, &p, &Pool::serial());
+            for threads in [2, 8] {
+                let parallel = build_vendor_with(&signals, &p, &Pool::new(threads));
+                for iface in w.interfaces.iter().step_by(17) {
+                    assert_eq!(
+                        serial.lookup(iface.ip),
+                        parallel.lookup(iface.ip),
+                        "{} threads={threads} ip={}",
+                        p.id.name(),
+                        iface.ip
+                    );
+                }
+            }
         }
     }
 

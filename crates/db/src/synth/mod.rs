@@ -31,7 +31,7 @@
 pub mod build;
 pub mod signals;
 
-pub use build::build_vendor;
+pub use build::{build_vendor, build_vendor_with};
 pub use signals::SignalWorld;
 
 /// The four databases the paper evaluates.

@@ -209,6 +209,7 @@ impl ChaosProxy {
         });
         let stop2 = Arc::clone(&stop);
         let shared2 = Arc::clone(&shared);
+        // xtask-allow: RG007 accept loop must outlive this call; pool shards are scoped
         let accept_thread = std::thread::spawn(move || {
             let mut idx = 0usize;
             for conn in listener.incoming() {
@@ -220,6 +221,7 @@ impl ChaosProxy {
                 let conn_idx = idx;
                 idx += 1;
                 shared.active.fetch_add(1, Ordering::SeqCst);
+                // xtask-allow: RG007 per-connection chaos thread, detached by design
                 std::thread::spawn(move || {
                     let record = handle(stream, conn_idx, &shared);
                     if let Ok(mut stats) = shared.stats.lock() {

@@ -10,12 +10,19 @@
 use crate::engine::TraceEngine;
 use crate::graph::{PathTree, Topology};
 use crate::record::TracerouteRecord;
+use crate::rttmodel::SplitMix64;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use routergeo_pool::{plan_shards, Pool, Shard};
 use routergeo_world::{OperatorKind, PopId, World};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+
+/// Traceroutes per shard. Fixed (never derived from the thread count) so
+/// the per-shard destination RNG streams — and therefore the extracted
+/// dataset — are identical at every thread count.
+const ARK_SHARD_SIZE: usize = 1024;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -132,25 +139,36 @@ impl<'w> ArkCampaign<'w> {
         self.monitors.len()
     }
 
-    /// Run the campaign, invoking `sink` on every traceroute record.
-    ///
-    /// Destinations are random hosts in random allocated /24 blocks;
-    /// monitors rotate round-robin, mirroring Ark's team probing.
-    pub fn run<F: FnMut(&TracerouteRecord)>(&self, mut sink: F) -> usize {
-        let world = self.engine.world();
-        let blocks = world.plan().blocks();
+    /// Total traceroutes a full campaign runs (the `traceroutes`
+    /// override, or eight passes over every allocated /24).
+    pub fn total_traceroutes(&self) -> usize {
+        let blocks = self.engine.world().plan().blocks();
         if blocks.is_empty() || self.monitors.is_empty() {
             return 0;
         }
-        let total = self
-            .config
+        self.config
             .traceroutes
-            .unwrap_or_else(|| blocks.len().saturating_mul(8));
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xDE57);
-        for i in 0..total {
+            .unwrap_or_else(|| blocks.len().saturating_mul(8))
+    }
+
+    /// Run one shard of the campaign, invoking `sink` on every record.
+    ///
+    /// Destination draws come from the shard's private [`SplitMix64`]
+    /// stream, so the traceroutes of shard `k` are the same no matter
+    /// which worker (or how many workers) executes it. Monitors rotate
+    /// round-robin on the *global* traceroute index, mirroring Ark's
+    /// team probing.
+    pub fn run_shard<F: FnMut(&TracerouteRecord)>(&self, shard: &Shard, mut sink: F) {
+        let world = self.engine.world();
+        let blocks = world.plan().blocks();
+        if blocks.is_empty() || self.monitors.is_empty() {
+            return;
+        }
+        let mut rng = SplitMix64::new(shard.seed);
+        for i in shard.start..shard.end {
             let monitor = &self.monitors[i % self.monitors.len()];
-            let block = &blocks[rng.gen_range(0..blocks.len())];
-            let host = rng.gen_range(1..255u64);
+            let block = &blocks[(rng.next_u64() % blocks.len() as u64) as usize];
+            let host = 1 + rng.next_u64() % 254;
             let dst_ip = block.block.nth(host).expect("host in /24");
             let src_coord = world.city(world.pop(monitor.pop).city).coord;
             if let Some(rec) = self.engine.trace(
@@ -164,28 +182,55 @@ impl<'w> ArkCampaign<'w> {
                 sink(&rec);
             }
         }
+    }
+
+    /// Run the whole campaign serially, invoking `sink` on every
+    /// traceroute record in global order.
+    pub fn run<F: FnMut(&TracerouteRecord)>(&self, mut sink: F) -> usize {
+        let total = self.total_traceroutes();
+        for shard in plan_shards(self.config.seed ^ 0xDE57, total, ARK_SHARD_SIZE) {
+            self.run_shard(&shard, &mut sink);
+        }
         total
     }
 
     /// Run the campaign and extract the unique interface addresses —
-    /// the Ark-topo-router dataset.
+    /// the Ark-topo-router dataset. Thread count from the environment
+    /// ([`Pool::from_env`]).
     pub fn extract_dataset(&self) -> ArkDataset {
-        let mut seen: HashSet<Ipv4Addr> = HashSet::new();
+        self.extract_dataset_with(&Pool::from_env())
+    }
+
+    /// [`extract_dataset`](ArkCampaign::extract_dataset) on an explicit
+    /// pool. Shards run concurrently; each yields its own sorted
+    /// interface set and the union is re-sorted, so the result is
+    /// byte-identical at every thread count.
+    pub fn extract_dataset_with(&self, pool: &Pool) -> ArkDataset {
         let world = self.engine.world();
-        let run = self.run(|rec| {
-            for ip in rec.responding_intermediate_ips() {
-                // Keep only addresses that are actually router interfaces;
-                // destination hosts that happened to reply are endpoints.
-                if world.find_interface(ip).is_some() {
-                    seen.insert(ip);
-                }
-            }
-        });
-        let mut interfaces: Vec<Ipv4Addr> = seen.into_iter().collect();
+        let total = self.total_traceroutes();
+        let per_shard: Vec<Vec<Ipv4Addr>> =
+            pool.run_shards(self.config.seed ^ 0xDE57, total, ARK_SHARD_SIZE, |shard| {
+                let mut seen: HashSet<Ipv4Addr> = HashSet::new();
+                self.run_shard(shard, |rec| {
+                    for ip in rec.responding_intermediate_ips() {
+                        // Keep only addresses that are actually router
+                        // interfaces; destination hosts that happened to
+                        // reply are endpoints.
+                        if world.find_interface(ip).is_some() {
+                            seen.insert(ip);
+                        }
+                    }
+                });
+                let mut found: Vec<Ipv4Addr> = seen.into_iter().collect();
+                found.sort();
+                found
+            });
+        let mut interfaces: Vec<Ipv4Addr> = per_shard.into_iter().flatten().collect();
         interfaces.sort();
+        interfaces.dedup();
         ArkDataset {
             interfaces,
-            traceroutes_run: run,
+            traceroutes_run: total,
         }
     }
 }
@@ -213,6 +258,36 @@ mod tests {
         let b = ArkCampaign::new(&w, &topo, cfg).extract_dataset();
         assert_eq!(a.interfaces, b.interfaces);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn parallel_dataset_is_identical_to_serial() {
+        let w = World::generate(WorldConfig::tiny(46));
+        let (topo, cfg) = campaign(&w);
+        let c = ArkCampaign::new(&w, &topo, cfg);
+        let serial = c.extract_dataset_with(&Pool::serial());
+        for threads in [2, 8] {
+            let parallel = c.extract_dataset_with(&Pool::new(threads));
+            assert_eq!(serial.interfaces, parallel.interfaces, "threads={threads}");
+            assert_eq!(serial.traceroutes_run, parallel.traceroutes_run);
+        }
+        assert!(!serial.is_empty());
+    }
+
+    #[test]
+    fn run_matches_sharded_traversal() {
+        // `run` must visit exactly the shard plan in order: collecting
+        // per-shard records by hand reproduces the serial sink stream.
+        let w = World::generate(WorldConfig::tiny(47));
+        let (topo, cfg) = campaign(&w);
+        let c = ArkCampaign::new(&w, &topo, cfg.clone());
+        let mut via_run = Vec::new();
+        let total = c.run(|rec| via_run.push(rec.dst_ip));
+        let mut via_shards = Vec::new();
+        for shard in plan_shards(cfg.seed ^ 0xDE57, total, ARK_SHARD_SIZE) {
+            c.run_shard(&shard, |rec| via_shards.push(rec.dst_ip));
+        }
+        assert_eq!(via_run, via_shards);
     }
 
     #[test]

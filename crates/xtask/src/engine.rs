@@ -16,7 +16,7 @@ use crate::rules::{self, Finding, RuleSet};
 /// Library crates subject to the panic-safety rules (RG001): everything
 /// under `crates/` that external code links against. `xtask` dogfoods
 /// the same rules; `bench` is a harness binary and exempt from RG001.
-const LIB_CRATES: [&str; 12] = [
+const LIB_CRATES: [&str; 13] = [
     "geo",
     "net",
     "db",
@@ -28,6 +28,7 @@ const LIB_CRATES: [&str; 12] = [
     "cymru",
     "faultnet",
     "gazetteer",
+    "pool",
     "xtask",
 ];
 
@@ -133,12 +134,16 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         rules.rg004 = true;
         rules.rg005 = RG005_CRATES.contains(&krate);
         rules.rg006 = true;
+        // `pool` is the one place allowed to own threads: everything
+        // else goes through its deterministic sharded map-reduce.
+        rules.rg007 = krate != "pool";
     } else if rel.starts_with("src/") {
         // Umbrella library + CLI binaries: panics are still forbidden in
         // non-test code, but startup `expect`s with reasons are allowed.
         rules.rg002 = true;
         rules.rg004 = true;
         rules.rg006 = true;
+        rules.rg007 = true;
     } else {
         return None;
     }
@@ -270,11 +275,14 @@ mod tests {
     #[test]
     fn classification_by_path() {
         let geo = rules_for("crates/geo/src/coord.rs").expect("in scope");
-        assert!(geo.rg001 && geo.rg002 && geo.rg004 && geo.rg006);
+        assert!(geo.rg001 && geo.rg002 && geo.rg004 && geo.rg006 && geo.rg007);
         assert!(!geo.rg003 && !geo.rg005);
 
         let faultnet = rules_for("crates/faultnet/src/proxy.rs").expect("in scope");
-        assert!(faultnet.rg001 && faultnet.rg006);
+        assert!(faultnet.rg001 && faultnet.rg006 && faultnet.rg007);
+
+        let pool = rules_for("crates/pool/src/lib.rs").expect("in scope");
+        assert!(pool.rg001 && !pool.rg007, "pool owns the threads");
 
         let trie = rules_for("crates/net/src/trie.rs").expect("in scope");
         assert!(trie.rg003);
@@ -289,7 +297,7 @@ mod tests {
         assert!(!bench.rg001 && bench.rg002);
 
         let root_bin = rules_for("src/bin/routergeo.rs").expect("in scope");
-        assert!(!root_bin.rg001 && root_bin.rg002 && root_bin.rg006);
+        assert!(!root_bin.rg001 && root_bin.rg002 && root_bin.rg006 && root_bin.rg007);
 
         assert!(rules_for("vendor/rand/src/lib.rs").is_none());
         assert!(rules_for("crates/geo/tests/prop_geo.rs").is_none());

@@ -4,17 +4,21 @@
 //! invoked through the cargo alias defined in `.cargo/config.toml`:
 //!
 //! ```text
-//! cargo xtask lint            # RG001–RG005 over workspace sources
+//! cargo xtask lint            # RG001–RG007 over workspace sources
 //! cargo xtask lint --waivers  # also list every active waiver
 //! cargo xtask fix-audit       # burn-down dashboard by rule and crate
 //! cargo xtask deps            # offline manifest / dependency policy
+//! cargo xtask bench-check     # compare repro --timings vs the baseline
+//! cargo xtask bench-check --bless  # refresh BENCH_pipeline.json
 //! ```
 //!
 //! The engine parses Rust at the token level ([`lexer`]), evaluates the
 //! rules ([`rules`]), classifies files and applies waivers ([`engine`]),
-//! and checks manifests ([`deps`]). See CONTRIBUTING.md for the rule
+//! checks manifests ([`deps`]), and gates stage timings against the
+//! committed baseline ([`bench`]). See CONTRIBUTING.md for the rule
 //! catalogue and how to add a rule.
 
+pub mod bench;
 pub mod deps;
 pub mod engine;
 pub mod lexer;

@@ -5,13 +5,15 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{deps, engine};
+use xtask::{bench, deps, engine};
 
 const USAGE: &str = "usage: cargo xtask <command>\n\n\
 commands:\n  \
-  lint [--waivers]   run RG001-RG006 over workspace sources; non-zero exit on violations\n  \
-  fix-audit          print the violation/waiver burn-down dashboard by rule and crate\n  \
-  deps               check manifests against the workspace dependency policy\n";
+  lint [--waivers]      run RG001-RG007 over workspace sources; non-zero exit on violations\n  \
+  fix-audit             print the violation/waiver burn-down dashboard by rule and crate\n  \
+  deps                  check manifests against the workspace dependency policy\n  \
+  bench-check [--bless] run repro --timings at tiny scale and gate per-stage wall clock\n  \
+                        against BENCH_pipeline.json (--bless refreshes the baseline)\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -31,6 +33,14 @@ fn main() -> ExitCode {
         }
         Some("fix-audit") => run_fix_audit(&root),
         Some("deps") => run_deps(&root),
+        Some("bench-check") => {
+            let bless = args.iter().any(|a| a == "--bless");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--bless") {
+                eprintln!("xtask bench-check: unknown flag `{bad}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            run_bench_check(&root, bless)
+        }
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
@@ -140,6 +150,111 @@ fn crate_of(rel: &str) -> String {
         .and_then(|r| r.split('/').next())
         .unwrap_or("routergeo")
         .to_string()
+}
+
+/// The experiments timed for the baseline: the lab build stages come for
+/// free; these names also pull the four analysis stages into the report.
+const BENCH_EXPERIMENTS: [&str; 4] = ["table1", "coverage", "consistency", "fig2"];
+
+fn run_bench_check(root: &PathBuf, bless: bool) -> ExitCode {
+    let baseline_path = root.join("BENCH_pipeline.json");
+    let fresh_path = root.join("target").join("BENCH_pipeline.fresh.json");
+    if let Err(err) = std::fs::create_dir_all(root.join("target")) {
+        eprintln!("xtask bench-check: cannot create target dir: {err}");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("xtask bench-check: timing repro at tiny scale (release)…");
+    let status = std::process::Command::new("cargo")
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "routergeo-bench",
+            "--bin",
+            "repro",
+            "--",
+        ])
+        .args(BENCH_EXPERIMENTS)
+        .arg("--timings")
+        .arg(&fresh_path)
+        .env("ROUTERGEO_SCALE", "tiny")
+        .env("ROUTERGEO_SEED", "20170301")
+        .stdout(std::process::Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask bench-check: repro exited with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(err) => {
+            eprintln!("xtask bench-check: cannot run repro: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if bless {
+        return match std::fs::copy(&fresh_path, &baseline_path) {
+            Ok(_) => {
+                eprintln!(
+                    "xtask bench-check: blessed {} from this run",
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!(
+                    "xtask bench-check: cannot write {}: {err}",
+                    baseline_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let read = |p: &std::path::Path| -> Result<bench::Report, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        bench::parse_report(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let (base, fresh) = match (read(&baseline_path), read(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!(
+                "xtask bench-check: {e}\n(run `cargo xtask bench-check --bless` to create the baseline)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmp = match bench::compare(&base, &fresh, bench::THRESHOLD) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask bench-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>8}",
+        "stage", "base ms", "fresh ms", "ratio", "norm"
+    );
+    for c in &cmp {
+        println!("{c}");
+    }
+    let failed = cmp.iter().filter(|c| c.failed).count();
+    eprintln!(
+        "xtask bench-check: {} stage(s), {} regression(s) beyond {:.1}x (smoothing {:.0} ms, median-normalised)",
+        cmp.len(),
+        failed,
+        bench::THRESHOLD,
+        bench::SMOOTHING_MS
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run_deps(root: &PathBuf) -> ExitCode {

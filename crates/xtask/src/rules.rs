@@ -1,4 +1,4 @@
-//! The lint rules (RG001–RG006) evaluated over a lexed token stream.
+//! The lint rules (RG001–RG007) evaluated over a lexed token stream.
 //!
 //! Each rule is a pure function of the token stream plus precomputed
 //! context (test-region mask, attribute spans, doc-comment lines). Test
@@ -25,6 +25,10 @@ pub struct RuleSet {
     /// RG006: no deadline-less sockets — `TcpStream::connect` or
     /// `set_read_timeout(None)` / `set_write_timeout(None)`.
     pub rg006: bool,
+    /// RG007: no ad-hoc threading (`thread::spawn` / `thread::scope`)
+    /// outside `crates/pool` — deterministic fan-out goes through the
+    /// worker pool.
+    pub rg007: bool,
 }
 
 impl RuleSet {
@@ -37,6 +41,7 @@ impl RuleSet {
             rg004: true,
             rg005: true,
             rg006: true,
+            rg007: true,
         }
     }
 
@@ -49,7 +54,7 @@ impl RuleSet {
 /// A single finding, before waiver application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`RG001` … `RG006`, or `XW00x` for waiver faults).
+    /// Rule identifier (`RG001` … `RG007`, or `XW00x` for waiver faults).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -234,6 +239,9 @@ pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> 
         }
         if rules.rg006 {
             check_rg006(toks, i, &mut findings);
+        }
+        if rules.rg007 {
+            check_rg007(toks, i, &mut findings);
         }
     }
     findings.sort_by_key(|f| (f.line, f.col));
@@ -502,6 +510,38 @@ fn check_rg006(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
     }
 }
 
+/// RG007: ad-hoc threading outside the worker pool. `thread::spawn`
+/// spreads per-call-site thread management (join handling, panic
+/// propagation, nondeterministic merge order) across the codebase;
+/// `thread::scope` invites result ordering that depends on the thread
+/// count. Both belong behind `routergeo_pool::Pool`, whose sharded
+/// map-reduce keeps output byte-identical at any parallelism. The rule
+/// matches the path form (`thread::spawn`, `std::thread::scope`), which
+/// is how every real call site reads; pre-pool code keeps a waiver.
+fn check_rg007(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || t.text != "thread" {
+        return;
+    }
+    if !tok_is(toks, i + 1, TokKind::Punct, "::") {
+        return;
+    }
+    let Some(call) = toks.get(i + 2) else { return };
+    if call.kind != TokKind::Ident || (call.text != "spawn" && call.text != "scope") {
+        return;
+    }
+    out.push(Finding {
+        rule: "RG007",
+        line: call.line,
+        col: call.col,
+        message: format!(
+            "`thread::{}` outside `crates/pool` — use `routergeo_pool::Pool` so fan-out \
+             stays deterministic and panics carry shard attribution",
+            call.text
+        ),
+    });
+}
+
 /// A parsed `xtask-allow` waiver comment.
 #[derive(Debug, Clone)]
 pub struct Waiver {
@@ -700,6 +740,27 @@ mod tests {
         let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
         assert_eq!(got, vec![2, 4], "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == "RG006"));
+    }
+
+    #[test]
+    fn rg007_flags_spawn_and_scope_paths_only() {
+        let src = "fn f() {\n\
+                   let h = std::thread::spawn(|| 1);\n\
+                   thread::scope(|s| { s.spawn(|| 2); });\n\
+                   thread::sleep(d);\n\
+                   pool.run_shards(0, n, 64, work);\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn g() { thread::spawn(|| 3); } }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg007: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![2, 3], "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "RG007"));
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Fixture: RG007 fires on ad-hoc threading and respects waivers and
+//! test exemptions.
+
+use std::thread;
+
+fn detached_fanout(n: usize) -> Vec<thread::JoinHandle<usize>> {
+    (0..n).map(|i| thread::spawn(move || i * 2)).collect()
+}
+
+fn scoped_fanout(items: &[u64]) -> u64 {
+    thread::scope(|s| {
+        let h = s.spawn(|| items.iter().sum::<u64>());
+        h.join().unwrap_or(0)
+    })
+}
+
+fn sleeping_is_fine() {
+    thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn waived_watchdog() {
+    // xtask-allow: RG007 watchdog must outlive the caller; not data-parallel work
+    std::thread::spawn(|| loop {
+        thread::sleep(std::time::Duration::from_secs(60));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_spawn() {
+        let h = thread::spawn(|| 42);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

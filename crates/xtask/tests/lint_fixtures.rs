@@ -153,6 +153,38 @@ fn rg006_fixture_reports_deadline_less_sockets_and_honours_waivers() {
 }
 
 #[test]
+fn rg007_fixture_reports_ad_hoc_threading_and_honours_waivers() {
+    let out = lint_source("bad_rg007.rs", &fixture("bad_rg007.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG007", 7),  // thread::spawn fan-out
+            ("RG007", 11), // thread::scope fan-out
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // thread::sleep, scope-handle `.spawn`, and #[cfg(test)] code pass;
+    // the waived watchdog is suppressed and audited.
+    assert_eq!(out.waivers.len(), 1);
+    assert_eq!(out.waivers[0].rules, vec!["RG007".to_string()]);
+    assert_eq!(out.waivers[0].suppressed, 1);
+}
+
+#[test]
+fn pool_crate_is_exempt_from_rg007_everyone_else_is_not() {
+    let pool = rules_for("crates/pool/src/lib.rs").expect("in scope");
+    assert!(!pool.rg007);
+    let core = rules_for("crates/core/src/accuracy.rs").expect("in scope");
+    assert!(core.rg007);
+}
+
+#[test]
 fn fixtures_are_outside_workspace_lint_scope() {
     assert!(rules_for("crates/xtask/tests/fixtures/bad_rules.rs").is_none());
 }

@@ -25,6 +25,7 @@ pub use routergeo_dns as dns;
 pub use routergeo_gazetteer as gazetteer;
 pub use routergeo_geo as geo;
 pub use routergeo_net as net;
+pub use routergeo_pool as pool;
 pub use routergeo_rtt as rtt;
 pub use routergeo_trace as trace;
 pub use routergeo_world as world;
