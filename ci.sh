@@ -79,5 +79,13 @@ fi
 # `cargo xtask bench-check --bless` when a slowdown is intentional.
 step bench-check cargo xtask bench-check
 
+# Observability gate: a traced Tiny run must satisfy every structural
+# invariant of the obs JSONL schema — span open/close accounting,
+# counter identities (cdf/cymru/pool), histogram bucket totals.
+step obs-trace env ROUTERGEO_SCALE=tiny ROUTERGEO_SEED=20170301 \
+    sh -c 'cargo run --release -q -p routergeo-bench --bin repro -- \
+        table1 coverage consistency fig2 --obs target/obs_ci.jsonl > /dev/null'
+step obs-check cargo xtask obs-check target/obs_ci.jsonl
+
 step test cargo test -q
 step test-workspace cargo test --workspace -q

@@ -13,15 +13,20 @@
 //!   --timings FILE: write a machine-readable stage-timing report
 //!                   (the BENCH_pipeline.json format consumed by
 //!                   `cargo xtask bench-check`)
+//!   --obs FILE: enable structured tracing and write the JSONL trace
+//!               (spans + metrics snapshot; verify with
+//!               `cargo xtask obs-check FILE`)
 //! environment:
 //!   ROUTERGEO_SCALE   = tiny | small | tenth (default) | paper
 //!   ROUTERGEO_SEED    = u64 (default 20170301)
 //!   ROUTERGEO_THREADS = worker threads when --threads is not given
+//!   ROUTERGEO_OBS     = trace file when --obs is not given
 //! ```
 
 use routergeo_bench::lab::time_stage;
 use routergeo_bench::{experiments as exp, Lab, LabConfig, PipelineTimings};
 use routergeo_core::report::TextTable;
+use routergeo_cymru::BulkClient;
 use std::path::PathBuf;
 
 /// Output sink: prints tables and optionally mirrors them as CSV files.
@@ -47,6 +52,7 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut gt_out: Option<PathBuf> = None;
     let mut timings_out: Option<PathBuf> = None;
+    let mut obs_out: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -75,6 +81,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--obs" {
+            match args.next() {
+                Some(file) => obs_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--obs requires a file argument");
+                    std::process::exit(2);
+                }
+            }
         } else if arg == "--threads" {
             match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
@@ -89,6 +103,16 @@ fn main() {
     }
     if wanted.is_empty() {
         wanted.push("all".to_string());
+    }
+    if obs_out.is_none() {
+        if let Ok(path) = std::env::var("ROUTERGEO_OBS") {
+            if !path.is_empty() {
+                obs_out = Some(PathBuf::from(path));
+            }
+        }
+    }
+    if obs_out.is_some() {
+        routergeo_obs::enable();
     }
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -116,7 +140,7 @@ fn main() {
         config.pool().threads()
     );
     let t0 = std::time::Instant::now();
-    let (lab, mut stages) = Lab::build_timed(config);
+    let (mut lab, mut stages) = Lab::build_timed(config);
     eprintln!(
         "lab ready in {:.1?}: {} interfaces, {} routers, Ark set {}, GT {} ({} DNS / {} RTT), overlap {}",
         t0.elapsed(),
@@ -258,6 +282,33 @@ fn main() {
         let (drift, acc) = exp::temporal(&lab);
         out.emit("ext_temporal_drift", &drift);
         out.emit("ext_temporal_accuracy", &acc);
+    }
+
+    if obs_out.is_some() {
+        // Exercise the resilient bulk-whois socket path so the trace
+        // carries the cymru retry/degraded counters. Re-annotation is
+        // idempotent: it recomputes the RIR tags the lab already holds.
+        match lab.spawn_whois() {
+            Ok(mut srv) => {
+                let client = BulkClient::new(srv.addr());
+                let ann = lab.annotate_rir_over_socket(&client);
+                eprintln!(
+                    "obs: re-annotated RIRs over socket ({} resolved, {} degraded)",
+                    ann.resolved, ann.degraded
+                );
+                srv.shutdown();
+            }
+            Err(e) => eprintln!("obs: cannot spawn whois server: {e}"),
+        }
+    }
+    if let Some(path) = &obs_out {
+        match routergeo_obs::write_jsonl(path) {
+            Ok(()) => eprintln!("wrote observability trace to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
 
     if let Some(path) = &timings_out {

@@ -233,6 +233,16 @@ pub fn ark_consistency(lab: &Lab) -> (ConsistencyReport, Vec<TextTable>) {
             ]);
         }
     }
+    // NaN-drop footer: distances that could not enter any CDF. Mirrors
+    // the fig3 degraded-coverage line — never silently shrink a figure.
+    if report.dropped_nan > 0 {
+        t.row(&[
+            "DROPPED (non-finite distance)".to_string(),
+            report.dropped_nan.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+    }
     tables.push(t);
 
     // Full CDF series for the paper's four plotted pairs.
@@ -276,6 +286,18 @@ pub fn gt_accuracy(lab: &Lab) -> (AccuracyReport, Vec<TextTable>) {
             pct(a.city_coverage()),
             pct(a.city_accuracy()),
             a.city_covered.to_string(),
+        ]);
+    }
+    // NaN-drop footer, as in Figure 1: errors excluded from the CDFs.
+    let dropped: usize = report.overall.iter().map(|a| a.dropped_nan).sum();
+    if dropped > 0 {
+        t.row(&[
+            "DROPPED (non-finite error)".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            dropped.to_string(),
         ]);
     }
     tables.push(t);
@@ -656,7 +678,7 @@ pub fn cbg(lab: &Lab) -> TextTable {
         ),
         &["Method", "median km", "<=40km", "<=100km", "coverage"],
     );
-    let cbg_cdf =
+    let (cbg_cdf, mut dropped_nan) =
         routergeo_geo::EmpiricalCdf::from_iter_lossy(results.iter().map(|(_, _, err)| *err));
     t.row(&[
         "CBG (probes as landmarks)".to_string(),
@@ -680,13 +702,23 @@ pub fn cbg(lab: &Lab) -> TextTable {
             let router = lab.world.router_of_ip(*ip).expect("interface");
             errs.push(rec.coord.expect("city").distance_km(&router.coord));
         }
-        let cdf = routergeo_geo::EmpiricalCdf::from_iter_lossy(errs);
+        let (cdf, db_dropped) = routergeo_geo::EmpiricalCdf::from_iter_lossy(errs);
+        dropped_nan += db_dropped;
         t.row(&[
             db.name().to_string(),
             cdf.median().map(|m| format!("{m:.1}")).unwrap_or_default(),
             pct(cdf.fraction_leq(40.0)),
             pct(cdf.fraction_leq(100.0)),
             pct(routergeo_geo::stats::ratio(covered, results.len())),
+        ]);
+    }
+    if dropped_nan > 0 {
+        t.row(&[
+            "DROPPED (non-finite error)".to_string(),
+            dropped_nan.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
         ]);
     }
     t
@@ -960,7 +992,9 @@ mod tests {
         let _ = cbg(lab());
         let results = routergeo_rtt::cbg::evaluate_cbg(&lab().world, &lab().atlas_records, 20.0, 2);
         assert!(results.len() > 100, "{} CBG targets", results.len());
-        let cdf = routergeo_geo::EmpiricalCdf::from_iter_lossy(results.iter().map(|(_, _, e)| *e));
+        let (cdf, dropped) =
+            routergeo_geo::EmpiricalCdf::from_iter_lossy(results.iter().map(|(_, _, e)| *e));
+        assert_eq!(dropped, 0, "CBG errors are finite");
         assert!(cdf.median().unwrap() < 100.0);
     }
 

@@ -12,47 +12,8 @@ use routergeo_trace::{
     ArkCampaign, ArkConfig, ArkDataset, AtlasBuiltins, AtlasConfig, Topology, TracerouteRecord,
 };
 use routergeo_world::{Scale, World, WorldConfig};
-use std::time::Instant;
 
-/// Wall-clock timing of one pipeline stage, for `BENCH_pipeline.json`.
-#[derive(Debug, Clone)]
-pub struct StageTiming {
-    /// Stage name (stable identifier, used by `cargo xtask bench-check`).
-    pub stage: String,
-    /// Wall-clock milliseconds.
-    pub wall_ms: f64,
-    /// Items processed (addresses, traceroutes, blocks — per stage).
-    pub items: usize,
-}
-
-impl StageTiming {
-    /// Throughput in items per second (0 when the stage was too fast to
-    /// time meaningfully).
-    pub fn items_per_sec(&self) -> f64 {
-        if self.wall_ms > 0.0 {
-            self.items as f64 / (self.wall_ms / 1000.0)
-        } else {
-            0.0
-        }
-    }
-}
-
-/// Time one closure and append it to `stages` under `stage`.
-pub fn time_stage<T>(
-    stages: &mut Vec<StageTiming>,
-    stage: &str,
-    items: impl FnOnce(&T) -> usize,
-    f: impl FnOnce() -> T,
-) -> T {
-    let t0 = Instant::now();
-    let out = f();
-    stages.push(StageTiming {
-        stage: stage.to_string(),
-        wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
-        items: items(&out),
-    });
-    out
-}
+pub use crate::timing::{time_stage, StageClock, StageTiming};
 
 /// Lab construction knobs.
 #[derive(Debug, Clone)]
@@ -204,7 +165,7 @@ impl Lab {
         );
 
         // §2.3.2 Atlas built-ins → RTT-proximity ground truth.
-        let atlas_t0 = Instant::now();
+        let atlas_clock = StageClock::start("atlas_rtt");
         let records = AtlasBuiltins::new(
             &world,
             &topo,
@@ -237,11 +198,7 @@ impl Lab {
             ..config.proximity.clone()
         };
         let (rtt_1ms, _) = build_dataset(&world, &records_1ms, &onems_cfg);
-        stages.push(StageTiming {
-            stage: "atlas_rtt".to_string(),
-            wall_ms: atlas_t0.elapsed().as_secs_f64() * 1000.0,
-            items: rtt.len() + rtt_1ms.len(),
-        });
+        atlas_clock.finish(&mut stages, rtt.len() + rtt_1ms.len());
 
         // §2.3.1 DNS-based ground truth + §2.3.3 combination.
         let engine = RuleEngine::with_gt_rules(&world);

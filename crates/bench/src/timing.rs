@@ -1,4 +1,5 @@
-//! Machine-readable pipeline timings (`BENCH_pipeline.json`).
+//! Machine-readable pipeline timings (`BENCH_pipeline.json`) and the
+//! bench crate's sanctioned wall-clock primitives.
 //!
 //! The `repro --timings out.json` flag serialises one
 //! [`PipelineTimings`] per run: per-stage wall-clock milliseconds and
@@ -9,9 +10,82 @@
 //!
 //! The format is deliberately line-oriented — one stage object per line —
 //! so the std-only parser in `xtask` never needs a real JSON library.
+//!
+//! This module is also the only bench file allowed to call
+//! `Instant::now()` directly (xtask rule RG008): every stage
+//! measurement goes through [`time_stage`] or [`StageClock`], which
+//! additionally emit a `stage.<name>` observability span when tracing
+//! is enabled (see DESIGN.md §9).
 
-use crate::lab::StageTiming;
 use routergeo_world::Scale;
+use std::time::Instant;
+
+/// Wall-clock timing of one pipeline stage, for `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage name (stable identifier, used by `cargo xtask bench-check`).
+    pub stage: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Items processed (addresses, traceroutes, blocks — per stage).
+    pub items: usize,
+}
+
+impl StageTiming {
+    /// Throughput in items per second (0 when the stage was too fast to
+    /// time meaningfully).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.items as f64 / (self.wall_ms / 1000.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A running stage measurement: the sanctioned way to time a region
+/// that cannot be expressed as one closure (e.g. a stage assembled from
+/// several intermediate values). Opens a `stage.<name>` span on start;
+/// [`StageClock::finish`] closes it and appends the [`StageTiming`].
+pub struct StageClock {
+    stage: String,
+    t0: Instant,
+    span: routergeo_obs::SpanGuard,
+}
+
+impl StageClock {
+    /// Start timing `stage`.
+    pub fn start(stage: &str) -> StageClock {
+        StageClock {
+            stage: stage.to_string(),
+            t0: Instant::now(),
+            span: routergeo_obs::span(&format!("stage.{stage}"), Vec::new()),
+        }
+    }
+
+    /// Stop the clock, close the span, and append the timing.
+    pub fn finish(mut self, stages: &mut Vec<StageTiming>, items: usize) {
+        self.span.attr("items", items);
+        stages.push(StageTiming {
+            stage: self.stage,
+            wall_ms: self.t0.elapsed().as_secs_f64() * 1000.0,
+            items,
+        });
+    }
+}
+
+/// Time one closure and append it to `stages` under `stage`.
+pub fn time_stage<T>(
+    stages: &mut Vec<StageTiming>,
+    stage: &str,
+    items: impl FnOnce(&T) -> usize,
+    f: impl FnOnce() -> T,
+) -> T {
+    let clock = StageClock::start(stage);
+    let out = f();
+    clock.finish(stages, items(&out));
+    out
+}
 
 /// A full timing report for one `repro` run.
 #[derive(Debug, Clone)]

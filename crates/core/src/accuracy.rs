@@ -26,6 +26,11 @@ pub struct VendorAccuracy {
     /// Geolocation-error samples (km) for the city-covered entries —
     /// the Figure 2 CDF for this database.
     pub error_cdf: EmpiricalCdf,
+    /// NaN error samples dropped while building [`VendorAccuracy::error_cdf`].
+    /// Structurally 0 on healthy runs (errors are great-circle
+    /// distances); a non-zero count is surfaced as a figure footer so a
+    /// shrunken denominator is never silent.
+    pub dropped_nan: usize,
 }
 
 impl VendorAccuracy {
@@ -111,6 +116,9 @@ pub fn evaluate_entries_with<'a, D: GeoDatabase + Sync>(
     pool: &Pool,
 ) -> VendorAccuracy {
     let list: Vec<&GtEntry> = entries.into_iter().collect();
+    let mut span =
+        routergeo_obs::span!("core.accuracy", database = db.name(), entries = list.len());
+    routergeo_obs::counter("accuracy.entries").add(list.len() as u64);
     let tallies = pool.map_shards(0, &list, LOOKUP_SHARD_SIZE, |_, chunk| {
         tally_entries(db, chunk)
     });
@@ -128,6 +136,17 @@ pub fn evaluate_entries_with<'a, D: GeoDatabase + Sync>(
         city_correct += t.city_correct;
         errors.extend(t.errors);
     }
+    let error_km = routergeo_obs::histogram("accuracy.error_km");
+    for e in &errors {
+        if e.is_finite() && *e >= 0.0 {
+            // Rounded km in log2 buckets: a deterministic quantity, so
+            // the metrics snapshot stays byte-identical across thread
+            // counts (samples are concatenated in shard order).
+            error_km.record(e.round() as u64);
+        }
+    }
+    let (error_cdf, dropped_nan) = EmpiricalCdf::from_iter_lossy(errors);
+    span.attr("city_covered", city_covered);
     VendorAccuracy {
         database: db.name().to_string(),
         total,
@@ -135,7 +154,8 @@ pub fn evaluate_entries_with<'a, D: GeoDatabase + Sync>(
         country_correct,
         city_covered,
         city_correct,
-        error_cdf: EmpiricalCdf::from_iter_lossy(errors),
+        error_cdf,
+        dropped_nan,
     }
 }
 

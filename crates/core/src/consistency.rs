@@ -32,6 +32,11 @@ pub struct ConsistencyReport {
     pub city_in_all: usize,
     /// Pairwise distance CDFs over that population, keyed `(i, j)`, i < j.
     pub pair_distance: Vec<((usize, usize), EmpiricalCdf)>,
+    /// NaN distance samples dropped while building the pairwise CDFs,
+    /// summed over pairs. Structurally 0 on healthy runs; a non-zero
+    /// count is surfaced as a figure footer (like the degraded-RIR
+    /// line) instead of silently shrinking the Figure 1 denominators.
+    pub dropped_nan: usize,
 }
 
 impl ConsistencyReport {
@@ -138,6 +143,8 @@ pub fn consistency_with<D: GeoDatabase + Sync>(
     pool: &Pool,
 ) -> ConsistencyReport {
     let n = dbs.len();
+    let mut span = routergeo_obs::span!("core.consistency", databases = n, addresses = ips.len());
+    routergeo_obs::counter("consistency.addresses").add(ips.len() as u64);
     let tallies = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
         tally_chunk(dbs, chunk)
     });
@@ -177,13 +184,17 @@ pub fn consistency_with<D: GeoDatabase + Sync>(
         .collect();
 
     let mut pair_distance = Vec::new();
+    let mut dropped_nan = 0usize;
     for i in 0..n {
         for j in i + 1..n {
             let samples = std::mem::take(&mut pair_samples[i * n + j]);
-            pair_distance.push(((i, j), EmpiricalCdf::from_iter_lossy(samples)));
+            let (cdf, dropped) = EmpiricalCdf::from_iter_lossy(samples);
+            dropped_nan += dropped;
+            pair_distance.push(((i, j), cdf));
         }
     }
 
+    span.attr("city_in_all", city_in_all);
     ConsistencyReport {
         databases: dbs.iter().map(|d| d.name().to_string()).collect(),
         total: ips.len(),
@@ -192,6 +203,7 @@ pub fn consistency_with<D: GeoDatabase + Sync>(
         all_country_covered: all_have,
         city_in_all,
         pair_distance,
+        dropped_nan,
     }
 }
 

@@ -52,6 +52,9 @@ pub fn coverage_with<D: GeoDatabase + Sync>(
     ips: &[Ipv4Addr],
     pool: &Pool,
 ) -> CoverageReport {
+    let mut span =
+        routergeo_obs::span!("core.coverage", database = db.name(), addresses = ips.len());
+    routergeo_obs::counter("coverage.addresses").add(ips.len() as u64);
     let tallies = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
         let mut with_record = 0usize;
         let mut with_country = 0usize;
@@ -80,6 +83,8 @@ pub fn coverage_with<D: GeoDatabase + Sync>(
         report.with_country += country;
         report.with_city += city;
     }
+    routergeo_obs::counter("coverage.with_record").add(report.with_record as u64);
+    span.attr("with_record", report.with_record);
     report
 }
 

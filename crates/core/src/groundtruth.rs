@@ -214,6 +214,7 @@ impl GroundTruth {
     /// in [`GroundTruth::degraded`], so a partially-down whois service
     /// shrinks the per-region breakdown instead of aborting the run.
     pub fn annotate_rir_bulk(&mut self, client: &BulkClient) -> RirAnnotation {
+        let mut span = routergeo_obs::span!("core.annotate_rir", addresses = self.entries.len());
         let ips: Vec<Ipv4Addr> = self.entries.iter().map(|e| e.ip).collect();
         let outcome = client.lookup(&ips);
         let rir_by_ip: HashMap<Ipv4Addr, Rir> = outcome
@@ -241,6 +242,9 @@ impl GroundTruth {
                 ann.not_found += 1;
             }
         }
+        routergeo_obs::counter("gt.rir_degraded").add(ann.degraded as u64);
+        span.attr("resolved", ann.resolved);
+        span.attr("degraded", ann.degraded);
         ann
     }
 }

@@ -287,9 +287,14 @@ impl BulkClient {
     /// `attempts · (connect + read/write deadlines) + backoff` per chunk
     /// and can never hang the caller.
     pub fn lookup(&self, ips: &[Ipv4Addr]) -> BulkOutcome {
+        let mut span = routergeo_obs::span!("cymru.bulk_lookup", requested = ips.len());
         let mut out = BulkOutcome::default();
         let mut seen = HashSet::new();
         let unique: Vec<Ipv4Addr> = ips.iter().copied().filter(|ip| seen.insert(*ip)).collect();
+        routergeo_obs::counter("cymru.addrs_requested").add(unique.len() as u64);
+        let chunks_ok = routergeo_obs::counter("cymru.chunks_ok");
+        let chunks_failed = routergeo_obs::counter("cymru.chunks_failed");
+        let chunks_skipped = routergeo_obs::counter("cymru.chunks_skipped");
         let chunk_size = self.config.chunk_size.max(1);
         let mut consecutive_failures = 0u32;
         for (chunk_idx, chunk) in unique.chunks(chunk_size).enumerate() {
@@ -297,7 +302,11 @@ impl BulkClient {
             if self.config.breaker_threshold > 0
                 && consecutive_failures >= self.config.breaker_threshold
             {
+                if !out.stats.breaker_tripped {
+                    routergeo_obs::counter("cymru.breaker_trips").incr();
+                }
                 out.stats.breaker_tripped = true;
+                chunks_skipped.incr();
                 for ip in chunk {
                     out.failed.push(AddrFailure {
                         ip: *ip,
@@ -308,11 +317,22 @@ impl BulkClient {
                 continue;
             }
             if self.run_chunk(chunk_idx, chunk, &mut out) {
+                chunks_ok.incr();
                 consecutive_failures = 0;
             } else {
+                chunks_failed.incr();
                 consecutive_failures += 1;
             }
         }
+        routergeo_obs::counter("cymru.chunks").add(out.stats.chunks as u64);
+        routergeo_obs::counter("cymru.retries").add(out.stats.retries as u64);
+        routergeo_obs::counter("cymru.backoff_waits").add(out.stats.backoff.len() as u64);
+        routergeo_obs::counter("cymru.addrs_found").add(out.found.len() as u64);
+        routergeo_obs::counter("cymru.addrs_not_found").add(out.not_found.len() as u64);
+        routergeo_obs::counter("cymru.addrs_failed").add(out.failed.len() as u64);
+        span.attr("chunks", out.stats.chunks);
+        span.attr("retries", out.stats.retries);
+        span.attr("failed", out.failed.len());
         out
     }
 

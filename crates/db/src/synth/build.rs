@@ -176,6 +176,12 @@ pub fn build_vendor_with(
 ) -> InMemoryDb {
     let world = signals.world();
     let blocks = world.plan().blocks();
+    let mut span = routergeo_obs::span!(
+        "db.synth",
+        vendor = profile.id.name(),
+        blocks = blocks.len()
+    );
+    routergeo_obs::counter("db.synth.blocks").add(blocks.len() as u64);
     let shards = pool.map_shards(0, blocks, VENDOR_SHARD_SIZE, |_, chunk| {
         chunk
             .iter()
@@ -184,9 +190,12 @@ pub fn build_vendor_with(
     });
 
     let mut builder = InMemoryDbBuilder::new(profile.id.name());
+    let mut rows = 0usize;
     for (prefix, record) in shards.into_iter().flatten() {
         builder.push_prefix(prefix, record);
+        rows += 1;
     }
+    span.attr("rows", rows);
     builder.build().expect("plan blocks are disjoint")
 }
 

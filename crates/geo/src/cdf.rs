@@ -18,7 +18,9 @@ use std::fmt;
 /// let errors = EmpiricalCdf::new(vec![2.0, 15.0, 38.0, 700.0]).unwrap();
 /// // Three of four answers are within the paper's 40 km city range.
 /// assert_eq!(errors.fraction_leq(40.0), 0.75);
-/// assert_eq!(errors.median(), Some(15.0));
+/// // Even-length median is the conventional midpoint of the two
+/// // middle samples, (15 + 38) / 2.
+/// assert_eq!(errors.median(), Some(26.5));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalCdf {
@@ -47,13 +49,24 @@ impl EmpiricalCdf {
         Ok(EmpiricalCdf { sorted: samples })
     }
 
-    /// Build from an iterator, silently dropping NaN values.
-    ///
-    /// Convenient for analysis pipelines where a NaN indicates an upstream
-    /// record that was already excluded from the figure.
-    pub fn from_iter_lossy<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        let samples: Vec<f64> = iter.into_iter().filter(|v| !v.is_nan()).collect();
-        EmpiricalCdf::new(samples).expect("NaN filtered")
+    /// Build from an iterator, dropping NaN values. Returns the CDF and
+    /// the number of samples dropped, so callers can surface a shrunken
+    /// figure denominator instead of hiding it; the drop is also
+    /// recorded on the `cdf.samples_in` / `cdf.samples_kept` /
+    /// `cdf.dropped_nan` obs counters, which `cargo xtask obs-check`
+    /// cross-checks against each other.
+    pub fn from_iter_lossy<I: IntoIterator<Item = f64>>(iter: I) -> (Self, usize) {
+        let mut seen = 0usize;
+        let samples: Vec<f64> = iter
+            .into_iter()
+            .inspect(|_| seen += 1)
+            .filter(|v| !v.is_nan())
+            .collect();
+        let dropped = seen - samples.len();
+        routergeo_obs::counter("cdf.samples_in").add(seen as u64);
+        routergeo_obs::counter("cdf.samples_kept").add(samples.len() as u64);
+        routergeo_obs::counter("cdf.dropped_nan").add(dropped as u64);
+        (EmpiricalCdf::new(samples).expect("NaN filtered"), dropped)
     }
 
     /// Number of samples.
@@ -86,18 +99,32 @@ impl EmpiricalCdf {
         1.0 - self.fraction_leq(x)
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank; `None` when empty
-    /// or `q` is out of range.
+    /// The `q`-quantile (0 ≤ q ≤ 1); `None` when empty or `q` is out of
+    /// range.
+    ///
+    /// Nearest-rank, except when `q·n` lands **exactly on a sample
+    /// boundary** (an integer rank strictly inside the sample vector):
+    /// there the two adjacent samples are averaged. This is the
+    /// conventional midpoint estimator the paper's figures use — in
+    /// particular `quantile(0.5)` of an even-length sample is the
+    /// average of the two middle samples, not the lower one.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
             return None;
         }
         let n = self.sorted.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        Some(self.sorted[rank - 1])
+        let h = q * n as f64;
+        let rank = (h.ceil() as usize).clamp(1, n);
+        let v = self.sorted[rank - 1];
+        // xtask-allow: RG004 exact-boundary rank test (is q*n an integer?), not an epsilon comparison
+        if h.fract() == 0.0 && h >= 1.0 && rank < n {
+            return Some((v + self.sorted[rank]) / 2.0);
+        }
+        Some(v)
     }
 
-    /// Median, `None` when empty.
+    /// Median, `None` when empty. Even-length samples yield the
+    /// midpoint of the two middle samples (see [`EmpiricalCdf::quantile`]).
     pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
@@ -148,9 +175,13 @@ mod tests {
     }
 
     #[test]
-    fn lossy_drops_nan() {
-        let cdf = EmpiricalCdf::from_iter_lossy(vec![1.0, f64::NAN, 2.0]);
+    fn lossy_drops_nan_and_reports_count() {
+        let (cdf, dropped) = EmpiricalCdf::from_iter_lossy(vec![1.0, f64::NAN, 2.0]);
         assert_eq!(cdf.len(), 2);
+        assert_eq!(dropped, 1);
+        let (clean, dropped) = EmpiricalCdf::from_iter_lossy(vec![1.0, 2.0]);
+        assert_eq!(clean.len(), 2);
+        assert_eq!(dropped, 0);
     }
 
     #[test]
@@ -183,12 +214,60 @@ mod tests {
     fn quantiles() {
         let cdf = EmpiricalCdf::new((1..=100).map(|i| i as f64).collect()).unwrap();
         assert_eq!(cdf.quantile(0.0), Some(1.0));
-        assert_eq!(cdf.quantile(0.5), Some(50.0));
+        // 0.5 · 100 lands exactly between samples 50 and 51 → midpoint.
+        assert_eq!(cdf.quantile(0.5), Some(50.5));
         assert_eq!(cdf.quantile(1.0), Some(100.0));
-        assert_eq!(cdf.median(), Some(50.0));
+        assert_eq!(cdf.median(), Some(50.5));
+        // Off-boundary ranks stay nearest-rank.
+        assert_eq!(cdf.quantile(0.501), Some(51.0));
         assert_eq!(cdf.quantile(1.5), None);
         assert_eq!(cdf.quantile(-0.1), None);
         assert_eq!(cdf.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn even_length_median_is_the_midpoint() {
+        // The doc example's sample: the old nearest-rank-lower
+        // convention returned 15.0 (the lower middle sample); the
+        // conventional midpoint the paper's figures use is 26.5.
+        let cdf = EmpiricalCdf::new(vec![2.0, 15.0, 38.0, 700.0]).unwrap();
+        assert_ne!(cdf.median(), Some(15.0), "old convention resurfaced");
+        assert_eq!(cdf.median(), Some((15.0 + 38.0) / 2.0));
+        // Odd lengths are untouched: the middle sample, exactly.
+        let odd = EmpiricalCdf::new(vec![2.0, 15.0, 700.0]).unwrap();
+        assert_eq!(odd.median(), Some(15.0));
+        // Two samples: their average.
+        let two = EmpiricalCdf::new(vec![10.0, 20.0]).unwrap();
+        assert_eq!(two.median(), Some(15.0));
+        // One sample: itself.
+        let one = EmpiricalCdf::new(vec![7.0]).unwrap();
+        assert_eq!(one.median(), Some(7.0));
+    }
+
+    #[test]
+    fn quantile_boundary_semantics() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // q = 0 and q = 1 clamp to the extreme samples, never averaged.
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+        // Every interior integer rank averages its two neighbours.
+        assert_eq!(cdf.quantile(0.25), Some(1.5));
+        assert_eq!(cdf.quantile(0.75), Some(3.5));
+        // Just past a boundary → the next sample alone.
+        assert_eq!(cdf.quantile(0.26), Some(2.0));
+        // Empty CDF answers None for any q.
+        let empty = EmpiricalCdf::new(vec![]).unwrap();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile(0.0), None);
+    }
+
+    #[test]
+    fn fraction_leq_exact_boundary_sample() {
+        // `<=` semantics: a query exactly on a sample includes it.
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.fraction_leq(2.0), 0.75);
+        assert_eq!(cdf.fraction_gt(2.0), 0.25);
+        assert_eq!(cdf.fraction_leq(1.9999), 0.25);
     }
 
     #[test]

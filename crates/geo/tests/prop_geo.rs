@@ -111,4 +111,35 @@ proptest! {
         // At least q of the mass lies at or below the q-quantile.
         prop_assert!(cdf.fraction_leq(v) + 1e-12 >= q);
     }
+
+    #[test]
+    fn cdf_samples_are_sorted_whatever_the_input_order(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+        let (cdf, dropped) = EmpiricalCdf::from_iter_lossy(xs.iter().copied());
+        prop_assert_eq!(dropped, 0, "finite inputs are never dropped");
+        prop_assert_eq!(cdf.samples().len(), xs.len());
+        prop_assert!(cdf.samples().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cdf_median_equals_half_quantile(xs in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+        // The midpoint convention makes median() and quantile(0.5) the
+        // same estimator for both parities of the sample count.
+        let cdf = EmpiricalCdf::new(xs).unwrap();
+        prop_assert_eq!(cdf.median(), cdf.quantile(0.5));
+    }
+
+    #[test]
+    fn cdf_lossy_drops_exactly_the_nans(
+        raw in proptest::collection::vec((-1e5f64..1e5, 0u8..5), 0..100),
+    ) {
+        // Poison roughly a fifth of the samples with NaN.
+        let xs: Vec<f64> = raw
+            .iter()
+            .map(|&(v, tag)| if tag == 0 { f64::NAN } else { v })
+            .collect();
+        let nans = xs.iter().filter(|v| v.is_nan()).count();
+        let (cdf, dropped) = EmpiricalCdf::from_iter_lossy(xs.iter().copied());
+        prop_assert_eq!(dropped, nans);
+        prop_assert_eq!(cdf.len() + dropped, xs.len());
+    }
 }

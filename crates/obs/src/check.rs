@@ -1,0 +1,423 @@
+//! Replay and verify an emitted obs JSONL trace.
+//!
+//! `cargo xtask obs-check FILE` and the bench integration tests call
+//! into this module. The parser is the same field-extraction style as
+//! the `xtask` bench parser — line-oriented JSON, no JSON library —
+//! and the verifier checks **structural invariants** a healthy run
+//! cannot violate:
+//!
+//! * every line parses and has a known `type`;
+//! * exactly one `summary` line, and it is the last line;
+//! * span ids are unique and non-zero, parents refer to spans present
+//!   in the file (or 0 = root), durations are non-negative;
+//! * `spans_opened == spans_closed ==` number of span lines (an
+//!   unclosed span shows up as an opened/closed mismatch);
+//! * histogram bucket counts sum to the histogram's `count`;
+//! * counter identities hold — totals must agree with the report
+//!   denominators they feed, e.g. CDF `samples_in` = `samples_kept` +
+//!   `dropped_nan`, and bulk-whois addresses must all be accounted for
+//!   as found, not-found, or failed.
+
+use std::collections::HashSet;
+
+/// One parsed span line.
+#[derive(Debug, Clone)]
+pub struct SpanLine {
+    /// Span id (unique, non-zero).
+    pub id: u64,
+    /// Parent span id, 0 for root spans.
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Duration in microseconds (parsed signed so a corrupt negative
+    /// value is representable — and reportable).
+    pub dur_us: i64,
+}
+
+/// One parsed counter line.
+#[derive(Debug, Clone)]
+pub struct CounterLine {
+    /// Counter name.
+    pub name: String,
+    /// Total (signed for the same reason as [`SpanLine::dur_us`]).
+    pub total: i64,
+}
+
+/// One parsed histogram line.
+#[derive(Debug, Clone)]
+pub struct HistogramLine {
+    /// Histogram name.
+    pub name: String,
+    /// Claimed number of recorded values.
+    pub count: i64,
+    /// `(bucket, count)` pairs.
+    pub buckets: Vec<(i64, i64)>,
+}
+
+/// The summary line.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Schema tag.
+    pub schema: String,
+    /// Spans opened during the run.
+    pub spans_opened: i64,
+    /// Spans closed during the run.
+    pub spans_closed: i64,
+}
+
+/// A parsed trace file.
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    /// Span lines in file order.
+    pub spans: Vec<SpanLine>,
+    /// Counter lines in file order.
+    pub counters: Vec<CounterLine>,
+    /// Histogram lines in file order.
+    pub histograms: Vec<HistogramLine>,
+    /// The summary line, if present.
+    pub summary: Option<Summary>,
+    /// 1-based line number of the summary.
+    summary_line: usize,
+    /// Total number of non-empty lines.
+    lines: usize,
+}
+
+impl TraceReport {
+    /// Total of a counter by name, `None` when absent.
+    pub fn counter(&self, name: &str) -> Option<i64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.total)
+    }
+
+    /// Distinct span names.
+    pub fn span_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.spans.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+/// Parse a trace file. Fails on the first malformed line; structural
+/// problems in a well-formed file are [`verify`]'s job.
+pub fn parse(text: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport::default();
+    for (ix, line) in text.lines().enumerate() {
+        let lineno = ix + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        let err = |what: &str| format!("line {lineno}: {what}");
+        match field_str(line, "type").as_deref() {
+            Some("span") => report.spans.push(SpanLine {
+                id: field_i64(line, "id").ok_or_else(|| err("span without id"))? as u64,
+                parent: field_i64(line, "parent").ok_or_else(|| err("span without parent"))? as u64,
+                name: field_str(line, "name").ok_or_else(|| err("span without name"))?,
+                dur_us: field_i64(line, "dur_us").ok_or_else(|| err("span without dur_us"))?,
+            }),
+            Some("counter") => report.counters.push(CounterLine {
+                name: field_str(line, "name").ok_or_else(|| err("counter without name"))?,
+                total: field_i64(line, "total").ok_or_else(|| err("counter without total"))?,
+            }),
+            Some("histogram") => {
+                let spec =
+                    field_str(line, "buckets").ok_or_else(|| err("histogram without buckets"))?;
+                let mut buckets = Vec::new();
+                for part in spec.split_whitespace() {
+                    let (b, c) = part
+                        .split_once(':')
+                        .ok_or_else(|| err("malformed bucket"))?;
+                    let b: i64 = b.parse().map_err(|_| err("malformed bucket index"))?;
+                    let c: i64 = c.parse().map_err(|_| err("malformed bucket count"))?;
+                    buckets.push((b, c));
+                }
+                report.histograms.push(HistogramLine {
+                    name: field_str(line, "name").ok_or_else(|| err("histogram without name"))?,
+                    count: field_i64(line, "count")
+                        .ok_or_else(|| err("histogram without count"))?,
+                    buckets,
+                });
+            }
+            Some("summary") => {
+                if report.summary.is_some() {
+                    return Err(err("second summary line"));
+                }
+                report.summary = Some(Summary {
+                    schema: field_str(line, "schema").unwrap_or_default(),
+                    spans_opened: field_i64(line, "spans_opened")
+                        .ok_or_else(|| err("summary without spans_opened"))?,
+                    spans_closed: field_i64(line, "spans_closed")
+                        .ok_or_else(|| err("summary without spans_closed"))?,
+                });
+                report.summary_line = report.lines;
+            }
+            Some(other) => return Err(err(&format!("unknown line type `{other}`"))),
+            None => return Err(err("line without a type field")),
+        }
+    }
+    Ok(report)
+}
+
+/// Counter identities a healthy run maintains: the first name must
+/// equal the sum of the rest, whenever the first is present.
+const IDENTITIES: &[(&str, &[&str])] = &[
+    ("cdf.samples_in", &["cdf.samples_kept", "cdf.dropped_nan"]),
+    (
+        "cymru.addrs_requested",
+        &[
+            "cymru.addrs_found",
+            "cymru.addrs_not_found",
+            "cymru.addrs_failed",
+        ],
+    ),
+    (
+        "cymru.chunks",
+        &[
+            "cymru.chunks_ok",
+            "cymru.chunks_failed",
+            "cymru.chunks_skipped",
+        ],
+    ),
+    ("pool.shards_planned", &["pool.shards_run"]),
+];
+
+/// Verify structural invariants; returns human-readable violations
+/// (empty = trace is sound).
+pub fn verify(report: &TraceReport) -> Vec<String> {
+    let mut out = Vec::new();
+
+    match &report.summary {
+        None => out.push("no summary line".to_string()),
+        Some(s) => {
+            if report.summary_line != report.lines {
+                out.push("summary is not the last line".to_string());
+            }
+            if s.schema != crate::SCHEMA {
+                out.push(format!("unknown schema `{}`", s.schema));
+            }
+            if s.spans_opened != s.spans_closed {
+                out.push(format!(
+                    "unclosed spans: {} opened, {} closed",
+                    s.spans_opened, s.spans_closed
+                ));
+            }
+            if s.spans_closed != report.spans.len() as i64 {
+                out.push(format!(
+                    "summary claims {} closed spans but the file has {}",
+                    s.spans_closed,
+                    report.spans.len()
+                ));
+            }
+        }
+    }
+
+    let mut ids = HashSet::new();
+    for s in &report.spans {
+        if s.id == 0 {
+            out.push(format!("span `{}` has id 0", s.name));
+        }
+        if !ids.insert(s.id) {
+            out.push(format!("duplicate span id {}", s.id));
+        }
+        if s.dur_us < 0 {
+            out.push(format!(
+                "span `{}` has negative duration {}",
+                s.name, s.dur_us
+            ));
+        }
+    }
+    for s in &report.spans {
+        if s.parent != 0 && !ids.contains(&s.parent) {
+            out.push(format!(
+                "span `{}` (id {}) has unknown parent {}",
+                s.name, s.id, s.parent
+            ));
+        }
+    }
+
+    let mut counter_names = HashSet::new();
+    for c in &report.counters {
+        if !counter_names.insert(c.name.as_str()) {
+            out.push(format!("duplicate counter `{}`", c.name));
+        }
+        if c.total < 0 {
+            out.push(format!("counter `{}` is negative: {}", c.name, c.total));
+        }
+    }
+
+    for h in &report.histograms {
+        let sum: i64 = h.buckets.iter().map(|(_, c)| c).sum();
+        if sum != h.count {
+            out.push(format!(
+                "histogram `{}` buckets sum to {} but count is {}",
+                h.name, sum, h.count
+            ));
+        }
+    }
+
+    for (total_name, parts) in IDENTITIES {
+        let Some(total) = report.counter(total_name) else {
+            continue;
+        };
+        let sum: i64 = parts.iter().filter_map(|p| report.counter(p)).sum();
+        if total != sum {
+            out.push(format!(
+                "counter identity broken: {total_name}={total} but {}={sum}",
+                parts.join("+"),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Extract an unquoted numeric field value (`"key":-123`).
+fn field_i64(line: &str, key: &str) -> Option<i64> {
+    let rest = after_key(line, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract and unescape a quoted string field value (`"key":"…"`).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = after_key(line, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)?;
+    Some(&line[at + needle.len()..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"stage.world\",\"start_us\":0,\"dur_us\":10,\"attrs\":\"\"}\n",
+        "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"pool.shard\",\"start_us\":1,\"dur_us\":4,\"attrs\":\"shard=0\"}\n",
+        "{\"type\":\"counter\",\"name\":\"cdf.samples_in\",\"total\":10}\n",
+        "{\"type\":\"counter\",\"name\":\"cdf.samples_kept\",\"total\":9}\n",
+        "{\"type\":\"counter\",\"name\":\"cdf.dropped_nan\",\"total\":1}\n",
+        "{\"type\":\"histogram\",\"name\":\"h\",\"count\":3,\"buckets\":\"0:1 2:2\"}\n",
+        "{\"type\":\"summary\",\"schema\":\"routergeo-obs-v1\",\"spans_opened\":2,\"spans_closed\":2,\"counters\":3,\"histograms\":1}\n",
+    );
+
+    #[test]
+    fn good_trace_verifies() {
+        let report = parse(GOOD).expect("parses");
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.counter("cdf.samples_in"), Some(10));
+        assert_eq!(report.span_names(), vec!["pool.shard", "stage.world"]);
+        assert!(verify(&report).is_empty());
+    }
+
+    #[test]
+    fn unclosed_span_detected() {
+        let text = GOOD.replace("\"spans_opened\":2", "\"spans_opened\":3");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("unclosed spans")), "{v:?}");
+    }
+
+    #[test]
+    fn negative_duration_detected() {
+        let text = GOOD.replace("\"dur_us\":4", "\"dur_us\":-4");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("negative duration")), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_parent_detected() {
+        let text = GOOD.replace("\"parent\":1", "\"parent\":99");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("unknown parent")), "{v:?}");
+    }
+
+    #[test]
+    fn broken_cdf_identity_detected() {
+        let text = GOOD.replace("\"total\":9", "\"total\":8");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("counter identity")), "{v:?}");
+    }
+
+    #[test]
+    fn histogram_mismatch_detected() {
+        let text = GOOD.replace("\"count\":3", "\"count\":4");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("buckets sum")), "{v:?}");
+    }
+
+    #[test]
+    fn summary_must_be_last() {
+        let mut lines: Vec<&str> = GOOD.lines().collect();
+        lines.swap(5, 6);
+        let text = lines.join("\n");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("not the last line")), "{v:?}");
+    }
+
+    #[test]
+    fn missing_summary_detected() {
+        let text: String = GOOD
+            .lines()
+            .filter(|l| !l.contains("\"type\":\"summary\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("no summary")), "{v:?}");
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse("{\"type\":\"mystery\"}").is_err());
+        assert!(parse("{\"no\":\"type\"}").is_err());
+        assert!(parse("{\"type\":\"span\",\"id\":1}").is_err());
+        assert!(
+            parse("{\"type\":\"histogram\",\"name\":\"h\",\"count\":1,\"buckets\":\"zz\"}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_and_counters_detected() {
+        let text = GOOD
+            .replace("\"id\":2,\"parent\":1", "\"id\":1,\"parent\":0")
+            .replace("cdf.samples_kept", "cdf.samples_in");
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(v.iter().any(|m| m.contains("duplicate span id")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("duplicate counter")), "{v:?}");
+    }
+
+    #[test]
+    fn string_unescaping_roundtrips() {
+        let line = "{\"type\":\"counter\",\"name\":\"a\\\"b\\\\c\\u0041\",\"total\":1}";
+        let report = parse(line).expect("parses");
+        assert_eq!(report.counters[0].name, "a\"b\\cA");
+    }
+}

@@ -160,11 +160,35 @@ impl Pool {
         F: Fn(&Shard) -> R + Sync,
     {
         let shards = plan_shards(master_seed, items, shard_size);
+        // Observability: both counters are registered here on the
+        // calling thread (deterministic registration order); the
+        // per-shard span carries queue-wait (entry → pickup) and run
+        // time, parented under whatever span the caller has open.
+        routergeo_obs::counter("pool.shards_planned").add(shards.len() as u64);
+        let shards_run = routergeo_obs::counter("pool.shards_run");
+        let parent = routergeo_obs::current_span();
+        let clock = routergeo_obs::stopwatch();
+        let observe = routergeo_obs::enabled();
+        let run_one = |shard: &Shard| -> R {
+            shards_run.incr();
+            let _span = if observe {
+                let queue_us = clock.elapsed_us();
+                let mut s = routergeo_obs::span_under(parent, "pool.shard", Vec::new());
+                s.attr("shard", shard.index);
+                s.attr("items", shard.len());
+                s.attr("queue_us", queue_us);
+                s
+            } else {
+                routergeo_obs::SpanGuard::disabled()
+            };
+            f(shard)
+        };
+
         let workers = self.threads.min(shards.len());
         if workers <= 1 {
             let mut out = Vec::with_capacity(shards.len());
             for shard in &shards {
-                match catch_unwind(AssertUnwindSafe(|| f(shard))) {
+                match catch_unwind(AssertUnwindSafe(|| run_one(shard))) {
                     Ok(r) => out.push(r),
                     Err(payload) => reraise(shard.index, &*payload),
                 }
@@ -183,7 +207,7 @@ impl Pool {
                     while !stop.load(Ordering::Relaxed) {
                         let ix = next.fetch_add(1, Ordering::Relaxed);
                         let Some(shard) = shards.get(ix) else { break };
-                        match catch_unwind(AssertUnwindSafe(|| f(shard))) {
+                        match catch_unwind(AssertUnwindSafe(|| run_one(shard))) {
                             Ok(r) => {
                                 if let Ok(mut slot) = slots[ix].lock() {
                                     *slot = Some(r);

@@ -33,6 +33,18 @@ impl Default for ProximityConfig {
     }
 }
 
+impl ProximityConfig {
+    /// Whether a hop RTT qualifies as proximate: **strictly below** the
+    /// threshold. The paper (§2.3.2) keeps hops whose RTT is *less
+    /// than* 0.5 ms — the threshold maps to the ≤ 50 km speed-of-light
+    /// bound, and a hop at exactly 0.5 ms is already at the boundary of
+    /// that bound, so it is excluded. This predicate is the single
+    /// place the comparison lives; see DESIGN.md §9 for the rationale.
+    pub fn within_threshold(&self, rtt_ms: f64) -> bool {
+        rtt_ms < self.threshold_ms
+    }
+}
+
 /// Candidate interface addresses with the probes that observed them under
 /// the threshold, and the minimum RTT seen per (address, probe).
 #[derive(Debug, Clone, Default)]
@@ -67,9 +79,10 @@ impl CandidateSet {
 
 /// Extract candidates from built-in measurement records.
 ///
-/// A hop qualifies when it responded, its RTT is under the threshold, it
-/// is a real router interface of the world (destination service addresses
-/// and endpoint hosts are not), and it is not the record's destination.
+/// A hop qualifies when it responded, its RTT is strictly under the
+/// threshold ([`ProximityConfig::within_threshold`]), it is a real
+/// router interface of the world (destination service addresses and
+/// endpoint hosts are not), and it is not the record's destination.
 pub fn extract_candidates(
     world: &World,
     records: &[TracerouteRecord],
@@ -86,7 +99,7 @@ pub fn extract_candidates(
             let (Some(ip), Some(rtt)) = (hop.ip, hop.rtt_ms) else {
                 continue;
             };
-            if rtt >= config.threshold_ms || ip == rec.dst_ip {
+            if !config.within_threshold(rtt) || ip == rec.dst_ip {
                 continue;
             }
             if world.find_interface(ip).is_none() {
@@ -184,6 +197,20 @@ mod tests {
         for ip in half.by_ip.keys() {
             assert!(one.by_ip.contains_key(ip));
         }
+    }
+
+    #[test]
+    fn threshold_boundary_is_exclusive() {
+        let config = ProximityConfig::default();
+        // A hop at exactly the 0.5 ms threshold does NOT qualify: the
+        // threshold maps to the ≤ 50 km bound and the boundary value is
+        // already outside it. Strictly-below values do.
+        assert!(!config.within_threshold(0.5));
+        assert!(config.within_threshold(0.4999999));
+        assert!(config.within_threshold(0.0));
+        assert!(!config.within_threshold(0.5000001));
+        // NaN RTTs never qualify.
+        assert!(!config.within_threshold(f64::NAN));
     }
 
     #[test]

@@ -208,6 +208,12 @@ impl<'w> ArkCampaign<'w> {
     pub fn extract_dataset_with(&self, pool: &Pool) -> ArkDataset {
         let world = self.engine.world();
         let total = self.total_traceroutes();
+        let mut span = routergeo_obs::span!(
+            "ark.extract",
+            traceroutes = total,
+            monitors = self.monitors.len()
+        );
+        routergeo_obs::counter("ark.traceroutes").add(total as u64);
         let per_shard: Vec<Vec<Ipv4Addr>> =
             pool.run_shards(self.config.seed ^ 0xDE57, total, ARK_SHARD_SIZE, |shard| {
                 let mut seen: HashSet<Ipv4Addr> = HashSet::new();
@@ -228,6 +234,8 @@ impl<'w> ArkCampaign<'w> {
         let mut interfaces: Vec<Ipv4Addr> = per_shard.into_iter().flatten().collect();
         interfaces.sort();
         interfaces.dedup();
+        routergeo_obs::counter("ark.interfaces").add(interfaces.len() as u64);
+        span.attr("interfaces", interfaces.len());
         ArkDataset {
             interfaces,
             traceroutes_run: total,

@@ -159,12 +159,23 @@ pub fn compare(base: &Report, fresh: &Report, threshold: f64) -> Result<Vec<Comp
             .find(|f| f.name == b.name)
             .ok_or_else(|| format!("stage `{}` missing from the fresh run", b.name))?;
         let ratio = (f.wall_ms + SMOOTHING_MS) / (b.wall_ms + SMOOTHING_MS);
+        // A 0 ms stage on both sides is fine — smoothing makes the ratio
+        // exactly 1.0 — but a corrupted report (negative wall_ms) can
+        // produce a NaN/∞/non-positive ratio, and one such value would
+        // poison the median below and silently pass or fail every other
+        // stage. Reject it at the source instead.
+        if !ratio.is_finite() || ratio <= 0.0 {
+            return Err(format!(
+                "stage `{}`: degenerate timing ratio {ratio} (base {} ms, fresh {} ms) — corrupted report?",
+                b.name, b.wall_ms, f.wall_ms
+            ));
+        }
         pairs.push((b, f, ratio));
     }
     let mut ratios: Vec<f64> = pairs.iter().map(|&(_, _, r)| r).collect();
     ratios.sort_by(f64::total_cmp);
     let median = ratios[ratios.len() / 2];
-    if median <= 0.0 {
+    if !median.is_finite() || median <= 0.0 {
         return Err("degenerate median ratio".into());
     }
     Ok(pairs
@@ -254,6 +265,43 @@ mod tests {
         fresh.stages[0].wall_ms = 9.0; // 9x raw, but tiny in absolute terms
         let cmp = compare(&base, &fresh, THRESHOLD).expect("comparable");
         assert!(!cmp[0].failed, "{cmp:#?}");
+    }
+
+    #[test]
+    fn zero_duration_stage_in_both_runs_is_a_clean_pass() {
+        // An instant stage (0 ms on both sides) must contribute a ratio
+        // of exactly 1.0 — not 0/0 — and must not disturb the median.
+        let mut base = sample();
+        base.stages.push(Stage {
+            name: "noop".into(),
+            wall_ms: 0.0,
+            items: 0.0,
+        });
+        let mut fresh = base.clone();
+        fresh.stages[3].wall_ms = 0.0;
+        let cmp = compare(&base, &fresh, THRESHOLD).expect("comparable");
+        assert_eq!(cmp.len(), 4);
+        assert!((cmp[3].ratio - 1.0).abs() < 1e-12, "{cmp:#?}");
+        assert!(cmp.iter().all(|c| !c.failed), "{cmp:#?}");
+        assert!(cmp.iter().all(|c| c.normalized.is_finite()));
+    }
+
+    #[test]
+    fn corrupted_negative_timing_is_an_error_not_a_poisoned_median() {
+        // wall_ms == -SMOOTHING_MS makes the smoothed denominator 0; the
+        // resulting ∞/NaN ratio must be rejected, not fed to the median.
+        let mut base = sample();
+        base.stages[1].wall_ms = -SMOOTHING_MS;
+        let fresh = sample();
+        let err = compare(&base, &fresh, THRESHOLD).expect_err("degenerate ratio");
+        assert!(err.contains("degenerate timing ratio"), "{err}");
+        // Same corruption on the fresh side: 0/positive is 0, also
+        // non-positive, also rejected.
+        let base = sample();
+        let mut fresh = sample();
+        fresh.stages[1].wall_ms = -SMOOTHING_MS;
+        let err = compare(&base, &fresh, THRESHOLD).expect_err("zero ratio");
+        assert!(err.contains("degenerate timing ratio"), "{err}");
     }
 
     #[test]

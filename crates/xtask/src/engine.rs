@@ -16,7 +16,7 @@ use crate::rules::{self, Finding, RuleSet};
 /// Library crates subject to the panic-safety rules (RG001): everything
 /// under `crates/` that external code links against. `xtask` dogfoods
 /// the same rules; `bench` is a harness binary and exempt from RG001.
-const LIB_CRATES: [&str; 13] = [
+const LIB_CRATES: [&str; 14] = [
     "geo",
     "net",
     "db",
@@ -29,8 +29,15 @@ const LIB_CRATES: [&str; 13] = [
     "faultnet",
     "gazetteer",
     "pool",
+    "obs",
     "xtask",
 ];
+
+/// Files exempt from RG008 (ad-hoc instrumentation): the bench crate's
+/// sanctioned timing module. `crates/obs` itself and binary entry
+/// points (`/bin/`, `main.rs`) are exempted structurally in
+/// [`rules_for`].
+const RG008_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/timing.rs"];
 
 /// Files whose values flow through the `net::trie` / `db::rgdb` lookup
 /// paths; RG003 (checked numeric conversions) applies only here.
@@ -137,6 +144,9 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // `pool` is the one place allowed to own threads: everything
         // else goes through its deterministic sharded map-reduce.
         rules.rg007 = krate != "pool";
+        // `obs` owns wall-clock reads; binaries keep `eprintln!` for
+        // CLI diagnostics.
+        rules.rg008 = krate != "obs" && !RG008_EXEMPT_FILES.contains(&rel) && !is_binary_entry(rel);
     } else if rel.starts_with("src/") {
         // Umbrella library + CLI binaries: panics are still forbidden in
         // non-test code, but startup `expect`s with reasons are allowed.
@@ -144,10 +154,17 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         rules.rg004 = true;
         rules.rg006 = true;
         rules.rg007 = true;
+        rules.rg008 = !is_binary_entry(rel);
     } else {
         return None;
     }
     Some(rules)
+}
+
+/// Whether `rel` is a binary entry point: anything under a `/bin/`
+/// directory or a crate's `main.rs`.
+fn is_binary_entry(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "bin") || rel.ends_with("/main.rs") || rel == "main.rs"
 }
 
 /// Lint a single source text as if it lived at `rel`. Pure — fixture
@@ -294,10 +311,23 @@ mod tests {
         assert!(core.rg005 && !core.rg003);
 
         let bench = rules_for("crates/bench/src/lab.rs").expect("in scope");
-        assert!(!bench.rg001 && bench.rg002);
+        assert!(!bench.rg001 && bench.rg002 && bench.rg008);
+
+        let timing = rules_for("crates/bench/src/timing.rs").expect("in scope");
+        assert!(!timing.rg008, "timing.rs owns the bench wall clock");
+
+        let obs = rules_for("crates/obs/src/lib.rs").expect("in scope");
+        assert!(obs.rg001 && !obs.rg008, "obs owns Instant reads");
+
+        let repro = rules_for("crates/bench/src/bin/repro.rs").expect("in scope");
+        assert!(!repro.rg008, "binaries keep eprintln for CLI output");
+
+        let xtask_main = rules_for("crates/xtask/src/main.rs").expect("in scope");
+        assert!(!xtask_main.rg008 && xtask_main.rg001);
 
         let root_bin = rules_for("src/bin/routergeo.rs").expect("in scope");
         assert!(!root_bin.rg001 && root_bin.rg002 && root_bin.rg006 && root_bin.rg007);
+        assert!(!root_bin.rg008);
 
         assert!(rules_for("vendor/rand/src/lib.rs").is_none());
         assert!(rules_for("crates/geo/tests/prop_geo.rs").is_none());

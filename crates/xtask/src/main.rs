@@ -9,11 +9,13 @@ use xtask::{bench, deps, engine};
 
 const USAGE: &str = "usage: cargo xtask <command>\n\n\
 commands:\n  \
-  lint [--waivers]      run RG001-RG007 over workspace sources; non-zero exit on violations\n  \
+  lint [--waivers]      run RG001-RG008 over workspace sources; non-zero exit on violations\n  \
   fix-audit             print the violation/waiver burn-down dashboard by rule and crate\n  \
   deps                  check manifests against the workspace dependency policy\n  \
   bench-check [--bless] run repro --timings at tiny scale and gate per-stage wall clock\n  \
-                        against BENCH_pipeline.json (--bless refreshes the baseline)\n";
+                        against BENCH_pipeline.json (--bless refreshes the baseline)\n  \
+  obs-check FILE        verify the structural invariants of a `repro --obs` JSONL trace\n  \
+                        (span accounting, counter identities, histogram totals)\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -41,6 +43,13 @@ fn main() -> ExitCode {
             }
             run_bench_check(&root, bless)
         }
+        Some("obs-check") => match args.get(1) {
+            Some(file) if args.len() == 2 => run_obs_check(&PathBuf::from(file)),
+            _ => {
+                eprintln!("xtask obs-check: expected exactly one FILE argument\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
@@ -251,6 +260,39 @@ fn run_bench_check(root: &PathBuf, bless: bool) -> ExitCode {
         bench::SMOOTHING_MS
     );
     if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_obs_check(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("xtask obs-check: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match routergeo_obs::check::parse(&text) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("xtask obs-check: {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = routergeo_obs::check::verify(&report);
+    for v in &violations {
+        println!("{}: {v}", path.display());
+    }
+    eprintln!(
+        "xtask obs-check: {} span(s), {} counter(s), {} histogram(s), {} violation(s)",
+        report.spans.len(),
+        report.counters.len(),
+        report.histograms.len(),
+        violations.len()
+    );
+    if violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

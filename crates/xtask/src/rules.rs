@@ -1,4 +1,4 @@
-//! The lint rules (RG001–RG007) evaluated over a lexed token stream.
+//! The lint rules (RG001–RG008) evaluated over a lexed token stream.
 //!
 //! Each rule is a pure function of the token stream plus precomputed
 //! context (test-region mask, attribute spans, doc-comment lines). Test
@@ -29,6 +29,11 @@ pub struct RuleSet {
     /// outside `crates/pool` — deterministic fan-out goes through the
     /// worker pool.
     pub rg007: bool,
+    /// RG008: no ad-hoc instrumentation (`Instant::now()` timing,
+    /// `eprintln!` progress prints) outside the observability layer —
+    /// `crates/obs` and `crates/bench/src/timing.rs` own wall-clock
+    /// reads; binaries keep `eprintln!` for CLI diagnostics.
+    pub rg008: bool,
 }
 
 impl RuleSet {
@@ -42,6 +47,7 @@ impl RuleSet {
             rg005: true,
             rg006: true,
             rg007: true,
+            rg008: true,
         }
     }
 
@@ -242,6 +248,9 @@ pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> 
         }
         if rules.rg007 {
             check_rg007(toks, i, &mut findings);
+        }
+        if rules.rg008 {
+            check_rg008(toks, i, &mut findings);
         }
     }
     findings.sort_by_key(|f| (f.line, f.col));
@@ -542,6 +551,47 @@ fn check_rg007(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
     });
 }
 
+/// RG008: ad-hoc instrumentation outside the observability layer.
+/// `Instant::now()` scattered through library code produces one-off
+/// timings nothing can collect, and `eprintln!` progress prints bypass
+/// the structured trace; both belong in `crates/obs` (spans,
+/// `Stopwatch`) or the bench crate's sanctioned `timing.rs`. The rule
+/// matches the call forms as written (`Instant::now(`, `eprintln!`);
+/// the justified exception — e.g. the system-clock impl behind the
+/// injectable `Clock` trait — carries a waiver.
+fn check_rg008(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    if t.text == "Instant"
+        && tok_is(toks, i + 1, TokKind::Punct, "::")
+        && tok_is(toks, i + 2, TokKind::Ident, "now")
+        && tok_is(toks, i + 3, TokKind::Punct, "(")
+    {
+        let call = &toks[i + 2];
+        out.push(Finding {
+            rule: "RG008",
+            line: call.line,
+            col: call.col,
+            message: "`Instant::now()` outside the observability layer — open a \
+                      `routergeo_obs` span or `Stopwatch` (or use bench's `timing.rs`) \
+                      so the measurement reaches the trace"
+                .into(),
+        });
+    }
+    if t.text == "eprintln" && tok_is(toks, i + 1, TokKind::Punct, "!") {
+        out.push(Finding {
+            rule: "RG008",
+            line: t.line,
+            col: t.col,
+            message: "`eprintln!` in library code — record a `routergeo_obs` span \
+                      attribute or counter instead of printing to stderr"
+                .into(),
+        });
+    }
+}
+
 /// A parsed `xtask-allow` waiver comment.
 #[derive(Debug, Clone)]
 pub struct Waiver {
@@ -761,6 +811,29 @@ mod tests {
         let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
         assert_eq!(got, vec![2, 3], "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == "RG007"));
+    }
+
+    #[test]
+    fn rg008_flags_adhoc_timing_and_stderr_prints_only() {
+        let src = "fn f() {\n\
+                   let t0 = Instant::now();\n\
+                   let t1 = std::time::Instant::now();\n\
+                   eprintln!(\"progress: {t0:?}\");\n\
+                   println!(\"tables go to stdout\");\n\
+                   clock.now();\n\
+                   let d = t0.elapsed();\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn g() { let _ = Instant::now(); } }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg008: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![2, 3, 4], "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "RG008"));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Fixture: RG008 fires on ad-hoc instrumentation and respects waivers
+//! and test exemptions.
+
+use std::time::Instant;
+
+fn adhoc_timing() -> f64 {
+    let t0 = Instant::now();
+    let t1 = std::time::Instant::now();
+    let _ = t1;
+    t0.elapsed().as_secs_f64() * 1000.0
+}
+
+fn adhoc_progress_print(done: usize, total: usize) {
+    eprintln!("progress: {done}/{total}");
+}
+
+fn stdout_tables_are_fine(rendered: &str) {
+    println!("{rendered}");
+}
+
+fn injected_clock_is_fine(clock: &dyn Fn() -> u64) -> u64 {
+    clock()
+}
+
+fn waived_clock_impl() -> Instant {
+    // xtask-allow: RG008 the one system-clock read behind the injectable Clock trait
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_time_ad_hoc() {
+        let t0 = Instant::now();
+        eprintln!("elapsed: {:?}", t0.elapsed());
+    }
+}

@@ -177,6 +177,41 @@ fn rg007_fixture_reports_ad_hoc_threading_and_honours_waivers() {
 }
 
 #[test]
+fn rg008_fixture_reports_adhoc_instrumentation_and_honours_waivers() {
+    let out = lint_source("bad_rg008.rs", &fixture("bad_rg008.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG008", 7),  // Instant::now()
+            ("RG008", 8),  // std::time::Instant::now()
+            ("RG008", 14), // eprintln! progress print
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // println! (stdout tables), injected clocks, and #[cfg(test)] code
+    // pass; the waived system-clock impl is suppressed and audited.
+    assert_eq!(out.waivers.len(), 1);
+    assert_eq!(out.waivers[0].rules, vec!["RG008".to_string()]);
+    assert_eq!(out.waivers[0].suppressed, 1);
+}
+
+#[test]
+fn obs_and_timing_files_are_exempt_from_rg008() {
+    let obs = rules_for("crates/obs/src/lib.rs").expect("in scope");
+    assert!(!obs.rg008);
+    let timing = rules_for("crates/bench/src/timing.rs").expect("in scope");
+    assert!(!timing.rg008);
+    let lab = rules_for("crates/bench/src/lab.rs").expect("in scope");
+    assert!(lab.rg008);
+}
+
+#[test]
 fn pool_crate_is_exempt_from_rg007_everyone_else_is_not() {
     let pool = rules_for("crates/pool/src/lib.rs").expect("in scope");
     assert!(!pool.rg007);
