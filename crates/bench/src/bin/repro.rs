@@ -182,21 +182,35 @@ fn main() {
         );
         out.emit("table1", &t);
     }
+    // The Ark analyses (coverage, consistency/Figure 1) share one
+    // resolve-once view: every (IP, database) pair is answered exactly
+    // once, in the `resolve` stage, and the analyses tally its columns.
+    let needs_ark_view = want("coverage") || want("consistency") || want("fig1");
+    let ark_view = needs_ark_view.then(|| {
+        time_stage(
+            &mut stages,
+            "resolve",
+            |v: &routergeo_core::ResolvedView| v.len() * v.db_count(),
+            || exp::ark_view(&lab),
+        )
+    });
     if want("coverage") {
+        let view = ark_view.as_ref().expect("ark view built");
         let (_, t) = time_stage(
             &mut stages,
             "coverage",
             |_| lab.ark.len() * lab.dbs.len(),
-            || exp::ark_coverage(&lab),
+            || exp::ark_coverage_from(view),
         );
         out.emit("coverage", &t);
     }
     if want("consistency") || want("fig1") {
+        let view = ark_view.as_ref().expect("ark view built");
         let (_, tables) = time_stage(
             &mut stages,
             "consistency",
             |_| lab.ark.len() * lab.dbs.len(),
-            || exp::ark_consistency(&lab),
+            || exp::ark_consistency_from(view),
         );
         out.emit("consistency_country", &tables[0]);
         out.emit("fig1_summary", &tables[1]);
@@ -206,17 +220,26 @@ fn main() {
             }
         }
     }
+    drop(ark_view);
 
-    // The remaining §5.2 experiments share one accuracy report.
+    // The remaining §5.2 experiments share one accuracy report, fed by
+    // one resolve-once view over the ground-truth addresses (the
+    // `lookup` stage).
     let needs_accuracy = ["fig2", "fig3", "fig4", "fig5", "split", "recommend"]
         .iter()
         .any(|e| want(e));
     if needs_accuracy {
+        let gt_view = time_stage(
+            &mut stages,
+            "lookup",
+            |v: &routergeo_core::ResolvedView| v.len() * v.db_count(),
+            || exp::gt_view(&lab),
+        );
         let (report, tables) = time_stage(
             &mut stages,
             "accuracy",
             |_| lab.gt.len() * lab.dbs.len(),
-            || exp::gt_accuracy(&lab),
+            || exp::gt_accuracy_from(&lab, &gt_view),
         );
         if want("fig2") {
             out.emit("fig2_summary", &tables[0]);
@@ -230,7 +253,7 @@ fn main() {
             out.emit("fig3_rir", &exp::fig3(&report));
         }
         if want("fig4") {
-            let (common_wrong, t) = exp::fig4(&lab, &report);
+            let (common_wrong, t) = exp::fig4_from(&lab, &gt_view, &report);
             out.emit("fig4_countries", &t);
             println!(
                 "S5.2.2: the three registry-fed databases agree on the same wrong country \

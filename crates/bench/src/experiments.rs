@@ -7,8 +7,8 @@
 use crate::Lab;
 use routergeo_core::accuracy::{self, AccuracyReport};
 use routergeo_core::arin_case::{arin_case_study, ArinCaseStudy};
-use routergeo_core::consistency::{consistency_with, ConsistencyReport};
-use routergeo_core::coverage::{coverage_with, CoverageReport};
+use routergeo_core::consistency::{consistency_from_view, ConsistencyReport};
+use routergeo_core::coverage::{coverage_from_view, CoverageReport};
 use routergeo_core::groundtruth::{GtMethod, Table1Row};
 use routergeo_core::methodology::{methodology_checks, MethodologyReport};
 use routergeo_core::recommend::recommendations;
@@ -16,6 +16,7 @@ use routergeo_core::report::{cdf_series, pct, TextTable};
 use routergeo_core::validation::{
     churn_stats, dns_vs_onems, dns_vs_rtt, rtt_vs_onems, ChurnStats, OverlapAgreement,
 };
+use routergeo_core::ResolvedView;
 use routergeo_dns::ChurnConfig;
 use routergeo_geo::{Rir, CITY_RANGE_KM};
 
@@ -170,17 +171,33 @@ pub fn table1(lab: &Lab) -> (Table1Row, Table1Row, TextTable) {
     (dns, rtt, t)
 }
 
+/// Resolve the Ark interface set once across all databases — the shared
+/// view the coverage and consistency stages consume.
+pub fn ark_view(lab: &Lab) -> ResolvedView {
+    ResolvedView::build_with(&lab.dbs, &lab.ark.interfaces, &lab.pool)
+}
+
+/// Resolve the ground-truth addresses once across all databases — the
+/// shared view every §5.2 accuracy figure consumes.
+pub fn gt_view(lab: &Lab) -> ResolvedView {
+    let ips: Vec<std::net::Ipv4Addr> = lab.gt.entries.iter().map(|e| e.ip).collect();
+    ResolvedView::build_with(&lab.dbs, &ips, &lab.pool)
+}
+
 /// E2a — §5.1 coverage of the four databases over the Ark set.
 pub fn ark_coverage(lab: &Lab) -> (Vec<CoverageReport>, TextTable) {
-    let reports: Vec<CoverageReport> = lab
-        .dbs
-        .iter()
-        .map(|db| coverage_with(db, &lab.ark.interfaces, &lab.pool))
+    ark_coverage_from(&ark_view(lab))
+}
+
+/// [`ark_coverage`] from a pre-built Ark [`ResolvedView`].
+pub fn ark_coverage_from(view: &ResolvedView) -> (Vec<CoverageReport>, TextTable) {
+    let reports: Vec<CoverageReport> = (0..view.db_count())
+        .map(|d| coverage_from_view(view, d))
         .collect();
     let mut t = TextTable::new(
         format!(
             "S5.1: database coverage over the Ark-topo-router set ({} interfaces)",
-            lab.ark.len()
+            view.len()
         ),
         &["Database", "country-level", "city-level"],
     );
@@ -196,7 +213,12 @@ pub fn ark_coverage(lab: &Lab) -> (Vec<CoverageReport>, TextTable) {
 
 /// E2b + E3 — §5.1 pairwise consistency and the Figure 1 distance CDFs.
 pub fn ark_consistency(lab: &Lab) -> (ConsistencyReport, Vec<TextTable>) {
-    let report = consistency_with(&lab.dbs, &lab.ark.interfaces, &lab.pool);
+    ark_consistency_from(&ark_view(lab))
+}
+
+/// [`ark_consistency`] from a pre-built Ark [`ResolvedView`].
+pub fn ark_consistency_from(view: &ResolvedView) -> (ConsistencyReport, Vec<TextTable>) {
+    let report = consistency_from_view(view);
     let mut tables = Vec::new();
 
     let mut t = TextTable::new(
@@ -261,7 +283,13 @@ pub fn ark_consistency(lab: &Lab) -> (ConsistencyReport, Vec<TextTable>) {
 
 /// E4 — §5.2.1 coverage and accuracy over ground truth + Figure 2 CDFs.
 pub fn gt_accuracy(lab: &Lab) -> (AccuracyReport, Vec<TextTable>) {
-    let report = accuracy::evaluate_with(&lab.dbs, &lab.gt, 20, &lab.pool);
+    gt_accuracy_from(lab, &gt_view(lab))
+}
+
+/// [`gt_accuracy`] from a pre-built ground-truth [`ResolvedView`] (rows
+/// in `lab.gt.entries` order).
+pub fn gt_accuracy_from(lab: &Lab, view: &ResolvedView) -> (AccuracyReport, Vec<TextTable>) {
+    let report = accuracy::evaluate_from_view(view, &lab.gt, 20);
     let mut tables = Vec::new();
 
     let mut t = TextTable::new(
@@ -359,6 +387,13 @@ pub fn fig3(report: &AccuracyReport) -> TextTable {
 /// E6 — Figure 4: per-country accuracy for the top-20 ground-truth
 /// countries, plus the §5.2.2 common-wrong-answer count.
 pub fn fig4(lab: &Lab, report: &AccuracyReport) -> (usize, TextTable) {
+    fig4_from(lab, &gt_view(lab), report)
+}
+
+/// [`fig4`] from a pre-built ground-truth [`ResolvedView`]: the
+/// common-wrong count reads the three registry-fed columns directly —
+/// no record is materialized just to compare countries.
+pub fn fig4_from(lab: &Lab, view: &ResolvedView, report: &AccuracyReport) -> (usize, TextTable) {
     let mut t = TextTable::new(
         "Figure 4: country-level accuracy for the top-20 ground-truth countries",
         &[
@@ -377,8 +412,7 @@ pub fn fig4(lab: &Lab, report: &AccuracyReport) -> (usize, TextTable) {
         }
         t.row(&cells);
     }
-    let registry_fed = [&lab.dbs[0], &lab.dbs[1], &lab.dbs[2]];
-    let common_wrong = accuracy::common_wrong_country(&registry_fed, &lab.gt);
+    let common_wrong = accuracy::common_wrong_from_view(view, [0, 1, 2], &lab.gt);
     (common_wrong, t)
 }
 
@@ -863,6 +897,53 @@ mod tests {
         use std::sync::OnceLock;
         static LAB: OnceLock<Lab> = OnceLock::new();
         LAB.get_or_init(|| Lab::tiny(777))
+    }
+
+    /// The pinned old-vs-new check at pipeline level: analyses fed one
+    /// shared [`ResolvedView`] must render byte-identical tables to the
+    /// per-analysis entry points (which build their own views), and the
+    /// §5.2.2 common-wrong count must match a naive triple-`lookup`
+    /// loop over the ground truth.
+    #[test]
+    fn shared_view_pipeline_is_byte_identical() {
+        use routergeo_db::GeoDatabase;
+        let l = lab();
+        let ark = ark_view(l);
+        let gtv = gt_view(l);
+
+        let (_, direct_cov) = ark_coverage(l);
+        let (_, shared_cov) = ark_coverage_from(&ark);
+        assert_eq!(shared_cov.render(), direct_cov.render());
+
+        let (_, direct_con) = ark_consistency(l);
+        let (_, shared_con) = ark_consistency_from(&ark);
+        assert_eq!(shared_con.len(), direct_con.len());
+        for (s, d) in shared_con.iter().zip(&direct_con) {
+            assert_eq!(s.render(), d.render());
+        }
+
+        let (shared_rep, shared_acc) = gt_accuracy_from(l, &gtv);
+        let (_, direct_acc) = gt_accuracy(l);
+        for (s, d) in shared_acc.iter().zip(&direct_acc) {
+            assert_eq!(s.render(), d.render());
+        }
+
+        let (shared_wrong, _) = fig4_from(l, &gtv, &shared_rep);
+        let naive_wrong =
+            l.gt.entries
+                .iter()
+                .filter(|e| {
+                    let ans: Vec<_> = l.dbs[..3]
+                        .iter()
+                        .map(|d| d.lookup(e.ip).and_then(|r| r.country))
+                        .collect();
+                    matches!(
+                        (&ans[0], &ans[1], &ans[2]),
+                        (Some(a), Some(b), Some(c)) if a == b && b == c && *a != e.country
+                    )
+                })
+                .count();
+        assert_eq!(shared_wrong, naive_wrong);
     }
 
     #[test]

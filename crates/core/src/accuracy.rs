@@ -1,12 +1,20 @@
 //! Accuracy against ground truth (§5.2, Figures 2–5).
+//!
+//! Every breakdown slice is tallied from pre-resolved [`ResolvedView`]
+//! columns — never the allocating `GeoDatabase::lookup` (enforced by
+//! lint RG009). The view is built once over the ground-truth addresses;
+//! the per-slice tallies are cheap serial passes that visit entries in
+//! ground-truth order, so the Figure 2/5 CDFs see the exact sample
+//! sequence the old per-slice re-query path produced.
 
-use crate::coverage::LOOKUP_SHARD_SIZE;
 use crate::groundtruth::{GroundTruth, GtEntry, GtMethod};
+use crate::resolve::ResolvedView;
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
 use routergeo_geo::{CountryCode, EmpiricalCdf, Rir, CITY_RANGE_KM};
 use routergeo_pool::Pool;
 use std::collections::HashMap;
+use std::net::Ipv4Addr;
 
 /// Accuracy of one database over one set of ground-truth entries.
 #[derive(Debug, Clone)]
@@ -55,47 +63,69 @@ impl VendorAccuracy {
     }
 }
 
-/// Partial [`VendorAccuracy`] counts for one shard of entries.
-struct EntryTally {
-    total: usize,
-    country_covered: usize,
-    country_correct: usize,
-    city_covered: usize,
-    city_correct: usize,
-    errors: Vec<f64>,
-}
+/// Tally one database column over one slice of ground-truth entries.
+/// `picks` pairs each entry with its row index in the view; iteration
+/// order is the slice order, so the error CDF sample sequence matches
+/// the serial loop over the same filter.
+fn evaluate_slice(view: &ResolvedView, db: usize, picks: &[(usize, &GtEntry)]) -> VendorAccuracy {
+    let mut span = routergeo_obs::span!(
+        "core.accuracy",
+        database = view.databases()[db],
+        entries = picks.len()
+    );
+    routergeo_obs::counter("accuracy.entries").add(picks.len() as u64);
 
-fn tally_entries<D: GeoDatabase>(db: &D, entries: &[&GtEntry]) -> EntryTally {
-    let mut t = EntryTally {
-        total: 0,
-        country_covered: 0,
-        country_correct: 0,
-        city_covered: 0,
-        city_correct: 0,
-        errors: Vec::new(),
-    };
-    for e in entries {
-        t.total += 1;
-        let Some(rec) = db.lookup(e.ip) else { continue };
+    let mut total = 0usize;
+    let mut country_covered = 0usize;
+    let mut country_correct = 0usize;
+    let mut city_covered = 0usize;
+    let mut city_correct = 0usize;
+    let mut errors = Vec::new();
+    for (row, e) in picks {
+        total += 1;
+        let Some(rec) = view.record(db, *row) else {
+            continue;
+        };
         if let Some(cc) = rec.country {
-            t.country_covered += 1;
+            country_covered += 1;
             if cc == e.country {
-                t.country_correct += 1;
+                country_correct += 1;
             }
         }
         if rec.has_city() {
-            t.city_covered += 1;
+            city_covered += 1;
             let d = rec
                 .coord
                 .expect("has_city implies coord")
                 .distance_km(&e.coord);
-            t.errors.push(d);
+            errors.push(d);
             if d <= CITY_RANGE_KM {
-                t.city_correct += 1;
+                city_correct += 1;
             }
         }
     }
-    t
+
+    let error_km = routergeo_obs::histogram("accuracy.error_km");
+    for e in &errors {
+        if e.is_finite() && *e >= 0.0 {
+            // Rounded km in log2 buckets: a deterministic quantity, so
+            // the metrics snapshot stays byte-identical across thread
+            // counts (entries are visited in ground-truth order).
+            error_km.record(e.round() as u64);
+        }
+    }
+    let (error_cdf, dropped_nan) = EmpiricalCdf::from_iter_lossy(errors);
+    span.attr("city_covered", city_covered);
+    VendorAccuracy {
+        database: view.databases()[db].clone(),
+        total,
+        country_covered,
+        country_correct,
+        city_covered,
+        city_correct,
+        error_cdf,
+        dropped_nan,
+    }
 }
 
 /// Evaluate one database over a set of ground-truth entries. Thread
@@ -107,56 +137,20 @@ pub fn evaluate_entries<'a, D: GeoDatabase + Sync>(
     evaluate_entries_with(db, entries, &Pool::from_env())
 }
 
-/// [`evaluate_entries`] on an explicit pool. Counts are summed and the
-/// error samples concatenated in shard order, so the Figure 2 CDF sees
-/// the same sample sequence the serial loop would produce.
+/// [`evaluate_entries`] on an explicit pool: the entries are resolved
+/// once into a single-database [`ResolvedView`] and tallied from the
+/// column in entry order, so the Figure 2 CDF sees the same sample
+/// sequence the serial loop would produce.
 pub fn evaluate_entries_with<'a, D: GeoDatabase + Sync>(
     db: &D,
     entries: impl IntoIterator<Item = &'a GtEntry>,
     pool: &Pool,
 ) -> VendorAccuracy {
     let list: Vec<&GtEntry> = entries.into_iter().collect();
-    let mut span =
-        routergeo_obs::span!("core.accuracy", database = db.name(), entries = list.len());
-    routergeo_obs::counter("accuracy.entries").add(list.len() as u64);
-    let tallies = pool.map_shards(0, &list, LOOKUP_SHARD_SIZE, |_, chunk| {
-        tally_entries(db, chunk)
-    });
-    let mut total = 0usize;
-    let mut country_covered = 0usize;
-    let mut country_correct = 0usize;
-    let mut city_covered = 0usize;
-    let mut city_correct = 0usize;
-    let mut errors = Vec::new();
-    for t in tallies {
-        total += t.total;
-        country_covered += t.country_covered;
-        country_correct += t.country_correct;
-        city_covered += t.city_covered;
-        city_correct += t.city_correct;
-        errors.extend(t.errors);
-    }
-    let error_km = routergeo_obs::histogram("accuracy.error_km");
-    for e in &errors {
-        if e.is_finite() && *e >= 0.0 {
-            // Rounded km in log2 buckets: a deterministic quantity, so
-            // the metrics snapshot stays byte-identical across thread
-            // counts (samples are concatenated in shard order).
-            error_km.record(e.round() as u64);
-        }
-    }
-    let (error_cdf, dropped_nan) = EmpiricalCdf::from_iter_lossy(errors);
-    span.attr("city_covered", city_covered);
-    VendorAccuracy {
-        database: db.name().to_string(),
-        total,
-        country_covered,
-        country_correct,
-        city_covered,
-        city_correct,
-        error_cdf,
-        dropped_nan,
-    }
+    let ips: Vec<Ipv4Addr> = list.iter().map(|e| e.ip).collect();
+    let view = ResolvedView::build_with(std::slice::from_ref(db), &ips, pool);
+    let picks: Vec<(usize, &GtEntry)> = list.into_iter().enumerate().collect();
+    evaluate_slice(&view, 0, &picks)
 }
 
 /// Full accuracy report: overall, by RIR, by country, by method.
@@ -197,32 +191,54 @@ pub fn evaluate<D: GeoDatabase + Sync>(
     evaluate_with(dbs, gt, top_countries, &Pool::from_env())
 }
 
-/// [`evaluate`] on an explicit pool; every breakdown slice is evaluated
-/// through [`evaluate_entries_with`], so the whole report is identical
-/// at every thread count.
+/// [`evaluate`] on an explicit pool: resolves the ground-truth
+/// addresses once into a [`ResolvedView`] and delegates to
+/// [`evaluate_from_view`], so the whole report is identical at every
+/// thread count.
 pub fn evaluate_with<D: GeoDatabase + Sync>(
     dbs: &[D],
     gt: &GroundTruth,
     top_countries: usize,
     pool: &Pool,
 ) -> AccuracyReport {
-    let overall: Vec<VendorAccuracy> = dbs
-        .iter()
-        .map(|d| evaluate_entries_with(d, &gt.entries, pool))
-        .collect();
+    let ips: Vec<Ipv4Addr> = gt.entries.iter().map(|e| e.ip).collect();
+    let view = ResolvedView::build_with(dbs, &ips, pool);
+    evaluate_from_view(&view, gt, top_countries)
+}
 
-    let by_rir = dbs
+/// Produce the full report from a pre-built view whose rows correspond
+/// 1:1 (in order) to `gt.entries` — the shared-view entry point the
+/// pipeline uses. Each breakdown slice's index list is computed once
+/// and reused across databases.
+pub fn evaluate_from_view(
+    view: &ResolvedView,
+    gt: &GroundTruth,
+    top_countries: usize,
+) -> AccuracyReport {
+    assert_eq!(
+        view.len(),
+        gt.entries.len(),
+        "view rows must correspond to ground-truth entries"
+    );
+    let n = view.db_count();
+    let all: Vec<(usize, &GtEntry)> = gt.entries.iter().enumerate().collect();
+
+    let overall: Vec<VendorAccuracy> = (0..n).map(|d| evaluate_slice(view, d, &all)).collect();
+
+    let rir_picks: Vec<Vec<(usize, &GtEntry)>> = Rir::TABLE1_ORDER
         .iter()
+        .map(|rir| {
+            all.iter()
+                .filter(|(_, e)| e.rir == Some(*rir))
+                .copied()
+                .collect()
+        })
+        .collect();
+    let by_rir = (0..n)
         .map(|d| {
-            Rir::TABLE1_ORDER
+            rir_picks
                 .iter()
-                .map(|rir| {
-                    evaluate_entries_with(
-                        d,
-                        gt.entries.iter().filter(|e| e.rir == Some(*rir)),
-                        pool,
-                    )
-                })
+                .map(|picks| evaluate_slice(view, d, picks))
                 .collect()
         })
         .collect();
@@ -237,44 +253,49 @@ pub fn evaluate_with<D: GeoDatabase + Sync>(
     ranked.truncate(top_countries);
     let by_country = ranked
         .into_iter()
-        .map(|(cc, n)| {
-            let accs = dbs
+        .map(|(cc, count)| {
+            let picks: Vec<(usize, &GtEntry)> = all
                 .iter()
-                .map(|d| {
-                    evaluate_entries_with(d, gt.entries.iter().filter(|e| e.country == cc), pool)
-                })
+                .filter(|(_, e)| e.country == cc)
+                .copied()
                 .collect();
-            (cc, n, accs)
+            let accs = (0..n).map(|d| evaluate_slice(view, d, &picks)).collect();
+            (cc, count, accs)
         })
         .collect();
 
-    let by_method = dbs
+    let method_picks: Vec<Vec<(usize, &GtEntry)>> = [GtMethod::DnsBased, GtMethod::RttProximity]
         .iter()
+        .map(|m| {
+            all.iter()
+                .filter(|(_, e)| e.method == *m)
+                .copied()
+                .collect()
+        })
+        .collect();
+    let by_method = (0..n)
         .map(|d| {
             [
-                evaluate_entries_with(d, gt.of_method(GtMethod::DnsBased), pool),
-                evaluate_entries_with(d, gt.of_method(GtMethod::RttProximity), pool),
+                evaluate_slice(view, d, &method_picks[0]),
+                evaluate_slice(view, d, &method_picks[1]),
             ]
         })
         .collect();
 
-    let degraded_set: std::collections::HashSet<std::net::Ipv4Addr> =
-        gt.degraded.iter().copied().collect();
-    let degraded = dbs
+    let degraded_set: std::collections::HashSet<Ipv4Addr> = gt.degraded.iter().copied().collect();
+    let degraded_picks: Vec<(usize, &GtEntry)> = all
         .iter()
-        .map(|d| {
-            evaluate_entries_with(
-                d,
-                gt.entries.iter().filter(|e| degraded_set.contains(&e.ip)),
-                pool,
-            )
-        })
+        .filter(|(_, e)| degraded_set.contains(&e.ip))
+        .copied()
+        .collect();
+    let degraded = (0..n)
+        .map(|d| evaluate_slice(view, d, &degraded_picks))
         .collect();
     let with_rir = gt.entries.iter().filter(|e| e.rir.is_some()).count();
     let rir_coverage = ratio(with_rir, gt.entries.len());
 
     AccuracyReport {
-        databases: dbs.iter().map(|d| d.name().to_string()).collect(),
+        databases: view.databases().to_vec(),
         overall,
         by_rir,
         by_country,
@@ -287,16 +308,30 @@ pub fn evaluate_with<D: GeoDatabase + Sync>(
 /// The three registry-fed databases' common-wrong-answer count (§5.2.2:
 /// 2,277 addresses wrong in IP2Location-Lite, MaxMind-GeoLite, and
 /// MaxMind-Paid simultaneously, with the same wrong country).
-pub fn common_wrong_country<D: GeoDatabase>(dbs: &[D; 3], gt: &GroundTruth) -> usize {
+///
+/// Resolves the entries once into a compact view — no full
+/// `LocationRecord` is ever materialized just to read `.country`.
+pub fn common_wrong_country<D: GeoDatabase + Sync>(dbs: &[D; 3], gt: &GroundTruth) -> usize {
+    let ips: Vec<Ipv4Addr> = gt.entries.iter().map(|e| e.ip).collect();
+    let view = ResolvedView::build(dbs.as_slice(), &ips);
+    common_wrong_from_view(&view, [0, 1, 2], gt)
+}
+
+/// [`common_wrong_country`] over three columns of a pre-built view whose
+/// rows correspond 1:1 (in order) to `gt.entries`.
+pub fn common_wrong_from_view(view: &ResolvedView, dbs: [usize; 3], gt: &GroundTruth) -> usize {
+    assert_eq!(
+        view.len(),
+        gt.entries.len(),
+        "view rows must correspond to ground-truth entries"
+    );
     gt.entries
         .iter()
-        .filter(|e| {
-            let answers: Vec<Option<CountryCode>> = dbs
-                .iter()
-                .map(|d| d.lookup(e.ip).and_then(|r| r.country))
-                .collect();
-            match (&answers[0], &answers[1], &answers[2]) {
-                (Some(a), Some(b), Some(c)) => a == b && b == c && *a != e.country,
+        .enumerate()
+        .filter(|(i, e)| {
+            let answer = |d: usize| view.record(dbs[d], *i).and_then(|r| r.country);
+            match (answer(0), answer(1), answer(2)) {
+                (Some(a), Some(b), Some(c)) => a == b && b == c && a != e.country,
                 _ => false,
             }
         })
@@ -459,5 +494,62 @@ mod tests {
         assert_eq!(acc.country_covered, 1);
         assert_eq!(acc.country_accuracy(), 1.0);
         assert!((acc.country_coverage() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The pinned old-vs-new check: the view-based report must match a
+    /// naive per-entry `lookup` evaluation exactly (tests are outside
+    /// RG009's scope, so the naive path can query directly).
+    #[test]
+    fn view_report_matches_naive_lookup_evaluation() {
+        let dbs = [
+            simple_db(
+                "d1",
+                &[
+                    ("6.0.0.0/24", "US", 40.0, -100.0),
+                    ("6.0.1.0/24", "US", 40.0, -100.0),
+                ],
+            ),
+            simple_db("d2", &[("6.0.1.0/24", "CA", 55.0, -100.0)]),
+        ];
+        let gt = sample_gt();
+        let report = evaluate(&dbs, &gt, 20);
+        for (d, db) in dbs.iter().enumerate() {
+            let mut covered = 0usize;
+            let mut correct = 0usize;
+            let mut errors = Vec::new();
+            for e in &gt.entries {
+                let Some(rec) = db.lookup(e.ip) else { continue };
+                if let Some(cc) = rec.country {
+                    covered += 1;
+                    if cc == e.country {
+                        correct += 1;
+                    }
+                }
+                if rec.has_city() {
+                    errors.push(rec.coord.unwrap().distance_km(&e.coord));
+                }
+            }
+            assert_eq!(report.overall[d].country_covered, covered);
+            assert_eq!(report.overall[d].country_correct, correct);
+            assert_eq!(report.overall[d].error_cdf.len(), errors.len());
+        }
+
+        // The majority-vote count matches a naive triple-lookup loop.
+        let trio = [&dbs[0], &dbs[0], &dbs[1]];
+        let naive = gt
+            .entries
+            .iter()
+            .filter(|e| {
+                let answers: Vec<Option<CountryCode>> = trio
+                    .iter()
+                    .map(|d| d.lookup(e.ip).and_then(|r| r.country))
+                    .collect();
+                matches!(
+                    (&answers[0], &answers[1], &answers[2]),
+                    (Some(a), Some(b), Some(c)) if a == b && b == c && *a != e.country
+                )
+            })
+            .count();
+        assert_eq!(common_wrong_country(&trio, &gt), naive);
     }
 }

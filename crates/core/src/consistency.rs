@@ -5,8 +5,15 @@
 //! compares *coordinates* rather than city names, so each database pair
 //! yields a distance distribution over the addresses that are city-level
 //! in **all** participating databases (the paper's Figure 1 population).
+//!
+//! The tallies consume pre-resolved [`ResolvedView`] columns — never
+//! the allocating `GeoDatabase::lookup` (enforced by lint RG009). The
+//! parallelism lives in the view build; the tally itself is a cheap
+//! serial pass over the flat columns, visiting addresses in input
+//! order, so the distance CDFs see the exact sample sequence the old
+//! per-shard merge produced.
 
-use crate::coverage::LOOKUP_SHARD_SIZE;
+use crate::resolve::ResolvedView;
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
 use routergeo_geo::{EmpiricalCdf, CITY_RANGE_KM};
@@ -61,110 +68,80 @@ impl ConsistencyReport {
     }
 }
 
-/// Per-shard accumulator for [`consistency_with`]: every matrix is a
-/// flat `n*n` vector keyed `i*n + j` with `i < j`.
-struct ShardTally {
-    both_have: Vec<usize>,
-    agree: Vec<usize>,
-    all_have: usize,
-    all_agree: usize,
-    city_in_all: usize,
-    pair_samples: Vec<Vec<f64>>,
-}
-
-fn tally_chunk<D: GeoDatabase>(dbs: &[D], chunk: &[Ipv4Addr]) -> ShardTally {
-    let n = dbs.len();
-    let mut t = ShardTally {
-        both_have: vec![0usize; n * n],
-        agree: vec![0usize; n * n],
-        all_have: 0,
-        all_agree: 0,
-        city_in_all: 0,
-        pair_samples: vec![Vec::new(); n * n],
-    };
-    for ip in chunk {
-        let records: Vec<_> = dbs.iter().map(|d| d.lookup(*ip)).collect();
-        let countries: Vec<_> = records
-            .iter()
-            .map(|r| r.as_ref().and_then(|r| r.country))
-            .collect();
-
-        for i in 0..n {
-            for j in i + 1..n {
-                if let (Some(a), Some(b)) = (countries[i], countries[j]) {
-                    t.both_have[i * n + j] += 1;
-                    if a == b {
-                        t.agree[i * n + j] += 1;
-                    }
-                }
-            }
-        }
-        if countries.iter().all(|c| c.is_some()) {
-            t.all_have += 1;
-            let first = countries[0];
-            if countries.iter().all(|c| *c == first) {
-                t.all_agree += 1;
-            }
-        }
-
-        // Figure 1 population: city-level coordinates in every database.
-        let coords: Vec<_> = records
-            .iter()
-            .map(|r| r.as_ref().filter(|r| r.has_city()).and_then(|r| r.coord))
-            .collect();
-        let city_coords: Vec<_> = coords.iter().flatten().collect();
-        if city_coords.len() == n {
-            t.city_in_all += 1;
-            for i in 0..n {
-                for j in i + 1..n {
-                    let d = city_coords[i].distance_km(city_coords[j]);
-                    t.pair_samples[i * n + j].push(d);
-                }
-            }
-        }
-    }
-    t
-}
-
 /// Compute the consistency report for a set of databases over `ips`.
 /// Thread count from the environment ([`Pool::from_env`]).
 pub fn consistency<D: GeoDatabase + Sync>(dbs: &[D], ips: &[Ipv4Addr]) -> ConsistencyReport {
     consistency_with(dbs, ips, &Pool::from_env())
 }
 
-/// [`consistency`] on an explicit pool. Shards tally independently;
-/// counts are summed and the pairwise distance samples concatenated in
-/// shard order, so the CDFs see the exact sample sequence the serial
-/// loop would produce and the report is byte-identical at every thread
-/// count.
+/// [`consistency`] on an explicit pool: resolves the addresses once
+/// into a [`ResolvedView`] and tallies from the columns.
 pub fn consistency_with<D: GeoDatabase + Sync>(
     dbs: &[D],
     ips: &[Ipv4Addr],
     pool: &Pool,
 ) -> ConsistencyReport {
-    let n = dbs.len();
-    let mut span = routergeo_obs::span!("core.consistency", databases = n, addresses = ips.len());
-    routergeo_obs::counter("consistency.addresses").add(ips.len() as u64);
-    let tallies = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
-        tally_chunk(dbs, chunk)
-    });
+    let view = ResolvedView::build_with(dbs, ips, pool);
+    consistency_from_view(&view)
+}
 
+/// Tally the consistency report from a pre-built view — the shared-view
+/// entry point the pipeline uses so consistency reads the same
+/// resolve-once answers as coverage and accuracy.
+pub fn consistency_from_view(view: &ResolvedView) -> ConsistencyReport {
+    let n = view.db_count();
+    let mut span = routergeo_obs::span!("core.consistency", databases = n, addresses = view.len());
+    routergeo_obs::counter("consistency.addresses").add(view.len() as u64);
+
+    // Every matrix is a flat `n*n` vector keyed `i*n + j` with `i < j`.
     let mut both_have = vec![0usize; n * n];
     let mut agree = vec![0usize; n * n];
     let mut all_have = 0usize;
     let mut all_agree = 0usize;
     let mut city_in_all = 0usize;
     let mut pair_samples: Vec<Vec<f64>> = vec![Vec::new(); n * n];
-    for t in tallies {
-        for k in 0..n * n {
-            both_have[k] += t.both_have[k];
-            agree[k] += t.agree[k];
+
+    let mut countries = Vec::with_capacity(n);
+    let mut city_coords = Vec::with_capacity(n);
+    for row in 0..view.len() {
+        countries.clear();
+        city_coords.clear();
+        for db in 0..n {
+            let rec = view.record(db, row);
+            countries.push(rec.and_then(|r| r.country));
+            // Figure 1 population: city-level coordinates in every
+            // database.
+            city_coords.push(rec.filter(|r| r.has_city()).and_then(|r| r.coord));
         }
-        all_have += t.all_have;
-        all_agree += t.all_agree;
-        city_in_all += t.city_in_all;
-        for (k, samples) in t.pair_samples.into_iter().enumerate() {
-            pair_samples[k].extend(samples);
+
+        for i in 0..n {
+            for j in i + 1..n {
+                if let (Some(a), Some(b)) = (countries[i], countries[j]) {
+                    both_have[i * n + j] += 1;
+                    if a == b {
+                        agree[i * n + j] += 1;
+                    }
+                }
+            }
+        }
+        if countries.iter().all(|c| c.is_some()) {
+            all_have += 1;
+            let first = countries[0];
+            if countries.iter().all(|c| *c == first) {
+                all_agree += 1;
+            }
+        }
+
+        if city_coords.iter().all(|c| c.is_some()) {
+            city_in_all += 1;
+            for i in 0..n {
+                for j in i + 1..n {
+                    let (a, b) = (&city_coords[i], &city_coords[j]);
+                    if let (Some(a), Some(b)) = (a, b) {
+                        pair_samples[i * n + j].push(a.distance_km(b));
+                    }
+                }
+            }
         }
     }
 
@@ -196,8 +173,8 @@ pub fn consistency_with<D: GeoDatabase + Sync>(
 
     span.attr("city_in_all", city_in_all);
     ConsistencyReport {
-        databases: dbs.iter().map(|d| d.name().to_string()).collect(),
-        total: ips.len(),
+        databases: view.databases().to_vec(),
+        total: view.len(),
         country_agree,
         all_country_agree: all_agree,
         all_country_covered: all_have,
@@ -297,5 +274,33 @@ mod tests {
         // a-b are ~11 km apart (same city), a-c across the ocean.
         assert!(rep.pair_disagreement(0, 1).unwrap() < 1e-12);
         assert_eq!(rep.pair_disagreement(0, 2), Some(1.0));
+    }
+
+    #[test]
+    fn shared_view_matches_direct_entry_point() {
+        let a = db(
+            "a",
+            &[
+                ("6.0.0.0/24", "US", 40.0, -100.0),
+                ("6.0.1.0/24", "US", 41.0, -100.0),
+            ],
+        );
+        let b = db("b", &[("6.0.0.0/24", "CA", 55.0, -100.0)]);
+        let dbs = [a, b];
+        let ips: Vec<Ipv4Addr> = vec![
+            "6.0.0.1".parse().unwrap(),
+            "6.0.1.1".parse().unwrap(),
+            "9.9.9.9".parse().unwrap(),
+        ];
+        let direct = consistency(&dbs, &ips);
+        let view = ResolvedView::build(&dbs, &ips);
+        let shared = consistency_from_view(&view);
+        assert_eq!(shared.country_agree, direct.country_agree);
+        assert_eq!(shared.city_in_all, direct.city_in_all);
+        assert_eq!(shared.all_country_agree, direct.all_country_agree);
+        assert_eq!(
+            shared.pair(0, 1).unwrap().len(),
+            direct.pair(0, 1).unwrap().len()
+        );
     }
 }

@@ -1,15 +1,14 @@
 //! Coverage: what fraction of an address set a database can answer for,
 //! at country and at city level (§5.1, §5.2.1).
+//!
+//! The tallies consume a pre-resolved [`ResolvedView`] column — never
+//! the allocating `GeoDatabase::lookup` (enforced by lint RG009).
 
+use crate::resolve::ResolvedView;
 use routergeo_db::GeoDatabase;
 use routergeo_geo::stats::ratio;
 use routergeo_pool::Pool;
 use std::net::Ipv4Addr;
-
-/// Addresses per shard for the parallel evaluators in this crate.
-/// Lookups draw no randomness, so the shard seed is irrelevant; the
-/// size is fixed (never thread-derived) to keep merge order stable.
-pub(crate) const LOOKUP_SHARD_SIZE: usize = 4096;
 
 /// Coverage of one database over one address set.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,44 +43,44 @@ pub fn coverage<D: GeoDatabase + Sync>(db: &D, ips: &[Ipv4Addr]) -> CoverageRepo
     coverage_with(db, ips, &Pool::from_env())
 }
 
-/// [`coverage`] on an explicit pool: shards tally independently and the
-/// per-shard counts are summed in shard order, so the report is
-/// identical at every thread count.
+/// [`coverage`] on an explicit pool: the addresses are resolved once
+/// into a single-database [`ResolvedView`] (sharded, merged in shard
+/// order) and tallied from the column, so the report is identical at
+/// every thread count.
 pub fn coverage_with<D: GeoDatabase + Sync>(
     db: &D,
     ips: &[Ipv4Addr],
     pool: &Pool,
 ) -> CoverageReport {
-    let mut span =
-        routergeo_obs::span!("core.coverage", database = db.name(), addresses = ips.len());
-    routergeo_obs::counter("coverage.addresses").add(ips.len() as u64);
-    let tallies = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
-        let mut with_record = 0usize;
-        let mut with_country = 0usize;
-        let mut with_city = 0usize;
-        for ip in chunk {
-            let Some(rec) = db.lookup(*ip) else { continue };
-            with_record += 1;
-            if rec.has_country() {
-                with_country += 1;
-            }
-            if rec.has_city() {
-                with_city += 1;
-            }
-        }
-        (with_record, with_country, with_city)
-    });
+    let view = ResolvedView::build_with(std::slice::from_ref(db), ips, pool);
+    coverage_from_view(&view, 0)
+}
+
+/// Tally coverage of column `db` of a pre-built view — the shared-view
+/// entry point the pipeline uses so every analysis reads the same
+/// resolve-once answers.
+pub fn coverage_from_view(view: &ResolvedView, db: usize) -> CoverageReport {
+    let mut span = routergeo_obs::span!(
+        "core.coverage",
+        database = view.databases()[db],
+        addresses = view.len()
+    );
+    routergeo_obs::counter("coverage.addresses").add(view.len() as u64);
     let mut report = CoverageReport {
-        database: db.name().to_string(),
-        total: ips.len(),
+        database: view.databases()[db].clone(),
+        total: view.len(),
         with_record: 0,
         with_country: 0,
         with_city: 0,
     };
-    for (record, country, city) in tallies {
-        report.with_record += record;
-        report.with_country += country;
-        report.with_city += city;
+    for rec in view.column(db).iter().flatten() {
+        report.with_record += 1;
+        if rec.has_country() {
+            report.with_country += 1;
+        }
+        if rec.has_city() {
+            report.with_city += 1;
+        }
     }
     routergeo_obs::counter("coverage.with_record").add(report.with_record as u64);
     span.attr("with_record", report.with_record);
@@ -125,6 +124,10 @@ mod tests {
         assert_eq!(rep.with_city, 1);
         assert!((rep.country_coverage() - 2.0 / 3.0).abs() < 1e-12);
         assert!((rep.city_coverage() - 1.0 / 3.0).abs() < 1e-12);
+
+        // The shared-view entry point reports identically.
+        let view = ResolvedView::build(std::slice::from_ref(&db), &ips);
+        assert_eq!(coverage_from_view(&view, 0), rep);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!   (§2.3.2) ground-truth datasets and their Table 1 statistics.
 //! * [`validation`] — the ground-truth correctness analysis of §3:
 //!   cross-dataset agreement and hostname churn.
+//! * [`resolve`] — the resolve-once lookup engine: every (IP, database)
+//!   pair answered exactly once into a columnar
+//!   [`ResolvedView`](resolve::ResolvedView) that the coverage,
+//!   consistency, and accuracy analyses share.
 //! * [`coverage`] — country-/city-level coverage over an address set
 //!   (§5.1, §5.2.1).
 //! * [`consistency`] — pairwise database agreement and the Figure 1
@@ -45,9 +49,11 @@ pub mod majority;
 pub mod methodology;
 pub mod recommend;
 pub mod report;
+pub mod resolve;
 pub mod validation;
 
 pub use accuracy::{AccuracyReport, VendorAccuracy};
 pub use consistency::ConsistencyReport;
 pub use coverage::CoverageReport;
 pub use groundtruth::{GroundTruth, GtEntry, GtMethod};
+pub use resolve::ResolvedView;

@@ -1,0 +1,217 @@
+//! The resolve-once lookup engine (§5 hot path).
+//!
+//! Coverage, consistency, and accuracy all ask every database about the
+//! same address sets. Instead of re-querying per analysis, a
+//! [`ResolvedView`] resolves each (IP, database) pair exactly once into
+//! columnar struct-of-arrays storage: one `Vec<Option<CompactRecord>>`
+//! column per database, with region/city names interned into a shared
+//! [`LocationInterner`]. The analyses then tally over the flat columns
+//! without a single per-lookup allocation.
+//!
+//! Construction is sharded through `routergeo_pool`: each shard resolves
+//! its slice into a *local* interner and local column chunks, and the
+//! merge absorbs the locals in shard order, remapping symbol ids into
+//! the global table. Shard boundaries depend only on the input length,
+//! so the view — ids included — is byte-identical at any thread count.
+
+use routergeo_db::{CompactRecord, GeoDatabase, LocationInterner};
+use routergeo_pool::Pool;
+use std::net::Ipv4Addr;
+
+/// Addresses per shard for the parallel resolvers and evaluators in
+/// this crate. Lookups draw no randomness, so the shard seed is
+/// irrelevant; the size is fixed (never thread-derived) to keep merge
+/// order stable.
+pub(crate) const LOOKUP_SHARD_SIZE: usize = 4096;
+
+/// Columnar resolve-once answers: `column(db)[i]` is database `db`'s
+/// compact answer for the `i`-th input address.
+#[derive(Debug, PartialEq)]
+pub struct ResolvedView {
+    databases: Vec<String>,
+    total: usize,
+    interner: LocationInterner,
+    columns: Vec<Vec<Option<CompactRecord>>>,
+}
+
+impl ResolvedView {
+    /// Resolve every (IP, database) pair once. Thread count from the
+    /// environment ([`Pool::from_env`]).
+    pub fn build<D: GeoDatabase + Sync>(dbs: &[D], ips: &[Ipv4Addr]) -> ResolvedView {
+        ResolvedView::build_with(dbs, ips, &Pool::from_env())
+    }
+
+    /// [`ResolvedView::build`] on an explicit pool: shards resolve into
+    /// local interners and column chunks, merged in shard order with
+    /// symbol-id remapping, so the view is identical at every thread
+    /// count.
+    pub fn build_with<D: GeoDatabase + Sync>(
+        dbs: &[D],
+        ips: &[Ipv4Addr],
+        pool: &Pool,
+    ) -> ResolvedView {
+        let n = dbs.len();
+        let mut span = routergeo_obs::span!("core.resolve", databases = n, addresses = ips.len());
+        // Register every resolve counter on the orchestrating thread in
+        // fixed order, before any worker can first-touch one, so the
+        // metrics snapshot renders identically at any thread count.
+        let c_lookups = routergeo_obs::counter("resolve.lookups");
+        let c_hits = routergeo_obs::counter("resolve.hits");
+        let c_misses = routergeo_obs::counter("resolve.misses");
+        let c_strings = routergeo_obs::counter("resolve.interner_strings");
+        let c_refs = routergeo_obs::counter("resolve.interner_refs");
+
+        let shards = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
+            let mut local = LocationInterner::new();
+            let mut cols: Vec<Vec<Option<CompactRecord>>> =
+                vec![Vec::with_capacity(chunk.len()); n];
+            for (col, db) in cols.iter_mut().zip(dbs) {
+                for ip in chunk {
+                    col.push(db.lookup_compact(*ip, &mut local));
+                }
+            }
+            (local, cols)
+        });
+
+        let mut interner = LocationInterner::new();
+        let mut columns: Vec<Vec<Option<CompactRecord>>> = vec![Vec::with_capacity(ips.len()); n];
+        let mut hits = 0u64;
+        let mut refs = 0u64;
+        for (local, cols) in shards {
+            refs += local.ref_count();
+            let remap = interner.absorb(&local);
+            for (column, chunk) in columns.iter_mut().zip(cols) {
+                for rec in chunk {
+                    if rec.is_some() {
+                        hits += 1;
+                    }
+                    column.push(rec.map(|r| r.remapped(&remap)));
+                }
+            }
+        }
+
+        let lookups = (ips.len() as u64) * (n as u64);
+        c_lookups.add(lookups);
+        c_hits.add(hits);
+        c_misses.add(lookups - hits);
+        c_strings.add(interner.len() as u64);
+        c_refs.add(refs);
+        span.attr("hits", hits);
+        span.attr("interned", interner.len());
+
+        ResolvedView {
+            databases: dbs.iter().map(|d| d.name().to_string()).collect(),
+            total: ips.len(),
+            interner,
+            columns,
+        }
+    }
+
+    /// Database display names, defining the column index order.
+    pub fn databases(&self) -> &[String] {
+        &self.databases
+    }
+
+    /// Number of databases (columns).
+    pub fn db_count(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// Number of resolved addresses (rows).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the view covers no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The shared symbol table for region/city ids.
+    pub fn interner(&self) -> &LocationInterner {
+        &self.interner
+    }
+
+    /// The full answer column of database `db`.
+    pub fn column(&self, db: usize) -> &[Option<CompactRecord>] {
+        &self.columns[db]
+    }
+
+    /// Database `db`'s answer for the `i`-th address.
+    pub fn record(&self, db: usize, i: usize) -> Option<CompactRecord> {
+        self.columns[db][i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routergeo_db::inmem::{InMemoryDb, InMemoryDbBuilder};
+    use routergeo_db::{Granularity, LocationRecord};
+    use routergeo_geo::Coordinate;
+
+    /// A database whose city names vary per /24 so distinct symbols keep
+    /// appearing across shard boundaries.
+    fn striped_db(name: &str, blocks: u8, stride: u8) -> InMemoryDb {
+        let mut b = InMemoryDbBuilder::new(name);
+        for i in (0..blocks).step_by(usize::from(stride)) {
+            b.push_prefix(
+                format!("10.{i}.0.0/16").parse().unwrap(),
+                LocationRecord {
+                    country: Some("US".parse().unwrap()),
+                    region: Some(format!("region-{}", i % 7)),
+                    city: Some(format!("city-{}-{}", name, i % 13)),
+                    coord: Some(Coordinate::new(f64::from(i) / 4.0, -100.0).unwrap()),
+                    granularity: Granularity::Block24,
+                },
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn sample_ips(count: u32) -> Vec<Ipv4Addr> {
+        (0..count)
+            .map(|i| Ipv4Addr::from(0x0A00_0000u32 + (i << 10)))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_view_is_identical_to_serial() {
+        let dbs = [striped_db("a", 120, 1), striped_db("b", 120, 3)];
+        // > 2 shards of 4096 so the merge path actually runs.
+        let ips = sample_ips(10_000);
+        let serial = ResolvedView::build_with(&dbs, &ips, &Pool::new(1));
+        for threads in [2, 8] {
+            let parallel = ResolvedView::build_with(&dbs, &ips, &Pool::new(threads));
+            assert_eq!(
+                serial, parallel,
+                "view differs between 1 and {threads} threads"
+            );
+        }
+        assert_eq!(serial.len(), 10_000);
+        assert_eq!(serial.db_count(), 2);
+        assert!(serial.interner().len() > 10, "symbols were interned");
+    }
+
+    #[test]
+    fn view_answers_match_direct_lookups() {
+        let dbs = [striped_db("a", 40, 1), striped_db("b", 40, 2)];
+        let ips = sample_ips(500);
+        let view = ResolvedView::build_with(&dbs, &ips, &Pool::new(2));
+        for (d, db) in dbs.iter().enumerate() {
+            for (i, ip) in ips.iter().enumerate() {
+                let expanded = view.record(d, i).map(|c| c.to_record(view.interner()));
+                assert_eq!(expanded, db.lookup(*ip), "db {d} ip {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_build_empty_views() {
+        let dbs: [InMemoryDb; 0] = [];
+        let view = ResolvedView::build_with(&dbs, &[], &Pool::new(1));
+        assert!(view.is_empty());
+        assert_eq!(view.db_count(), 0);
+        assert!(view.interner().is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! The zero-allocation lookup path: interned location symbols and the
+//! `Copy`-able compact record.
+//!
+//! The analysis workload resolves every (IP, database) pair and then
+//! reads only scalar facts — country, coordinates, resolution — yet the
+//! owning [`LocationRecord`](crate::LocationRecord) carries its region
+//! and city as `Option<String>`, so each answer costs heap allocations.
+//! [`LocationInterner`] maps those strings to dense `u32` symbol ids
+//! exactly once, and [`CompactRecord`] carries the ids by value, so a
+//! resolved column of answers is a flat `Vec<Option<CompactRecord>>`
+//! with no per-lookup allocation.
+//!
+//! Parallel resolution shards intern into *local* tables; the merge
+//! step absorbs each local table into the global one in shard order via
+//! [`LocationInterner::absorb`], producing an [`IdRemap`] that rewrites
+//! shard-local ids to global ones. Because absorption walks local ids
+//! in order and shards merge in shard order, the global id assignment
+//! is dense and byte-identical at any thread count.
+
+use crate::record::{Granularity, LocationRecord};
+use routergeo_geo::{Coordinate, CountryCode};
+use std::collections::HashMap;
+
+/// A symbol table for region/city names: each distinct string gets a
+/// dense `u32` id, assigned in first-seen order.
+#[derive(Debug, Default, Clone)]
+pub struct LocationInterner {
+    strings: Vec<String>,
+    ids: HashMap<String, u32>,
+    refs: u64,
+}
+
+impl PartialEq for LocationInterner {
+    fn eq(&self, other: &Self) -> bool {
+        // The id map is derived from `strings`; the ref counter is
+        // bookkeeping, not identity.
+        self.strings == other.strings
+    }
+}
+
+impl LocationInterner {
+    /// An empty interner.
+    pub fn new() -> LocationInterner {
+        LocationInterner::default()
+    }
+
+    /// Intern `s`, returning its id. The same string always maps to the
+    /// same id; a new string gets the next dense id. This is the only
+    /// place the compact path allocates, and it allocates once per
+    /// *distinct* string, not once per lookup.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        self.refs += 1;
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len())
+            .expect("interner overflow: more than u32::MAX distinct location names");
+        self.strings.push(s.to_string());
+        self.ids.insert(s.to_string(), id);
+        id
+    }
+
+    /// The string behind `id`, if assigned.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no string has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Total [`LocationInterner::intern`] calls served — hit-or-miss —
+    /// for the `resolve.interner_refs` metric.
+    pub fn ref_count(&self) -> u64 {
+        self.refs
+    }
+
+    /// Absorb every symbol of `local` into `self` (in `local` id order)
+    /// and return the remap from `local` ids to `self` ids. Used to
+    /// merge shard-local interners deterministically.
+    pub fn absorb(&mut self, local: &LocationInterner) -> IdRemap {
+        IdRemap {
+            map: local.strings.iter().map(|s| self.intern(s)).collect(),
+        }
+    }
+}
+
+/// A mapping from one interner's ids to another's, produced by
+/// [`LocationInterner::absorb`].
+#[derive(Debug, Clone)]
+pub struct IdRemap {
+    map: Vec<u32>,
+}
+
+impl IdRemap {
+    /// Translate a local id. Ids the remap has never seen pass through
+    /// unchanged (they cannot arise from a well-formed absorb).
+    pub fn apply(&self, id: u32) -> u32 {
+        self.map.get(id as usize).copied().unwrap_or(id)
+    }
+}
+
+/// A location answer with every field by value: country and coordinates
+/// verbatim, region/city as interner ids. `Copy`, 0 heap bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactRecord {
+    /// ISO country code, if known.
+    pub country: Option<CountryCode>,
+    /// Interned admin-region name, if known.
+    pub region_id: Option<u32>,
+    /// Interned city name, if the record is city-level.
+    pub city_id: Option<u32>,
+    /// Coordinates, if any.
+    pub coord: Option<Coordinate>,
+    /// Entry granularity.
+    pub granularity: Granularity,
+}
+
+impl CompactRecord {
+    /// Compact an owning record, interning its region/city names. Takes
+    /// the record by reference: the strings are borrowed into the
+    /// interner, never cloned into the result.
+    pub fn from_record(rec: &LocationRecord, interner: &mut LocationInterner) -> CompactRecord {
+        CompactRecord {
+            country: rec.country,
+            region_id: rec.region.as_deref().map(|s| interner.intern(s)),
+            city_id: rec.city.as_deref().map(|s| interner.intern(s)),
+            coord: rec.coord,
+            granularity: rec.granularity,
+        }
+    }
+
+    /// Expand back to an owning record — the exact inverse of
+    /// [`CompactRecord::from_record`] under the same interner.
+    pub fn to_record(self, interner: &LocationInterner) -> LocationRecord {
+        LocationRecord {
+            country: self.country,
+            region: self
+                .region_id
+                .and_then(|id| interner.resolve(id))
+                .map(str::to_string),
+            city: self
+                .city_id
+                .and_then(|id| interner.resolve(id))
+                .map(str::to_string),
+            coord: self.coord,
+            granularity: self.granularity,
+        }
+    }
+
+    /// Rewrite the symbol ids through a shard-merge remap.
+    pub fn remapped(self, remap: &IdRemap) -> CompactRecord {
+        CompactRecord {
+            region_id: self.region_id.map(|id| remap.apply(id)),
+            city_id: self.city_id.map(|id| remap.apply(id)),
+            ..self
+        }
+    }
+
+    /// Whether the record provides country-level coverage — mirrors
+    /// [`LocationRecord::has_country`].
+    pub fn has_country(&self) -> bool {
+        self.country.is_some()
+    }
+
+    /// Whether the record provides city-level coverage (a city name
+    /// with coordinates) — mirrors [`LocationRecord::has_city`].
+    pub fn has_city(&self) -> bool {
+        self.city_id.is_some() && self.coord.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_ids_are_dense_stable_and_round_trip() {
+        let mut i = LocationInterner::new();
+        let words = ["Berlin", "Hamburg", "Berlin", "Bremen", "Hamburg", "Berlin"];
+        let ids: Vec<u32> = words.iter().map(|w| i.intern(w)).collect();
+        // Same string → same id, ids dense in first-seen order.
+        assert_eq!(ids, vec![0, 1, 0, 2, 1, 0]);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.ref_count(), 6);
+        // Round-trip exact.
+        for (w, id) in words.iter().zip(&ids) {
+            assert_eq!(i.resolve(*id), Some(*w));
+        }
+        assert_eq!(i.resolve(3), None);
+    }
+
+    #[test]
+    fn compact_round_trips_through_the_interner() {
+        let mut i = LocationInterner::new();
+        let rec = LocationRecord {
+            country: Some("DE".parse().unwrap()),
+            region: Some("Berlin".into()),
+            city: Some("Berlin".into()),
+            coord: Some(Coordinate::new(52.5, 13.4).unwrap()),
+            granularity: Granularity::SubBlock,
+        };
+        let c = CompactRecord::from_record(&rec, &mut i);
+        // Region and city share one symbol.
+        assert_eq!(c.region_id, Some(0));
+        assert_eq!(c.city_id, Some(0));
+        assert_eq!(i.len(), 1);
+        assert!(c.has_country() && c.has_city());
+        assert_eq!(c.to_record(&i), rec);
+
+        let empty = LocationRecord::empty();
+        let ce = CompactRecord::from_record(&empty, &mut i);
+        assert!(!ce.has_country() && !ce.has_city());
+        assert_eq!(ce.to_record(&i), empty);
+    }
+
+    #[test]
+    fn absorb_remaps_shard_local_ids_deterministically() {
+        let mut shard_a = LocationInterner::new();
+        let a_x = shard_a.intern("X");
+        let a_y = shard_a.intern("Y");
+        let mut shard_b = LocationInterner::new();
+        let b_z = shard_b.intern("Z");
+        let b_y = shard_b.intern("Y");
+
+        let mut global = LocationInterner::new();
+        let ra = global.absorb(&shard_a);
+        let rb = global.absorb(&shard_b);
+        // Shard-order absorption: X=0, Y=1 from shard a; Z=2 new, Y
+        // rebound to 1 from shard b.
+        assert_eq!(ra.apply(a_x), 0);
+        assert_eq!(ra.apply(a_y), 1);
+        assert_eq!(rb.apply(b_z), 2);
+        assert_eq!(rb.apply(b_y), 1);
+        assert_eq!(global.len(), 3);
+
+        let rec = CompactRecord {
+            country: None,
+            region_id: Some(b_y),
+            city_id: Some(b_z),
+            coord: None,
+            granularity: Granularity::Aggregate,
+        };
+        let remapped = rec.remapped(&rb);
+        assert_eq!(remapped.region_id, Some(1));
+        assert_eq!(remapped.city_id, Some(2));
+    }
+}

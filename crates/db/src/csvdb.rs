@@ -219,6 +219,21 @@ mod tests {
     }
 
     #[test]
+    fn parsed_csv_answers_the_compact_path() {
+        // `parse` yields an `InMemoryDb`, so CSV-loaded databases get
+        // the native allocation-free compact lookup for free.
+        let db = parse("csv-test", &write(&sample_db())).unwrap();
+        let mut interner = crate::LocationInterner::new();
+        for ip in ["6.0.0.9", "31.0.0.77", "9.9.9.9"] {
+            let ip: Ipv4Addr = ip.parse().unwrap();
+            let compact = db.lookup_compact(ip, &mut interner);
+            assert_eq!(compact.map(|c| c.to_record(&interner)), db.lookup(ip));
+        }
+        // Distinct symbols interned: one region + one city.
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
     fn roundtrip() {
         let db = sample_db();
         let text = write(&db);

@@ -1,6 +1,7 @@
 //! In-memory range database — the working representation every other
 //! format converts to or from.
 
+use crate::compact::{CompactRecord, LocationInterner};
 use crate::record::LocationRecord;
 use crate::GeoDatabase;
 use routergeo_net::{Prefix, RangeMap, RangeMapBuilder, RangeOverlap};
@@ -89,6 +90,18 @@ impl GeoDatabase for InMemoryDb {
 
     fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
         self.map.lookup(ip).cloned()
+    }
+
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        // Native compact path: compact straight off the borrowed range
+        // entry — the record is never cloned.
+        self.map
+            .lookup(ip)
+            .map(|rec| CompactRecord::from_record(rec, interner))
     }
 }
 

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod csvdb;
 pub mod diff;
 pub mod inmem;
@@ -33,6 +34,7 @@ pub mod record;
 pub mod rgdb;
 pub mod synth;
 
+pub use compact::{CompactRecord, IdRemap, LocationInterner};
 pub use inmem::InMemoryDb;
 pub use record::{Granularity, LocationRecord};
 pub use synth::{build_vendor, SignalWorld, VendorId, VendorProfile};
@@ -47,6 +49,20 @@ pub trait GeoDatabase {
     /// Look up one address. `None` means the database has no record at all
     /// for the address (no coverage even at country level).
     fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord>;
+
+    /// Look up one address on the compact, allocation-free path: the
+    /// answer comes back by value with region/city interned into
+    /// `interner`. The default implementation bridges through
+    /// [`GeoDatabase::lookup`] (one transient record allocation);
+    /// backends override it to answer without allocating per call.
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        self.lookup(ip)
+            .map(|rec| CompactRecord::from_record(&rec, interner))
+    }
 }
 
 impl<T: GeoDatabase + ?Sized> GeoDatabase for &T {
@@ -57,6 +73,14 @@ impl<T: GeoDatabase + ?Sized> GeoDatabase for &T {
     fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
         (**self).lookup(ip)
     }
+
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        (**self).lookup_compact(ip, interner)
+    }
 }
 
 impl<T: GeoDatabase + ?Sized> GeoDatabase for Box<T> {
@@ -66,5 +90,13 @@ impl<T: GeoDatabase + ?Sized> GeoDatabase for Box<T> {
 
     fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
         (**self).lookup(ip)
+    }
+
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        (**self).lookup_compact(ip, interner)
     }
 }

@@ -29,6 +29,7 @@
 //! in-memory trie. The reader borrows a [`Bytes`] buffer and never copies
 //! the node or data sections.
 
+use crate::compact::{CompactRecord, LocationInterner};
 use crate::record::{Granularity, LocationRecord};
 use crate::GeoDatabase;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -37,6 +38,8 @@ use routergeo_net::{Prefix, PrefixTrie};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 const MAGIC: &[u8; 4] = b"RGDB";
 const VERSION: u16 = 1;
@@ -274,6 +277,11 @@ where
 // ---- reader -----------------------------------------------------------------
 
 /// Zero-copy reader over an RGDB image.
+///
+/// The data section is parsed lazily and exactly once per distinct
+/// offset: decoded records land in an interior decode-once cache, so a
+/// reader serving millions of lookups performs at most
+/// [`RgdbReader::record_count`] parses over its lifetime.
 pub struct RgdbReader {
     image: Bytes,
     name: String,
@@ -282,6 +290,10 @@ pub struct RgdbReader {
     data_start: usize,
     data_len: usize,
     record_count: u32,
+    /// Decode-once index: data-section offset → decoded record.
+    decoded: Mutex<HashMap<u32, LocationRecord>>,
+    parses: AtomicU64,
+    cache_hits: AtomicU64,
 }
 
 impl RgdbReader {
@@ -330,6 +342,9 @@ impl RgdbReader {
             data_start,
             data_len,
             record_count,
+            decoded: Mutex::new(HashMap::new()),
+            parses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
         })
     }
 
@@ -353,8 +368,9 @@ impl RgdbReader {
         Ok((b.get_u32_le(), b.get_u32_le(), b.get_u32_le()))
     }
 
-    /// Longest-prefix-match lookup returning a parse error on corruption.
-    pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
+    /// Walk the trie MSB-first and return the deepest data offset on the
+    /// path — the longest-prefix match, not yet decoded.
+    fn deepest_offset(&self, ip: Ipv4Addr) -> Result<Option<u32>, RgdbError> {
         let addr = u32::from(ip);
         let mut node = 0u32;
         let mut best: Option<u32> = None;
@@ -373,17 +389,66 @@ impl RgdbReader {
             }
             node = next;
         }
-        match best {
-            None => Ok(None),
-            Some(off) => {
-                let off = ix(off);
-                if off >= self.data_len {
-                    return Err(RgdbError::Corrupt("data offset"));
-                }
-                let slice = &self.image[self.data_start + off..self.data_start + self.data_len];
-                decode_record(slice).map(Some)
-            }
+        Ok(best)
+    }
+
+    /// Run `f` against the decoded record at data offset `off`, parsing
+    /// the data section at most once per distinct offset: subsequent
+    /// calls borrow the cached record. Failed parses are not cached, so
+    /// corruption keeps surfacing as an error.
+    fn with_decoded<R>(
+        &self,
+        off: u32,
+        f: impl FnOnce(&LocationRecord) -> R,
+    ) -> Result<R, RgdbError> {
+        let mut cache = match self.decoded.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(rec) = cache.get(&off) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            routergeo_obs::counter("resolve.rgdb_decode_cached").incr();
+            return Ok(f(rec));
         }
+        let at = ix(off);
+        if at >= self.data_len {
+            return Err(RgdbError::Corrupt("data offset"));
+        }
+        let slice = &self.image[self.data_start + at..self.data_start + self.data_len];
+        let rec = decode_record(slice)?;
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        routergeo_obs::counter("resolve.rgdb_decode_parses").incr();
+        let out = f(&rec);
+        cache.insert(off, rec);
+        Ok(out)
+    }
+
+    /// Longest-prefix-match lookup returning a parse error on corruption.
+    pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
+        match self.deepest_offset(ip)? {
+            None => Ok(None),
+            Some(off) => self.with_decoded(off, LocationRecord::clone).map(Some),
+        }
+    }
+
+    /// Distinct data offsets decoded so far — the decode-once cache size.
+    pub fn decoded_offsets(&self) -> usize {
+        match self.decoded.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Total `decode_record` parses performed. Equals
+    /// [`RgdbReader::decoded_offsets`] unless a parse failed (failures
+    /// are never cached), and never exceeds the distinct offsets served.
+    pub fn decode_parses(&self) -> u64 {
+        self.parses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered from the decode-once cache without re-parsing.
+    pub fn decode_cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -395,6 +460,18 @@ impl GeoDatabase for RgdbReader {
     fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
         // Images validated at open; treat latent corruption as a miss.
         self.try_lookup(ip).ok().flatten()
+    }
+
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        // Native compact path: compact straight off the cached decode —
+        // after the first decode of an offset, no allocation per call.
+        let off = self.deepest_offset(ip).ok().flatten()?;
+        self.with_decoded(off, |rec| CompactRecord::from_record(rec, interner))
+            .ok()
     }
 }
 
@@ -521,6 +598,48 @@ mod tests {
         let db = RgdbReader::open(image).unwrap();
         assert!(db.lookup("255.255.255.255".parse().unwrap()).is_some());
         assert!(db.lookup("0.0.0.0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn data_section_is_decoded_once_per_distinct_offset() {
+        let db = build();
+        // 3 distinct records in the sample image, hit repeatedly through
+        // both the owning and the compact path.
+        let ips: Vec<Ipv4Addr> = ["6.0.0.200", "31.0.1.7", "31.0.99.1", "99.0.0.1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut interner = LocationInterner::new();
+        for _ in 0..50 {
+            for ip in &ips {
+                let owned = db.lookup(*ip);
+                let compact = db.lookup_compact(*ip, &mut interner);
+                assert_eq!(owned, compact.map(|c| c.to_record(&interner)));
+            }
+        }
+        // The decode counter tracks distinct data offsets, not lookups:
+        // 600 answered lookups, 3 parses.
+        assert_eq!(db.decoded_offsets(), 3);
+        assert_eq!(db.decode_parses(), 3);
+        assert_eq!(db.decode_cache_hits(), 50 * 3 * 2 - 3);
+
+        // A deduplicated image decodes its single record exactly once no
+        // matter how many prefixes point at it.
+        let rec = LocationRecord::country_level("US".parse().unwrap(), Granularity::Block24);
+        let entries: Vec<(Prefix, LocationRecord)> = (0..100)
+            .map(|i| {
+                let p: Prefix = format!("6.0.{i}.0/24").parse().unwrap();
+                (p, rec.clone())
+            })
+            .collect();
+        let image = write("dedup", entries.iter().map(|(p, r)| (*p, r)));
+        let db = RgdbReader::open(image).unwrap();
+        for i in 0..100u32 {
+            let ip = Ipv4Addr::from(0x0600_0001u32 + (i << 8));
+            assert!(db.lookup_compact(ip, &mut interner).is_some());
+        }
+        assert_eq!(db.decode_parses(), 1);
+        assert_eq!(db.decoded_offsets(), 1);
     }
 
     #[test]

@@ -182,6 +182,7 @@ const IDENTITIES: &[(&str, &[&str])] = &[
         ],
     ),
     ("pool.shards_planned", &["pool.shards_run"]),
+    ("resolve.lookups", &["resolve.hits", "resolve.misses"]),
 ];
 
 /// Verify structural invariants; returns human-readable violations
@@ -325,8 +326,11 @@ mod tests {
         "{\"type\":\"counter\",\"name\":\"cdf.samples_in\",\"total\":10}\n",
         "{\"type\":\"counter\",\"name\":\"cdf.samples_kept\",\"total\":9}\n",
         "{\"type\":\"counter\",\"name\":\"cdf.dropped_nan\",\"total\":1}\n",
+        "{\"type\":\"counter\",\"name\":\"resolve.lookups\",\"total\":20}\n",
+        "{\"type\":\"counter\",\"name\":\"resolve.hits\",\"total\":15}\n",
+        "{\"type\":\"counter\",\"name\":\"resolve.misses\",\"total\":5}\n",
         "{\"type\":\"histogram\",\"name\":\"h\",\"count\":3,\"buckets\":\"0:1 2:2\"}\n",
-        "{\"type\":\"summary\",\"schema\":\"routergeo-obs-v1\",\"spans_opened\":2,\"spans_closed\":2,\"counters\":3,\"histograms\":1}\n",
+        "{\"type\":\"summary\",\"schema\":\"routergeo-obs-v1\",\"spans_opened\":2,\"spans_closed\":2,\"counters\":6,\"histograms\":1}\n",
     );
 
     #[test]
@@ -374,9 +378,24 @@ mod tests {
     }
 
     #[test]
+    fn broken_resolve_identity_detected() {
+        let text = GOOD.replace(
+            "\"name\":\"resolve.hits\",\"total\":15",
+            "\"name\":\"resolve.hits\",\"total\":14",
+        );
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(
+            v.iter()
+                .any(|m| m.contains("counter identity") && m.contains("resolve.lookups")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
     fn summary_must_be_last() {
         let mut lines: Vec<&str> = GOOD.lines().collect();
-        lines.swap(5, 6);
+        let last = lines.len() - 1;
+        lines.swap(last - 1, last);
         let text = lines.join("\n");
         let v = verify(&parse(&text).expect("parses"));
         assert!(v.iter().any(|m| m.contains("not the last line")), "{v:?}");

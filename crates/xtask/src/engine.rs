@@ -51,6 +51,15 @@ const RG003_FILES: [&str; 4] = [
 /// Crates whose public functions must carry doc comments (RG005).
 const RG005_CRATES: [&str; 2] = ["core", "db"];
 
+/// The core analysis modules that must consume the resolve-once
+/// `ResolvedView` rather than re-querying databases; RG009 (no
+/// allocating `GeoDatabase::lookup`) applies only here.
+const RG009_FILES: [&str; 3] = [
+    "crates/core/src/coverage.rs",
+    "crates/core/src/consistency.rs",
+    "crates/core/src/accuracy.rs",
+];
+
 /// Directory names never descended into during the workspace walk.
 /// `vendor/` holds offline API stubs for third-party crates — external
 /// code by policy, like any vendored dependency.
@@ -147,6 +156,7 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // `obs` owns wall-clock reads; binaries keep `eprintln!` for
         // CLI diagnostics.
         rules.rg008 = krate != "obs" && !RG008_EXEMPT_FILES.contains(&rel) && !is_binary_entry(rel);
+        rules.rg009 = RG009_FILES.contains(&rel);
     } else if rel.starts_with("src/") {
         // Umbrella library + CLI binaries: panics are still forbidden in
         // non-test code, but startup `expect`s with reasons are allowed.
@@ -309,6 +319,13 @@ mod tests {
 
         let core = rules_for("crates/core/src/accuracy.rs").expect("in scope");
         assert!(core.rg005 && !core.rg003);
+        assert!(core.rg009, "analysis modules must use the ResolvedView");
+        let consistency = rules_for("crates/core/src/consistency.rs").expect("in scope");
+        assert!(consistency.rg009);
+        let resolve = rules_for("crates/core/src/resolve.rs").expect("in scope");
+        assert!(!resolve.rg009, "the view builder itself resolves lookups");
+        let inmem = rules_for("crates/db/src/inmem.rs").expect("in scope");
+        assert!(!inmem.rg009, "database impls own their lookups");
 
         let bench = rules_for("crates/bench/src/lab.rs").expect("in scope");
         assert!(!bench.rg001 && bench.rg002 && bench.rg008);

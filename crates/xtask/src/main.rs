@@ -9,7 +9,7 @@ use xtask::{bench, deps, engine};
 
 const USAGE: &str = "usage: cargo xtask <command>\n\n\
 commands:\n  \
-  lint [--waivers]      run RG001-RG008 over workspace sources; non-zero exit on violations\n  \
+  lint [--waivers]      run RG001-RG009 over workspace sources; non-zero exit on violations\n  \
   fix-audit             print the violation/waiver burn-down dashboard by rule and crate\n  \
   deps                  check manifests against the workspace dependency policy\n  \
   bench-check [--bless] run repro --timings at tiny scale and gate per-stage wall clock\n  \

@@ -1,4 +1,4 @@
-//! The lint rules (RG001–RG008) evaluated over a lexed token stream.
+//! The lint rules (RG001–RG009) evaluated over a lexed token stream.
 //!
 //! Each rule is a pure function of the token stream plus precomputed
 //! context (test-region mask, attribute spans, doc-comment lines). Test
@@ -34,6 +34,11 @@ pub struct RuleSet {
     /// `crates/obs` and `crates/bench/src/timing.rs` own wall-clock
     /// reads; binaries keep `eprintln!` for CLI diagnostics.
     pub rg008: bool,
+    /// RG009: no allocating `GeoDatabase::lookup` calls in the
+    /// `crates/core` analysis modules (coverage/consistency/accuracy) —
+    /// the hot path resolves once through a `ResolvedView` and tallies
+    /// compact columns.
+    pub rg009: bool,
 }
 
 impl RuleSet {
@@ -48,6 +53,7 @@ impl RuleSet {
             rg006: true,
             rg007: true,
             rg008: true,
+            rg009: true,
         }
     }
 
@@ -60,7 +66,7 @@ impl RuleSet {
 /// A single finding, before waiver application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`RG001` … `RG007`, or `XW00x` for waiver faults).
+    /// Rule identifier (`RG001` … `RG009`, or `XW00x` for waiver faults).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -251,6 +257,9 @@ pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> 
         }
         if rules.rg008 {
             check_rg008(toks, i, &mut findings);
+        }
+        if rules.rg009 {
+            check_rg009(toks, i, &mut findings);
         }
     }
     findings.sort_by_key(|f| (f.line, f.col));
@@ -592,6 +601,36 @@ fn check_rg008(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
     }
 }
 
+/// RG009: the allocating `GeoDatabase::lookup` inside a core analysis
+/// module. Coverage, consistency, and accuracy tally pre-resolved
+/// `ResolvedView` columns; a direct `.lookup(` call re-queries the
+/// database per address and clones a `LocationRecord` (two `String`
+/// allocations) per answer, exactly the per-lookup cost the resolve-once
+/// engine removed. The rule matches the method-call form (`.lookup(`);
+/// the lexer reads `lookup_compact` as one identifier, so the compact
+/// path never trips it.
+fn check_rg009(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || t.text != "lookup" {
+        return;
+    }
+    if i == 0 || !tok_is(toks, i - 1, TokKind::Punct, ".") {
+        return;
+    }
+    if !tok_is(toks, i + 1, TokKind::Punct, "(") {
+        return;
+    }
+    out.push(Finding {
+        rule: "RG009",
+        line: t.line,
+        col: t.col,
+        message: "allocating `GeoDatabase::lookup` in a core analysis module — resolve \
+                  once through `ResolvedView` (or `lookup_compact`) and tally the \
+                  compact columns"
+            .into(),
+    });
+}
+
 /// A parsed `xtask-allow` waiver comment.
 #[derive(Debug, Clone)]
 pub struct Waiver {
@@ -834,6 +873,28 @@ mod tests {
         let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
         assert_eq!(got, vec![2, 3, 4], "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == "RG008"));
+    }
+
+    #[test]
+    fn rg009_flags_allocating_lookup_calls_only() {
+        let src = "fn f(db: &D, view: &ResolvedView) {\n\
+                   let rec = db.lookup(ip);\n\
+                   let compact = db.lookup_compact(ip, &mut interner);\n\
+                   let cached = view.record(0, i);\n\
+                   let table = country::lookup(cc);\n\
+                   map.lookup(ip);\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn g() { db.lookup(ip); } }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg009: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![2, 6], "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "RG009"));
     }
 
     #[test]

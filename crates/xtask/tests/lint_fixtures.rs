@@ -202,6 +202,40 @@ fn rg008_fixture_reports_adhoc_instrumentation_and_honours_waivers() {
 }
 
 #[test]
+fn rg009_fixture_reports_allocating_lookups_and_honours_waivers() {
+    let out = lint_source("bad_rg009.rs", &fixture("bad_rg009.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG009", 7),  // db.lookup(*ip) in a tally loop
+            ("RG009", 15), // d.lookup(ip) in a map chain
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // lookup_compact, view.record, path-form country::lookup, and
+    // #[cfg(test)] code pass; the waived bridge is suppressed and audited.
+    assert_eq!(out.waivers.len(), 1);
+    assert_eq!(out.waivers[0].rules, vec!["RG009".to_string()]);
+    assert_eq!(out.waivers[0].suppressed, 1);
+}
+
+#[test]
+fn only_core_analysis_modules_carry_rg009() {
+    let coverage = rules_for("crates/core/src/coverage.rs").expect("in scope");
+    assert!(coverage.rg009);
+    let resolve = rules_for("crates/core/src/resolve.rs").expect("in scope");
+    assert!(!resolve.rg009, "the view builder itself resolves lookups");
+    let inmem = rules_for("crates/db/src/inmem.rs").expect("in scope");
+    assert!(!inmem.rg009, "database impls own their lookups");
+}
+
+#[test]
 fn obs_and_timing_files_are_exempt_from_rg008() {
     let obs = rules_for("crates/obs/src/lib.rs").expect("in scope");
     assert!(!obs.rg008);
