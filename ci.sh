@@ -42,7 +42,26 @@ step() {
 }
 
 step fmt cargo fmt --all --check
-step lint cargo xtask lint
+
+# Lint gate: machine-readable output (archived as a CI artifact) with a
+# wall-clock budget on the scan itself. The engine is a single-pass
+# token walk per file; a blowout means a rule regressed to something
+# quadratic. The xtask binary is built in a separate step so compile
+# time never eats the scan budget.
+step lint-build cargo build -q -p xtask
+mkdir -p target
+lint_start=$(date +%s)
+step lint sh -c 'cargo xtask lint --json > target/lint_ci.json'
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt 30 ]; then
+    echo "ci.sh: lint scan took ${lint_elapsed}s (> 30s) — a rule pass regressed" >&2
+    exit 1
+fi
+
+# Unsafe audit: every `unsafe` site in the tree (tests and benches
+# included) must carry a `// SAFETY:` comment.
+step unsafe-audit cargo xtask unsafe-audit
+
 step deps cargo xtask deps
 
 # Fault-matrix gate: the resilient bulk-whois path must stay wall-clock

@@ -123,21 +123,24 @@ fn encode_record(rec: &LocationRecord, out: &mut BytesMut) {
         out.put_slice(&cc.bytes());
     }
     if let Some(region) = &rec.region {
-        let bytes = region.as_bytes();
-        let len = u8::try_from(bytes.len().min(255)).expect("length capped at 255");
-        out.put_u8(len);
-        out.put_slice(&bytes[..usize::from(len)]);
+        put_str255(out, region.as_bytes());
     }
     if let Some(city) = &rec.city {
-        let bytes = city.as_bytes();
-        let len = u8::try_from(bytes.len().min(255)).expect("length capped at 255");
-        out.put_u8(len);
-        out.put_slice(&bytes[..usize::from(len)]);
+        put_str255(out, city.as_bytes());
     }
     if let Some(coord) = rec.coord {
         out.put_i32_le(micro_deg(coord.lat()));
         out.put_i32_le(micro_deg(coord.lon()));
     }
+}
+
+/// Write a length-prefixed string field, truncating at the format's
+/// 255-byte cap.
+fn put_str255(out: &mut BytesMut, bytes: &[u8]) {
+    let take = bytes.len().min(255);
+    let len = u8::try_from(take).expect("length capped at 255");
+    out.put_u8(len);
+    out.put_slice(bytes.get(..take).unwrap_or(bytes));
 }
 
 fn decode_record(mut buf: &[u8]) -> Result<LocationRecord, RgdbError> {
@@ -161,10 +164,8 @@ fn decode_record(mut buf: &[u8]) -> Result<LocationRecord, RgdbError> {
             return Err(RgdbError::Corrupt(what));
         }
         let len = usize::from(buf.get_u8());
-        if buf.len() < len {
-            return Err(RgdbError::Corrupt(what));
-        }
-        let s = std::str::from_utf8(&buf[..len])
+        let bytes = buf.get(..len).ok_or(RgdbError::Corrupt(what))?;
+        let s = std::str::from_utf8(bytes)
             .map_err(|_| RgdbError::Corrupt(what))?
             .to_string();
         buf.advance(len);
@@ -236,19 +237,19 @@ where
         let addr = prefix.network_u32();
         for depth in 0..prefix.len() {
             let bit = usize::from((addr >> (31 - u32::from(depth))) & 1 == 1);
-            let next = nodes[node][bit];
+            let next = node_link(&nodes, node, bit);
             let next = if next == NONE {
                 let idx =
                     u32::try_from(nodes.len()).expect("RGDB node section exceeds u32 link space");
                 nodes.push([NONE, NONE, NONE]);
-                nodes[node][bit] = idx;
+                set_node_link(&mut nodes, node, bit, idx);
                 idx
             } else {
                 next
             };
             node = ix(next);
         }
-        nodes[node][2] = *offset;
+        set_node_link(&mut nodes, node, 2, *offset);
     });
 
     let name_bytes = name.as_bytes();
@@ -274,14 +275,36 @@ where
     out.freeze()
 }
 
+/// Read one writer-arena link. Every `node`/`slot` pair here comes from
+/// an index the arena itself handed out, so a miss is a builder bug.
+#[inline]
+fn node_link(nodes: &[[u32; 3]], node: usize, slot: usize) -> u32 {
+    *nodes
+        .get(node)
+        .and_then(|n| n.get(slot))
+        .expect("arena link in bounds by construction")
+}
+
+/// Write one writer-arena link; same invariant as [`node_link`].
+#[inline]
+fn set_node_link(nodes: &mut [[u32; 3]], node: usize, slot: usize, value: u32) {
+    *nodes
+        .get_mut(node)
+        .and_then(|n| n.get_mut(slot))
+        .expect("arena link in bounds by construction") = value;
+}
+
 // ---- reader -----------------------------------------------------------------
 
 /// Zero-copy reader over an RGDB image.
 ///
-/// The data section is parsed lazily and exactly once per distinct
-/// offset: decoded records land in an interior decode-once cache, so a
-/// reader serving millions of lookups performs at most
-/// [`RgdbReader::record_count`] parses over its lifetime.
+/// The data section is parsed lazily, once per distinct offset:
+/// decoded records land in an interior decode-once cache, so a reader
+/// serving millions of lookups performs roughly
+/// [`RgdbReader::record_count`] parses over its lifetime. Parsing runs
+/// *outside* the cache lock; two threads racing a cold offset may both
+/// parse it, and one winner is cached. Single-threaded use parses each
+/// offset exactly once.
 pub struct RgdbReader {
     image: Bytes,
     name: String,
@@ -299,10 +322,7 @@ pub struct RgdbReader {
 impl RgdbReader {
     /// Validate and open an image.
     pub fn open(image: Bytes) -> Result<RgdbReader, RgdbError> {
-        if image.len() < HEADER_LEN {
-            return Err(RgdbError::Truncated);
-        }
-        let mut h = &image[..HEADER_LEN];
+        let mut h = image.get(..HEADER_LEN).ok_or(RgdbError::Truncated)?;
         let mut magic = [0u8; 4];
         h.copy_to_slice(&mut magic);
         if &magic != MAGIC {
@@ -325,13 +345,17 @@ impl RgdbReader {
         if image.len() != expected_total {
             return Err(RgdbError::Truncated);
         }
-        if fnv1a(&image[HEADER_LEN..]) != checksum {
+        let payload = image.get(HEADER_LEN..).ok_or(RgdbError::Truncated)?;
+        if fnv1a(payload) != checksum {
             return Err(RgdbError::ChecksumMismatch);
         }
         if node_count == 0 {
             return Err(RgdbError::Corrupt("zero nodes"));
         }
-        let name = std::str::from_utf8(&image[HEADER_LEN..nodes_start])
+        let name_bytes = image
+            .get(HEADER_LEN..nodes_start)
+            .ok_or(RgdbError::Truncated)?;
+        let name = std::str::from_utf8(name_bytes)
             .map_err(|_| RgdbError::Corrupt("name"))?
             .to_string();
         Ok(RgdbReader {
@@ -364,7 +388,10 @@ impl RgdbReader {
             return Err(RgdbError::Corrupt("node index"));
         }
         let at = self.nodes_start + ix(idx) * 12;
-        let mut b = &self.image[at..at + 12];
+        let mut b = self
+            .image
+            .get(at..at + 12)
+            .ok_or(RgdbError::Corrupt("node bounds"))?;
         Ok((b.get_u32_le(), b.get_u32_le(), b.get_u32_le()))
     }
 
@@ -393,34 +420,48 @@ impl RgdbReader {
     }
 
     /// Run `f` against the decoded record at data offset `off`, parsing
-    /// the data section at most once per distinct offset: subsequent
-    /// calls borrow the cached record. Failed parses are not cached, so
+    /// the data section once per distinct offset: subsequent calls
+    /// borrow the cached record. Failed parses are not cached, so
     /// corruption keeps surfacing as an error.
+    ///
+    /// Decoding happens *outside* the cache lock (RG011: parsing
+    /// untrusted bytes under the mutex would serialize every reader on
+    /// the slowest cold miss). Two threads racing the same cold offset
+    /// may both parse; `entry().or_insert` keeps one winner.
     fn with_decoded<R>(
         &self,
         off: u32,
         f: impl FnOnce(&LocationRecord) -> R,
     ) -> Result<R, RgdbError> {
-        let mut cache = match self.decoded.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        if let Some(rec) = cache.get(&off) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            routergeo_obs::counter("resolve.rgdb_decode_cached").incr();
-            return Ok(f(rec));
+        // Fast path: short-lived guard for the cache probe only.
+        {
+            let cache = match self.decoded.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(rec) = cache.get(&off) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                routergeo_obs::counter("resolve.rgdb_decode_cached").incr();
+                return Ok(f(rec));
+            }
         }
         let at = ix(off);
         if at >= self.data_len {
             return Err(RgdbError::Corrupt("data offset"));
         }
-        let slice = &self.image[self.data_start + at..self.data_start + self.data_len];
+        let slice = self
+            .image
+            .get(self.data_start + at..self.data_start + self.data_len)
+            .ok_or(RgdbError::Corrupt("data bounds"))?;
         let rec = decode_record(slice)?;
         self.parses.fetch_add(1, Ordering::Relaxed);
         routergeo_obs::counter("resolve.rgdb_decode_parses").incr();
-        let out = f(&rec);
-        cache.insert(off, rec);
-        Ok(out)
+        let mut cache = match self.decoded.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let rec = cache.entry(off).or_insert(rec);
+        Ok(f(rec))
     }
 
     /// Longest-prefix-match lookup returning a parse error on corruption.

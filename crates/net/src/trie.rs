@@ -33,6 +33,19 @@ impl Node {
             value: NO_NODE,
         }
     }
+
+    /// Child link for bit `b`; callers only pass [`PrefixTrie::bit`]
+    /// output or a loop index over `0..2`.
+    #[inline]
+    fn child(&self, b: usize) -> u32 {
+        *self.children.get(b).expect("child slot is 0 or 1")
+    }
+
+    /// Mutable child link; same contract as [`Node::child`].
+    #[inline]
+    fn child_mut(&mut self, b: usize) -> &mut u32 {
+        self.children.get_mut(b).expect("child slot is 0 or 1")
+    }
 }
 
 /// A binary trie mapping CIDR prefixes to values, answering
@@ -80,6 +93,41 @@ impl<V> PrefixTrie<V> {
         usize::from((addr >> (31 - u32::from(depth))) & 1 == 1)
     }
 
+    /// Checked arena access. Links only ever come from the arena
+    /// itself, so a miss is a structural bug, never input-dependent.
+    #[inline]
+    fn node(&self, i: u32) -> &Node {
+        self.nodes
+            .get(ix(i))
+            .expect("trie arena link in bounds by construction")
+    }
+
+    /// Mutable arena access; same invariant as [`PrefixTrie::node`].
+    #[inline]
+    fn node_mut(&mut self, i: u32) -> &mut Node {
+        self.nodes
+            .get_mut(ix(i))
+            .expect("trie arena link in bounds by construction")
+    }
+
+    /// Checked value-table access; `i` always comes from a node's
+    /// `value` link, assigned at insertion time.
+    #[inline]
+    fn value_entry(&self, i: u32) -> &(Prefix, V) {
+        self.values
+            .get(ix(i))
+            .expect("trie value link in bounds by construction")
+    }
+
+    /// Mutable value-table access; same invariant as
+    /// [`PrefixTrie::value_entry`].
+    #[inline]
+    fn value_entry_mut(&mut self, i: u32) -> &mut (Prefix, V) {
+        self.values
+            .get_mut(ix(i))
+            .expect("trie value link in bounds by construction")
+    }
+
     /// Insert `prefix -> value`, replacing any existing value at exactly
     /// that prefix. Returns the previous value if one was replaced.
     pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
@@ -87,27 +135,28 @@ impl<V> PrefixTrie<V> {
         let mut node = 0u32;
         for depth in 0..prefix.len() {
             let b = Self::bit(addr, depth);
-            let next = self.nodes[ix(node)].children[b];
+            let next = self.node(node).child(b);
             let next = if next == NO_NODE {
                 let idx = u32::try_from(self.nodes.len())
                     .expect("trie arena exceeds the u32 node-link limit");
                 self.nodes.push(Node::new());
-                self.nodes[ix(node)].children[b] = idx;
+                *self.node_mut(node).child_mut(b) = idx;
                 idx
             } else {
                 next
             };
             node = next;
         }
-        let slot = &mut self.nodes[ix(node)].value;
-        if *slot == NO_NODE {
-            *slot = u32::try_from(self.values.len())
+        let slot = self.node(node).value;
+        if slot == NO_NODE {
+            self.node_mut(node).value = u32::try_from(self.values.len())
                 .expect("trie value table exceeds the u32 link limit");
             self.values.push((prefix, value));
             None
         } else {
-            let old = std::mem::replace(&mut self.values[ix(*slot)].1, value);
-            self.values[ix(*slot)].0 = prefix;
+            let entry = self.value_entry_mut(slot);
+            let old = std::mem::replace(&mut entry.1, value);
+            entry.0 = prefix;
             Some(old)
         }
     }
@@ -120,7 +169,7 @@ impl<V> PrefixTrie<V> {
         let mut best: Option<u32> = None;
         let mut depth = 0u8;
         loop {
-            let n = &self.nodes[ix(node)];
+            let n = self.node(node);
             if n.value != NO_NODE {
                 best = Some(n.value);
             }
@@ -128,7 +177,7 @@ impl<V> PrefixTrie<V> {
                 break;
             }
             let b = Self::bit(addr, depth);
-            let next = n.children[b];
+            let next = n.child(b);
             if next == NO_NODE {
                 break;
             }
@@ -136,7 +185,7 @@ impl<V> PrefixTrie<V> {
             depth += 1;
         }
         best.map(|i| {
-            let (p, v) = &self.values[ix(i)];
+            let (p, v) = self.value_entry(i);
             (p, v)
         })
     }
@@ -147,14 +196,14 @@ impl<V> PrefixTrie<V> {
         let mut node = 0u32;
         for depth in 0..prefix.len() {
             let b = Self::bit(addr, depth);
-            let next = self.nodes[ix(node)].children[b];
+            let next = self.node(node).child(b);
             if next == NO_NODE {
                 return None;
             }
             node = next;
         }
-        let v = self.nodes[ix(node)].value;
-        (v != NO_NODE).then(|| &self.values[ix(v)].1)
+        let v = self.node(node).value;
+        (v != NO_NODE).then(|| &self.value_entry(v).1)
     }
 
     /// Iterate all `(prefix, value)` pairs in insertion order.
@@ -169,14 +218,15 @@ impl<V> PrefixTrie<V> {
     }
 
     fn walk_node<F: FnMut(&Prefix, &V)>(&self, node: u32, f: &mut F) {
-        let n = &self.nodes[ix(node)];
+        let n = self.node(node);
         if n.value != NO_NODE {
-            let (p, v) = &self.values[ix(n.value)];
+            let (p, v) = self.value_entry(n.value);
             f(p, v);
         }
         for b in 0..2 {
-            if n.children[b] != NO_NODE {
-                self.walk_node(n.children[b], f);
+            let child = n.child(b);
+            if child != NO_NODE {
+                self.walk_node(child, f);
             }
         }
     }

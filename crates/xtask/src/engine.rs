@@ -10,8 +10,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::facts;
 use crate::lexer;
 use crate::rules::{self, Finding, RuleSet};
+use crate::scope;
 
 /// Library crates subject to the panic-safety rules (RG001): everything
 /// under `crates/` that external code links against. `xtask` dogfoods
@@ -60,12 +62,28 @@ const RG009_FILES: [&str; 3] = [
     "crates/core/src/accuracy.rs",
 ];
 
+/// The reader/trie lookup paths that parse or index untrusted database
+/// bytes; RG010 (no unchecked indexing) applies only here — the
+/// pre-gate for the v2 pointer-arithmetic `mmap` reader.
+const RG010_FILES: [&str; 3] = [
+    "crates/db/src/rgdb.rs",
+    "crates/net/src/trie.rs",
+    "crates/net/src/prefix.rs",
+];
+
 /// Directory names never descended into during the workspace walk.
 /// `vendor/` holds offline API stubs for third-party crates — external
-/// code by policy, like any vendored dependency.
-const SKIP_DIRS: [&str; 7] = [
-    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures",
+/// code by policy, like any vendored dependency. `results/` holds
+/// generated experiment artifacts, never source.
+const SKIP_DIRS: [&str; 8] = [
+    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures", "results",
 ];
+
+/// Directory names skipped by the `unsafe-audit` walk. Narrower than
+/// [`SKIP_DIRS`]: test and bench sources still contain real `unsafe`
+/// blocks that need `// SAFETY:` comments, so only non-source trees and
+/// deliberately-bad lint fixtures are excluded.
+const AUDIT_SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "results"];
 
 /// A diagnostic bound to a file, ready for display as
 /// `file:line:col RULE-ID message`.
@@ -157,6 +175,12 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // CLI diagnostics.
         rules.rg008 = krate != "obs" && !RG008_EXEMPT_FILES.contains(&rel) && !is_binary_entry(rel);
         rules.rg009 = RG009_FILES.contains(&rel);
+        rules.rg010 = RG010_FILES.contains(&rel);
+        // Holding a lock across a blocking call is a hazard everywhere.
+        rules.rg011 = true;
+        // Swallowed Results are a library-crate concern; the bench
+        // harness may discard at will.
+        rules.rg012 = LIB_CRATES.contains(&krate);
     } else if rel.starts_with("src/") {
         // Umbrella library + CLI binaries: panics are still forbidden in
         // non-test code, but startup `expect`s with reasons are allowed.
@@ -165,6 +189,7 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         rules.rg006 = true;
         rules.rg007 = true;
         rules.rg008 = !is_binary_entry(rel);
+        rules.rg011 = true;
     } else {
         return None;
     }
@@ -185,6 +210,13 @@ pub fn lint_source(rel: &str, src: &str, rules: &RuleSet) -> Outcome {
     let mut findings = rules::run_rules(&lexed, &ctx, rules);
     let waivers = rules::parse_waivers(&lexed, &mut findings);
 
+    // Keep (rule, line) of every pre-waiver finding so a stale waiver
+    // can report where its target drifted to.
+    let all_findings: Vec<(String, u32)> = findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+
     let mut used = vec![0usize; waivers.len()];
     let mut violations = Vec::new();
     for f in findings {
@@ -199,15 +231,33 @@ pub fn lint_source(rel: &str, src: &str, rules: &RuleSet) -> Outcome {
     let mut records = Vec::new();
     for (w, &count) in waivers.iter().zip(&used) {
         if count == 0 {
+            // Line-drift aid: point at the nearest surviving finding for
+            // the same rule, so a waiver whose code moved is a one-line
+            // fix rather than an archaeology session.
+            let nearest = all_findings
+                .iter()
+                .filter(|(rule, _)| w.rules.iter().any(|r| r == rule))
+                .min_by_key(|(_, line)| line.abs_diff(w.applies_to));
+            let hint = match nearest {
+                Some((rule, line)) => format!(
+                    "nearest {rule} finding is now on line {line} — move the waiver or \
+                     remove it"
+                ),
+                None => format!(
+                    "no {} findings remain in this file; remove it",
+                    w.rules.join(",")
+                ),
+            };
             violations.push(Diagnostic {
                 file: rel.to_string(),
                 line: w.line,
                 col: 1,
                 rule: "XW002".into(),
                 message: format!(
-                    "stale waiver for {} — no matching finding on line {}; remove it",
+                    "stale waiver for {} — no matching finding on line {}; {}",
                     w.rules.join(","),
-                    w.applies_to
+                    w.applies_to,
+                    hint
                 ),
             });
         } else {
@@ -274,6 +324,117 @@ fn walk(root: &Path, dir: &Path, out: &mut Outcome) -> io::Result<()> {
                 let src = fs::read_to_string(&path)?;
                 out.absorb(lint_source(&rel, &src, &rules));
             }
+        }
+    }
+    Ok(())
+}
+
+/// One `unsafe` site found by the audit, bound to its file.
+#[derive(Debug, Clone)]
+pub struct UnsafeSiteReport {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// `"unsafe block"`, `"unsafe fn"`, `"unsafe impl"`, `"unsafe trait"`.
+    pub kind: &'static str,
+    /// Item name for fn/impl/trait sites.
+    pub name: Option<String>,
+    /// Whether a `// SAFETY:` comment sits on or directly above the site.
+    pub has_safety_comment: bool,
+    /// Whether the site is inside test-gated code.
+    pub test: bool,
+}
+
+impl fmt::Display for UnsafeSiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{} {}", self.file, self.line, self.col, self.kind)?;
+        if let Some(name) = &self.name {
+            write!(f, " `{name}`")?;
+        }
+        if self.test {
+            write!(f, " [test]")?;
+        }
+        if self.has_safety_comment {
+            write!(f, " — SAFETY documented")
+        } else {
+            write!(f, " — MISSING `// SAFETY:` comment")
+        }
+    }
+}
+
+/// Result of the workspace unsafe audit.
+#[derive(Debug, Default)]
+pub struct UnsafeAudit {
+    /// Every `unsafe` site, in file/line order.
+    pub sites: Vec<UnsafeSiteReport>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl UnsafeAudit {
+    /// Sites that fail the audit: no `// SAFETY:` comment.
+    pub fn violations(&self) -> Vec<&UnsafeSiteReport> {
+        self.sites
+            .iter()
+            .filter(|s| !s.has_safety_comment)
+            .collect()
+    }
+}
+
+/// Audit one source text as if it lived at `rel` — fixture tests drive
+/// this directly.
+pub fn audit_source(rel: &str, src: &str) -> Vec<UnsafeSiteReport> {
+    let lexed = lexer::lex(src);
+    let tree = scope::build(&lexed);
+    facts::unsafe_sites(&lexed, &tree)
+        .into_iter()
+        .map(|s| UnsafeSiteReport {
+            file: rel.to_string(),
+            line: s.line,
+            col: s.col,
+            kind: s.kind,
+            name: s.name,
+            has_safety_comment: s.has_safety_comment,
+            test: s.test,
+        })
+        .collect()
+}
+
+/// Inventory every `unsafe` site under the workspace root — including
+/// test and bench sources, which the lint walk skips.
+pub fn unsafe_audit_workspace(root: &Path) -> io::Result<UnsafeAudit> {
+    let mut audit = UnsafeAudit::default();
+    audit_walk(root, root, &mut audit)?;
+    audit
+        .sites
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(audit)
+}
+
+fn audit_walk(root: &Path, dir: &Path, audit: &mut UnsafeAudit) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if AUDIT_SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            audit_walk(root, &path, audit)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            audit.sites.extend(audit_source(&rel, &src));
+            audit.files_scanned += 1;
         }
     }
     Ok(())
@@ -351,6 +512,72 @@ mod tests {
         assert!(rules_for("crates/xtask/tests/fixtures/bad.rs").is_none());
         assert!(rules_for("target/debug/build/foo.rs").is_none());
         assert!(rules_for("README.md").is_none());
+    }
+
+    #[test]
+    fn scope_rule_classification_by_path() {
+        let rgdb = rules_for("crates/db/src/rgdb.rs").expect("in scope");
+        assert!(rgdb.rg010 && rgdb.rg011 && rgdb.rg012);
+        let trie = rules_for("crates/net/src/trie.rs").expect("in scope");
+        assert!(trie.rg010);
+        let prefix = rules_for("crates/net/src/prefix.rs").expect("in scope");
+        assert!(prefix.rg010);
+
+        let geo = rules_for("crates/geo/src/coord.rs").expect("in scope");
+        assert!(!geo.rg010 && geo.rg011 && geo.rg012);
+        let bench = rules_for("crates/bench/src/lab.rs").expect("in scope");
+        assert!(bench.rg011 && !bench.rg012, "bench harness may discard");
+        let bin = rules_for("src/bin/routergeo.rs").expect("in scope");
+        assert!(bin.rg011 && !bin.rg010 && !bin.rg012);
+
+        assert!(rules_for("results/leftover.rs").is_none());
+    }
+
+    #[test]
+    fn stale_waiver_reports_nearest_current_match() {
+        let src = "fn f() {\n    let a = 1; // xtask-allow: RG001 drifted\n    \
+                   let x = y.unwrap();\n}\n";
+        let out = lint_source("lib.rs", src, &RuleSet::all());
+        let stale = out
+            .violations
+            .iter()
+            .find(|v| v.rule == "XW002")
+            .expect("stale waiver reported");
+        assert!(
+            stale
+                .message
+                .contains("nearest RG001 finding is now on line 3"),
+            "{}",
+            stale.message
+        );
+    }
+
+    #[test]
+    fn stale_waiver_with_no_matching_rule_suggests_removal() {
+        let src = "fn f() {\n    let a = 1; // xtask-allow: RG009 gone\n}\n";
+        let out = lint_source("lib.rs", src, &RuleSet::all());
+        let stale = out
+            .violations
+            .iter()
+            .find(|v| v.rule == "XW002")
+            .expect("stale waiver reported");
+        assert!(
+            stale.message.contains("no RG009 findings remain"),
+            "{}",
+            stale.message
+        );
+    }
+
+    #[test]
+    fn audit_source_flags_missing_safety_comments() {
+        let src = "fn f(v: &[u8]) {\n    // SAFETY: in bounds, len checked above.\n    \
+                   let a = unsafe { v.get_unchecked(0) };\n    \
+                   let b = unsafe { v.get_unchecked(1) };\n}\n";
+        let sites = audit_source("lib.rs", src);
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].has_safety_comment);
+        assert!(!sites[1].has_safety_comment);
+        assert!(sites[1].to_string().contains("MISSING"));
     }
 
     #[test]

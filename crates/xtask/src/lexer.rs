@@ -50,6 +50,9 @@ pub struct Comment {
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for `//` comments;
+    /// block comments may span several).
+    pub end_line: u32,
     /// Whether this is a doc comment (`///`, `//!`, `/** */`, `/*! */`).
     pub doc: bool,
 }
@@ -192,6 +195,7 @@ fn lex_line_comment(cur: &mut Cursor<'_>, out: &mut Lexed) {
     out.comments.push(Comment {
         text: body,
         line,
+        end_line: line,
         doc,
     });
 }
@@ -225,7 +229,12 @@ fn lex_block_comment(cur: &mut Cursor<'_>, out: &mut Lexed) {
             cur.bump();
         }
     }
-    out.comments.push(Comment { text, line, doc });
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: cur.line,
+        doc,
+    });
 }
 
 fn lex_string(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
@@ -535,6 +544,13 @@ mod tests {
         assert_eq!(lexed.comments.len(), 2);
         assert!(!lexed.comments[0].doc);
         assert!(lexed.comments[1].doc);
+    }
+
+    #[test]
+    fn comment_end_lines_span_blocks() {
+        let lexed = lex("/* one\n   two\n   three */ x // tail\n");
+        assert_eq!((lexed.comments[0].line, lexed.comments[0].end_line), (1, 3));
+        assert_eq!((lexed.comments[1].line, lexed.comments[1].end_line), (3, 3));
     }
 
     #[test]

@@ -4,16 +4,21 @@
 //! invoked through the cargo alias defined in `.cargo/config.toml`:
 //!
 //! ```text
-//! cargo xtask lint            # RG001–RG007 over workspace sources
+//! cargo xtask lint            # RG001–RG012 over workspace sources
 //! cargo xtask lint --waivers  # also list every active waiver
+//! cargo xtask lint --json     # machine-readable findings for CI
+//! cargo xtask unsafe-audit    # every unsafe site must carry // SAFETY:
 //! cargo xtask fix-audit       # burn-down dashboard by rule and crate
 //! cargo xtask deps            # offline manifest / dependency policy
 //! cargo xtask bench-check     # compare repro --timings vs the baseline
 //! cargo xtask bench-check --bless  # refresh BENCH_pipeline.json
 //! ```
 //!
-//! The engine parses Rust at the token level ([`lexer`]), evaluates the
-//! rules ([`rules`]), classifies files and applies waivers ([`engine`]),
+//! The engine parses Rust at the token level ([`lexer`]), builds a
+//! brace-matched scope tree ([`scope`]) and intra-function facts —
+//! guard liveness, fallible functions, index sites — ([`facts`]),
+//! evaluates the rules ([`rules`]), classifies files and applies
+//! waivers ([`engine`]), renders machine-readable output ([`json`]),
 //! checks manifests ([`deps`]), and gates stage timings against the
 //! committed baseline ([`bench`]). See CONTRIBUTING.md for the rule
 //! catalogue and how to add a rule.
@@ -21,5 +26,8 @@
 pub mod bench;
 pub mod deps;
 pub mod engine;
+pub mod facts;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod scope;

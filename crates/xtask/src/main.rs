@@ -5,11 +5,15 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{bench, deps, engine};
+use xtask::{bench, deps, engine, json};
 
 const USAGE: &str = "usage: cargo xtask <command>\n\n\
 commands:\n  \
-  lint [--waivers]      run RG001-RG009 over workspace sources; non-zero exit on violations\n  \
+  lint [--waivers] [--json]\n  \
+                        run RG001-RG012 over workspace sources; non-zero exit on violations\n  \
+                        (--json prints machine-readable findings on stdout)\n  \
+  unsafe-audit [--json] inventory every `unsafe` site workspace-wide; non-zero exit unless\n  \
+                        each carries a `// SAFETY:` comment\n  \
   fix-audit             print the violation/waiver burn-down dashboard by rule and crate\n  \
   deps                  check manifests against the workspace dependency policy\n  \
   bench-check [--bless] run repro --timings at tiny scale and gate per-stage wall clock\n  \
@@ -27,11 +31,23 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => {
             let show_waivers = args.iter().any(|a| a == "--waivers");
-            if let Some(bad) = args[1..].iter().find(|a| *a != "--waivers") {
+            let as_json = args.iter().any(|a| a == "--json");
+            if let Some(bad) = args[1..]
+                .iter()
+                .find(|a| *a != "--waivers" && *a != "--json")
+            {
                 eprintln!("xtask lint: unknown flag `{bad}`\n\n{USAGE}");
                 return ExitCode::FAILURE;
             }
-            run_lint(&root, show_waivers)
+            run_lint(&root, show_waivers, as_json)
+        }
+        Some("unsafe-audit") => {
+            let as_json = args.iter().any(|a| a == "--json");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--json") {
+                eprintln!("xtask unsafe-audit: unknown flag `{bad}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            run_unsafe_audit(&root, as_json)
         }
         Some("fix-audit") => run_fix_audit(&root),
         Some("deps") => run_deps(&root),
@@ -66,7 +82,7 @@ fn current_root() -> Option<PathBuf> {
     engine::find_root(&cwd)
 }
 
-fn run_lint(root: &PathBuf, show_waivers: bool) -> ExitCode {
+fn run_lint(root: &PathBuf, show_waivers: bool, as_json: bool) -> ExitCode {
     let outcome = match engine::lint_workspace(root) {
         Ok(o) => o,
         Err(err) => {
@@ -74,6 +90,14 @@ fn run_lint(root: &PathBuf, show_waivers: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if as_json {
+        println!("{}", json::lint_json(&outcome));
+        return if outcome.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for v in &outcome.violations {
         println!("{v}");
     }
@@ -102,6 +126,35 @@ fn run_lint(root: &PathBuf, show_waivers: bool) -> ExitCode {
         outcome.waivers.len()
     );
     if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_unsafe_audit(root: &PathBuf, as_json: bool) -> ExitCode {
+    let audit = match engine::unsafe_audit_workspace(root) {
+        Ok(a) => a,
+        Err(err) => {
+            eprintln!("xtask unsafe-audit: failed to walk workspace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = audit.violations().len();
+    if as_json {
+        println!("{}", json::unsafe_audit_json(&audit));
+    } else {
+        for site in &audit.sites {
+            println!("{site}");
+        }
+    }
+    eprintln!(
+        "xtask unsafe-audit: {} file(s) scanned, {} unsafe site(s), {} missing SAFETY comment(s)",
+        audit.files_scanned,
+        audit.sites.len(),
+        violations
+    );
+    if violations == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,12 +1,16 @@
-//! The lint rules (RG001–RG009) evaluated over a lexed token stream.
+//! The lint rules (RG001–RG012) evaluated over a lexed token stream.
 //!
 //! Each rule is a pure function of the token stream plus precomputed
-//! context (test-region mask, attribute spans, doc-comment lines). Test
-//! code — anything under `#[cfg(test)]` or annotated `#[test]` — is
-//! exempt from every rule, matching the project policy that panics are
-//! the correct failure mode inside tests.
+//! context: the brace-matched scope tree ([`crate::scope`]), the
+//! intra-function facts ([`crate::facts`] — guard liveness, fallible
+//! functions, index sites), and doc-comment lines. Test code — anything
+//! under `#[cfg(test)]` or annotated `#[test]`, tracked structurally by
+//! the scope tree — is exempt from every rule, matching the project
+//! policy that panics are the correct failure mode inside tests.
 
+use crate::facts::{self, Facts, IndexKind};
 use crate::lexer::{Lexed, Tok, TokKind};
+use crate::scope::{self, ScopeTree};
 
 /// Which rules apply to a given file. Produced by
 /// [`crate::engine::rules_for`] from the file's workspace-relative path.
@@ -39,6 +43,19 @@ pub struct RuleSet {
     /// the hot path resolves once through a `ResolvedView` and tallies
     /// compact columns.
     pub rg009: bool,
+    /// RG010: no unchecked indexing (`x[i]`, range slicing,
+    /// `*_unchecked` calls) on the reader/trie lookup paths — corrupt
+    /// database input must surface a format error, not a panic. Single
+    /// integer-literal indexes (`x[0]`) are compiler-visible and exempt.
+    pub rg010: bool,
+    /// RG011: no lock guard held across a blocking call (`lookup*`,
+    /// `decode_*`/`parse_*`, socket I/O, pool dispatch) — parsing or
+    /// waiting under a lock serializes every other reader.
+    pub rg011: bool,
+    /// RG012: no silently swallowed `Result` in library crates —
+    /// `let _ = fallible(…)` for an in-file fallible function,
+    /// statement-position `.ok();`, or an explicit `let _: Result` bind.
+    pub rg012: bool,
 }
 
 impl RuleSet {
@@ -54,6 +71,9 @@ impl RuleSet {
             rg007: true,
             rg008: true,
             rg009: true,
+            rg010: true,
+            rg011: true,
+            rg012: true,
         }
     }
 
@@ -66,7 +86,7 @@ impl RuleSet {
 /// A single finding, before waiver application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`RG001` … `RG009`, or `XW00x` for waiver faults).
+    /// Rule identifier (`RG001` … `RG012`, or `XW00x` for waiver faults).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -76,15 +96,20 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Context shared by the rules: which tokens are test code, which lines
-/// are covered by attributes, and which lines carry doc comments.
+/// Context shared by the rules: the scope tree, the intra-function
+/// facts, and line-oriented views derived from them.
 pub struct Context {
-    /// `mask[i]` is true when token `i` belongs to a test item.
+    /// `mask[i]` is true when token `i` belongs to a test item
+    /// (mirrors [`ScopeTree::test_mask`]).
     pub test_mask: Vec<bool>,
     /// Inclusive line spans covered by attributes (`#[...]`).
     pub attr_spans: Vec<(u32, u32)>,
     /// Lines on which a doc comment starts or continues.
     pub doc_lines: Vec<u32>,
+    /// The brace-matched scope tree.
+    pub tree: ScopeTree,
+    /// Guard liveness, fallible functions, index sites.
+    pub facts: Facts,
 }
 
 const NUMERIC_TYPES: [&str; 14] = [
@@ -94,135 +119,30 @@ const NUMERIC_TYPES: [&str; 14] = [
 
 const COORD_ACCESSORS: [&str; 4] = ["lat", "lon", "latitude", "longitude"];
 
-/// Build the shared [`Context`] for a lexed file.
+/// Build the shared [`Context`] for a lexed file. Test masking and
+/// attribute spans come from the scope tree, which tracks `#[cfg(test)]`
+/// regions structurally (brace-matched) rather than by item-end
+/// heuristic.
 pub fn build_context(lexed: &Lexed) -> Context {
-    let toks = &lexed.tokens;
-    let mut mask = vec![false; toks.len()];
-    let mut attr_spans = Vec::new();
-
-    let mut i = 0;
-    while i < toks.len() {
-        if mask[i] {
-            i += 1;
-            continue;
-        }
-        if !is_attr_start(toks, i) {
-            i += 1;
-            continue;
-        }
-        // Parse `#[...]` / `#![...]` to its closing bracket.
-        let open = if toks[i + 1].text == "!" {
-            i + 2
-        } else {
-            i + 1
-        };
-        let close = match matching_bracket(toks, open) {
-            Some(c) => c,
-            None => break,
-        };
-        attr_spans.push((toks[i].line, toks[close].line));
-        if attr_gates_tests(&toks[open + 1..close]) {
-            let end = item_end(toks, close + 1).unwrap_or(toks.len() - 1);
-            for slot in mask.iter_mut().take(end + 1).skip(i) {
-                *slot = true;
-            }
-            i = end + 1;
-        } else {
-            i = close + 1;
-        }
-    }
+    let tree = scope::build(lexed);
+    let facts = facts::build(lexed, &tree);
 
     let mut doc_lines = Vec::new();
     for c in &lexed.comments {
         if c.doc {
-            let span = c.text.matches('\n').count() as u32;
-            for l in c.line..=c.line + span {
+            for l in c.line..=c.end_line {
                 doc_lines.push(l);
             }
         }
     }
 
     Context {
-        test_mask: mask,
-        attr_spans,
+        test_mask: tree.test_mask.clone(),
+        attr_spans: tree.attr_spans.clone(),
         doc_lines,
+        tree,
+        facts,
     }
-}
-
-fn is_attr_start(toks: &[Tok], i: usize) -> bool {
-    if toks[i].text != "#" || toks[i].kind != TokKind::Punct {
-        return false;
-    }
-    match toks.get(i + 1) {
-        Some(t) if t.text == "[" => true,
-        Some(t) if t.text == "!" => toks.get(i + 2).is_some_and(|t| t.text == "["),
-        _ => false,
-    }
-}
-
-/// Index of the `]` matching the `[` at `open`.
-fn matching_bracket(toks: &[Tok], open: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        if t.kind != TokKind::Punct {
-            continue;
-        }
-        match t.text.as_str() {
-            "[" => depth += 1,
-            "]" => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Whether the attribute body (tokens between the brackets) gates the
-/// following item to test builds. Heuristic: the body mentions `test`
-/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[tokio::test]`)
-/// without a `not(…)` or a `cfg_attr` wrapper — `#[cfg(not(test))]` code
-/// and `#[cfg_attr(test, …)]` items still compile into non-test builds.
-fn attr_gates_tests(body: &[Tok]) -> bool {
-    let mut saw_test = false;
-    for t in body {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        match t.text.as_str() {
-            "cfg_attr" | "not" => return false,
-            "test" => saw_test = true,
-            _ => {}
-        }
-    }
-    saw_test
-}
-
-/// Index of the last token of the item starting at `start`: the matching
-/// `}` of its first brace, or the first top-level `;` for body-less items
-/// (`mod tests;`, gated `use` statements).
-fn item_end(toks: &[Tok], start: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(start) {
-        if t.kind != TokKind::Punct {
-            continue;
-        }
-        match t.text.as_str() {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j);
-                }
-            }
-            ";" if depth == 0 => return Some(j),
-            _ => {}
-        }
-    }
-    None
 }
 
 /// Run every enabled rule; findings come back in token order.
@@ -261,6 +181,17 @@ pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> 
         if rules.rg009 {
             check_rg009(toks, i, &mut findings);
         }
+    }
+    // Scope/fact-driven rules run once per file over the extracted
+    // facts rather than per token.
+    if rules.rg010 {
+        check_rg010(ctx, &mut findings);
+    }
+    if rules.rg011 {
+        check_rg011(toks, ctx, &mut findings);
+    }
+    if rules.rg012 {
+        check_rg012(toks, ctx, &mut findings);
     }
     findings.sort_by_key(|f| (f.line, f.col));
     findings
@@ -631,6 +562,223 @@ fn check_rg009(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
     });
 }
 
+/// RG010: unchecked indexing on a reader/lookup path. Every index,
+/// range slice, and `*_unchecked` call that the facts pass found in
+/// expression position is flagged, except single integer-literal
+/// indexes (`x[0]`) whose bounds the compiler can check against array
+/// types. The reader parses untrusted vendor database bytes, so a bad
+/// offset must surface as a format error, never a panic — and ROADMAP's
+/// v2 pointer-arithmetic reader makes this the pre-gate that keeps that
+/// surface closed.
+fn check_rg010(ctx: &Context, out: &mut Vec<Finding>) {
+    for site in &ctx.facts.index_sites {
+        if ctx.test_mask.get(site.tok).copied().unwrap_or(false) || site.literal {
+            continue;
+        }
+        let what = match site.kind {
+            IndexKind::Index => "unchecked index",
+            IndexKind::Slice => "unchecked slice",
+            IndexKind::UncheckedCall => "bounds-check-free call",
+        };
+        out.push(Finding {
+            rule: "RG010",
+            line: site.line,
+            col: site.col,
+            message: format!(
+                "{what} `{}` on a reader/lookup path — use `.get(…)` and surface a \
+                 format error instead of panicking on corrupt input",
+                site.snippet
+            ),
+        });
+    }
+}
+
+/// Calls considered blocking while a lock guard is live: prefix
+/// families (`lookup*` queries, `decode_*`/`parse_*` of untrusted
+/// input) plus exact socket/pool/channel operations. Bare `read` /
+/// `write` / `join` are deliberately absent — `Path::join` and
+/// `fmt::Write::write_str` would swamp the rule with false positives,
+/// and the guard-acquisition forms of `read`/`write` are already what
+/// RG011 is protecting.
+const RG011_BLOCKING: [&str; 17] = [
+    "try_lookup",
+    "connect",
+    "connect_timeout",
+    "accept",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "recv",
+    "recv_from",
+    "recv_timeout",
+    "send_to",
+    "sleep",
+    "wait",
+    "run_shards",
+    "map_reduce",
+];
+
+fn is_blocking_call(name: &str) -> bool {
+    name.starts_with("lookup")
+        || name.starts_with("decode_")
+        || name.starts_with("parse_")
+        || RG011_BLOCKING.contains(&name)
+}
+
+/// RG011: a blocking call while a lock guard is live. The facts pass
+/// gives each guard binding a liveness range (to the enclosing scope's
+/// close, the guarded block, or an explicit `drop`); any call to a
+/// blocking-family function inside that range serializes every other
+/// holder of the lock for the call's duration — the `Mutex<HashMap>`
+/// decode-cache hazard.
+fn check_rg011(toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
+    for g in &ctx.facts.guards {
+        if ctx.test_mask.get(g.binding_tok).copied().unwrap_or(false) {
+            continue;
+        }
+        for k in g.start..g.end.min(toks.len()) {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident || !is_blocking_call(&t.text) {
+                continue;
+            }
+            if !tok_is(toks, k + 1, TokKind::Punct, "(") {
+                continue;
+            }
+            if k > 0 && tok_is(toks, k - 1, TokKind::Ident, "fn") {
+                continue; // a declaration, not a call
+            }
+            out.push(Finding {
+                rule: "RG011",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "blocking call `{}` while guard `{}` (acquired via `.{}()` on line {}) \
+                     is held — narrow the critical section or `drop({})` first",
+                    t.text, g.name, g.method, g.line, g.name
+                ),
+            });
+        }
+    }
+}
+
+/// RG012: a silently swallowed `Result`. Three shapes: statement-
+/// position `.ok();` (converts the error to `None` and drops it),
+/// `let _ = fallible(…)` where `fallible` is declared in this file with
+/// a `Result` return type, and an explicit `let _: Result<…> = …` bind.
+/// The in-file signature table keeps the rule auditable: discarding a
+/// cross-crate `Result` (e.g. socket teardown) is invisible to it, but
+/// every discard of one of *our own* fallible calls must be justified
+/// with a waiver.
+fn check_rg012(toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if ctx.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if tok_is(toks, i, TokKind::Punct, ".")
+            && tok_is(toks, i + 1, TokKind::Ident, "ok")
+            && tok_is(toks, i + 2, TokKind::Punct, "(")
+            && tok_is(toks, i + 3, TokKind::Punct, ")")
+            && tok_is(toks, i + 4, TokKind::Punct, ";")
+            && statement_discards(toks, i)
+        {
+            out.push(Finding {
+                rule: "RG012",
+                line: toks[i + 1].line,
+                col: toks[i + 1].col,
+                message: "statement-position `.ok();` swallows the error — handle it, \
+                          propagate it, or waive with a justification"
+                    .into(),
+            });
+        }
+        if !(tok_is(toks, i, TokKind::Ident, "let") && tok_is(toks, i + 1, TokKind::Ident, "_")) {
+            continue;
+        }
+        if tok_is(toks, i + 2, TokKind::Punct, ":") {
+            // `let _: Result<…> = …;` — an explicitly typed discard.
+            let mut fallible = false;
+            for t in toks.iter().skip(i + 3) {
+                if t.kind == TokKind::Punct && (t.text == "=" || t.text == ";") {
+                    break;
+                }
+                if t.kind == TokKind::Ident && t.text == "Result" {
+                    fallible = true;
+                }
+            }
+            if fallible {
+                out.push(Finding {
+                    rule: "RG012",
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    message: "`let _: Result<…>` discards the error — handle it, propagate \
+                              it, or waive with a justification"
+                        .into(),
+                });
+            }
+        } else if tok_is(toks, i + 2, TokKind::Punct, "=") {
+            // `let _ = …;` — flag when the RHS calls an in-file fallible
+            // function (identifier directly followed by `(`; macro bangs
+            // like `write!` have a `!` in between and never match).
+            let mut depth = 0i32;
+            let mut j = i + 3;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                if t.kind == TokKind::Ident
+                    && ctx.facts.fallible_fns.contains(&t.text)
+                    && tok_is(toks, j + 1, TokKind::Punct, "(")
+                {
+                    out.push(Finding {
+                        rule: "RG012",
+                        line: toks[i].line,
+                        col: toks[i].col,
+                        message: format!(
+                            "`let _ = …` discards the `Result` of `{}` (declared fallible \
+                             in this file) — handle it, propagate it, or waive with a \
+                             justification",
+                            t.text
+                        ),
+                    });
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Whether the `.ok()` whose `.` sits at `dot` begins at statement
+/// position: walking back, we hit a statement boundary (`;`, `{`, `}`)
+/// before any evidence the value is consumed (`let`, `return`, `=`,
+/// `?`, a match arm, or a control-flow head).
+fn statement_discards(toks: &[Tok], dot: usize) -> bool {
+    let mut k = dot;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            return true;
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "let" | "return" | "if" | "while" | "match")
+        {
+            return false;
+        }
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), "=" | "?" | "=>") {
+            return false;
+        }
+    }
+    true
+}
+
 /// A parsed `xtask-allow` waiver comment.
 #[derive(Debug, Clone)]
 pub struct Waiver {
@@ -681,7 +829,7 @@ pub fn parse_waivers(lexed: &Lexed, findings: &mut Vec<Finding>) -> Vec<Waiver> 
             });
             continue;
         }
-        let end_line = c.line + c.text.matches('\n').count() as u32;
+        let end_line = c.end_line;
         let standalone = !lexed.tokens.iter().any(|t| t.line == c.line);
         let applies_to = if standalone {
             lexed
@@ -895,6 +1043,110 @@ mod tests {
         let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
         assert_eq!(got, vec![2, 6], "{fs:?}");
         assert!(fs.iter().all(|f| f.rule == "RG009"));
+    }
+
+    #[test]
+    fn rg010_flags_computed_indexing_not_literals() {
+        let src = "fn f(v: &[u8], i: usize) {\n\
+                   let a = v[i];\n\
+                   let b = &v[2..6];\n\
+                   let c = v[0];\n\
+                   let d = unsafe { v.get_unchecked(i) };\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn g(v: &[u8], i: usize) { let x = v[i]; } }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg010: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![2, 3, 5], "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "RG010"));
+    }
+
+    #[test]
+    fn rg011_flags_blocking_calls_under_live_guards_only() {
+        let src = "fn f(&self) {\n\
+                   let mut cache = self.decoded.lock().unwrap();\n\
+                   let rec = decode_record(slice);\n\
+                   cache.insert(at, rec);\n\
+                   }\n\
+                   fn g(&self) {\n\
+                   let state = self.m.lock().unwrap();\n\
+                   let n = state.len();\n\
+                   drop(state);\n\
+                   let rec = decode_record(slice);\n\
+                   }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg011: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![3], "{fs:?}");
+        assert_eq!(fs[0].rule, "RG011");
+        assert!(fs[0].message.contains("cache"));
+    }
+
+    #[test]
+    fn rg011_if_let_guard_does_not_leak_past_its_block() {
+        let src = "fn f(&self) {\n\
+                   if let Ok(stats) = self.stats.lock() { stats.bump(); }\n\
+                   let rec = decode_record(slice);\n\
+                   }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg011: true,
+                ..RuleSet::default()
+            },
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn rg012_flags_swallowed_results() {
+        let src = "fn fallible() -> std::io::Result<()> { Ok(()) }\n\
+                   fn f(sock: &S) {\n\
+                   let _ = fallible();\n\
+                   sock.shutdown().ok();\n\
+                   let _: Result<(), E> = sock.close();\n\
+                   let used = fallible();\n\
+                   let _ = infallible_elsewhere();\n\
+                   let ok = sock.shutdown().ok();\n\
+                   }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg012: true,
+                ..RuleSet::default()
+            },
+        );
+        let got: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(got, vec![3, 4, 5], "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "RG012"));
+    }
+
+    #[test]
+    fn rg012_ignores_macro_discards_and_question_marks() {
+        let src = "fn fallible() -> Result<(), E> { Ok(()) }\n\
+                   fn f(out: &mut W) -> Result<(), E> {\n\
+                   let _ = write!(out, \"x\");\n\
+                   fallible()?;\n\
+                   Ok(())\n\
+                   }\n";
+        let fs = findings(
+            src,
+            RuleSet {
+                rg012: true,
+                ..RuleSet::default()
+            },
+        );
+        assert!(fs.is_empty(), "{fs:?}");
     }
 
     #[test]

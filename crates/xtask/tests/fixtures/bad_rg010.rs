@@ -1,0 +1,28 @@
+//! RG010 fixture: unchecked indexing and slicing in a lookup path.
+//! Checked `.get(..)` forms, single-literal indexes, and test code pass.
+
+/// Reads one byte and a window out of the image the unchecked way.
+pub fn lookup(image: &[u8], at: usize, len: usize) -> u8 {
+    let byte = image[at];
+    let window = &image[at..at + len];
+    let first = image[0];
+    let tail = unsafe { *image.get_unchecked(at) };
+    byte.wrapping_add(first)
+        .wrapping_add(tail)
+        .wrapping_add(u8::try_from(window.len()).unwrap_or(0))
+}
+
+/// The checked shapes the rule steers toward.
+pub fn checked_lookup(image: &[u8], at: usize) -> Option<u8> {
+    image.get(at).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_in_tests_is_exempt() {
+        let v = [1u8, 2, 3];
+        let i = 1;
+        assert_eq!(v[i], 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! RG012 fixture: silently swallowed Results.
+//! Inspected, propagated, or genuinely handled Results pass.
+
+/// Discards fallible outcomes three ways the rule catches.
+pub fn swallow(input: &str) {
+    fallible(input).ok();
+    let _: Result<u16, String> = fallible(input);
+    let _ = fallible(input);
+}
+
+/// The shapes the rule steers toward.
+pub fn handled(input: &str) -> Result<u16, String> {
+    if fallible(input).is_ok() {
+        let port = fallible(input).unwrap_or(0);
+        let _ = usize::from(port);
+    }
+    fallible(input)
+}
+
+fn fallible(input: &str) -> Result<u16, String> {
+    input.parse().map_err(|_| String::from("bad port"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fallible;
+
+    #[test]
+    fn discards_in_tests_are_exempt() {
+        let _ = fallible("80");
+        fallible("81").ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! unsafe-audit fixture: sites with and without `// SAFETY:` comments.
+
+/// Documented site: the comment sits directly above the block.
+pub fn first(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `v` is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Undocumented unsafe block — an audit violation.
+pub fn second(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(1) }
+}
+
+/// Undocumented unsafe fn — also a violation.
+pub unsafe fn third(p: *const u8) -> u8 {
+    *p
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_sites_are_reported_and_marked() {
+        let v = [7u8];
+        let got = unsafe { *v.get_unchecked(0) };
+        assert_eq!(got, 7);
+    }
+}

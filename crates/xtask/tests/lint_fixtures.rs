@@ -226,6 +226,127 @@ fn rg009_fixture_reports_allocating_lookups_and_honours_waivers() {
 }
 
 #[test]
+fn rg010_fixture_reports_unchecked_indexing_with_exact_positions() {
+    let out = lint_source("bad_rg010.rs", &fixture("bad_rg010.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line, v.col))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG010", 6, 21), // image[at]
+            ("RG010", 7, 24), // &image[at..at + len]
+            ("RG010", 9, 32), // get_unchecked(at)
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // image[0] (single literal), .get(at), and #[cfg(test)] code pass.
+}
+
+#[test]
+fn rg011_fixture_flags_guards_held_across_blocking_calls() {
+    let out = lint_source("bad_rg011.rs", &fixture("bad_rg011.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line, v.col))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG011", 16, 15), // decode_record under `guard`
+            ("RG011", 27, 18), // thread::sleep under read guard
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // Scoped probe, decode-after-drop, and re-lock-to-publish pass.
+    let msg = &out.violations[0].message;
+    assert!(
+        msg.contains("`decode_record`") && msg.contains("`guard`") && msg.contains("line 9"),
+        "message names the call, the guard, and the acquisition line: {msg}"
+    );
+}
+
+#[test]
+fn rg012_fixture_flags_swallowed_results() {
+    let out = lint_source("bad_rg012.rs", &fixture("bad_rg012.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line, v.col))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG012", 6, 21), // statement-position .ok()
+            ("RG012", 7, 5),  // let _: Result<..> typed discard
+            ("RG012", 8, 5),  // let _ = in-file fallible call
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // is_ok(), unwrap_or, propagation, and #[cfg(test)] discards pass.
+}
+
+#[test]
+fn unsafe_audit_fixture_reports_every_site_and_flags_undocumented_ones() {
+    let sites = engine::audit_source("bad_unsafe.rs", &fixture("bad_unsafe.rs"));
+    let got: Vec<(u32, &str, Option<&str>, bool, bool)> = sites
+        .iter()
+        .map(|s| {
+            (
+                s.line,
+                s.kind,
+                s.name.as_deref(),
+                s.has_safety_comment,
+                s.test,
+            )
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (6, "unsafe block", None, true, false),
+            (11, "unsafe block", None, false, false),
+            (15, "unsafe fn", Some("third"), false, false),
+            (24, "unsafe block", None, false, true),
+        ],
+        "full sites: {:#?}",
+        sites
+    );
+    let audit = engine::UnsafeAudit {
+        sites,
+        files_scanned: 1,
+    };
+    assert_eq!(audit.violations().len(), 3);
+}
+
+#[test]
+fn scope_tree_of_net_lib_is_pinned_byte_exact() {
+    // The scope tree of a real workspace file, rendered and compared
+    // byte-for-byte. Regenerate after intentional changes with:
+    //   BLESS=1 cargo test -p xtask --test lint_fixtures scope_tree
+    let src = fs::read_to_string(workspace_root().join("crates/net/src/lib.rs"))
+        .expect("crates/net/src/lib.rs readable");
+    let lexed = xtask::lexer::lex(&src);
+    let rendered = xtask::scope::build(&lexed).render();
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/net_lib_scope.txt");
+    if std::env::var("BLESS").is_ok() {
+        fs::write(&golden_path, &rendered).expect("golden writable");
+    }
+    let golden = fs::read_to_string(&golden_path).expect("golden scope render present");
+    assert_eq!(
+        rendered, golden,
+        "scope tree of crates/net/src/lib.rs drifted from the golden render"
+    );
+}
+
+#[test]
 fn only_core_analysis_modules_carry_rg009() {
     let coverage = rules_for("crates/core/src/coverage.rs").expect("in scope");
     assert!(coverage.rg009);

@@ -1,0 +1,271 @@
+//! Property-style batteries for the lexer and the scope builder.
+//!
+//! These are deterministic (the workspace vendors no fuzzing crate):
+//! each battery crosses a table of adversarial snippets — raw strings,
+//! brace characters in char literals, nested generics, macro bodies —
+//! with a set of wrappers, and asserts structural invariants that must
+//! hold for *every* combination rather than pinning one example.
+
+use xtask::lexer::{self, TokKind};
+use xtask::scope::{self, ScopeKind, ScopeTree};
+
+/// Structural invariants every scope tree must satisfy.
+fn check_invariants(src: &str, tree: &ScopeTree, ntoks: usize) {
+    let root = &tree.scopes[0];
+    assert_eq!(root.kind, ScopeKind::Root, "scope 0 is the root: {src:?}");
+    assert_eq!(root.parent, None);
+    assert_eq!((root.open, root.close), (0, ntoks), "root spans the file");
+    for (ix, s) in tree.scopes.iter().enumerate() {
+        assert!(
+            s.open <= s.close && s.close <= ntoks,
+            "scope {ix} span [{}, {}] out of range in {src:?}",
+            s.open,
+            s.close
+        );
+        if let Some(p) = s.parent {
+            let parent = &tree.scopes[p];
+            assert!(
+                parent.open <= s.open && s.close <= parent.close,
+                "scope {ix} escapes its parent in {src:?}"
+            );
+            assert!(
+                parent.children.contains(&ix),
+                "parent/child links agree in {src:?}"
+            );
+        }
+        for &c in &s.children {
+            assert_eq!(tree.scopes[c].parent, Some(ix));
+        }
+    }
+    assert_eq!(tree.enclosing.len(), ntoks);
+    assert_eq!(tree.test_mask.len(), ntoks);
+    // Every token strictly inside a scope's braces must map to that
+    // scope or one of its descendants (introducing tokens like
+    // `fn name(…)` are also claimed by the scope, so only the interior
+    // is asserted).
+    for (ix, s) in tree.scopes.iter().enumerate().skip(1) {
+        for i in (s.open + 1)..s.close.min(ntoks) {
+            let mut at = Some(tree.enclosing[i]);
+            let mut found = false;
+            while let Some(e) = at {
+                if e == ix {
+                    found = true;
+                    break;
+                }
+                at = tree.scopes[e].parent;
+            }
+            assert!(
+                found,
+                "token {i} inside scope {ix} maps outside it in {src:?}"
+            );
+        }
+    }
+}
+
+/// Lex + build + invariant-check, returning the tree.
+fn checked_tree(src: &str) -> ScopeTree {
+    let lexed = lexer::lex(src);
+    let tree = scope::build(&lexed);
+    check_invariants(src, &tree, lexed.tokens.len());
+    tree
+}
+
+/// Expression snippets whose literals contain brace/bracket noise. Each
+/// must lex to balanced scopes without the noise leaking into matching.
+const NOISY_EXPRS: &[&str] = &[
+    r#"let a = "} { } {{";"#,
+    r#"let b = "\" } \" {";"#,
+    "let c = '{';",
+    "let d = '}';",
+    "let e = '\\'';",
+    "let f = '\"';",
+    r##"let g = r"} {";"##,
+    r###"let h = r#"} "quoted" {"#;"###,
+    r####"let i = r##"}## {"## ;"####,
+    "let j: Vec<Vec<(u8, u8)>> = Vec::new();",
+    "let k: Result<Box<[u8; 4]>, String> = Err(String::new());",
+    "let l = a < b && c > d;",
+    "let m = vec![1, 2, 3];",
+    "let n = matches!(x, Some(_));",
+    "// comment with } { braces\nlet o = 1;",
+    "/* block } comment { */ let p = 2;",
+];
+
+/// Wrappers that embed a statement at a known scope depth. `{}`
+/// placeholder marks the insertion point; `fns` is the expected number
+/// of Fn scopes.
+struct Wrapper {
+    template: &'static str,
+    fns: usize,
+    depth_kinds: &'static [ScopeKind],
+}
+
+const WRAPPERS: &[Wrapper] = &[
+    Wrapper {
+        template: "fn top() { «» }",
+        fns: 1,
+        depth_kinds: &[ScopeKind::Fn],
+    },
+    Wrapper {
+        template: "fn top() { if cond { «» } }",
+        fns: 1,
+        depth_kinds: &[ScopeKind::Fn, ScopeKind::Block],
+    },
+    Wrapper {
+        template: "impl Widget { fn m(&self) { «» } }",
+        fns: 1,
+        depth_kinds: &[ScopeKind::Impl, ScopeKind::Fn],
+    },
+    Wrapper {
+        template: "mod inner { fn deep() { loop { «» } } }",
+        fns: 1,
+        depth_kinds: &[ScopeKind::Mod, ScopeKind::Fn, ScopeKind::Block],
+    },
+    Wrapper {
+        template: "fn a() { «» }\nfn b() { «» }",
+        fns: 2,
+        depth_kinds: &[ScopeKind::Fn],
+    },
+];
+
+#[test]
+fn noisy_literals_never_break_scope_matching() {
+    for w in WRAPPERS {
+        for snippet in NOISY_EXPRS {
+            let src = w.template.replace("«»", snippet);
+            let tree = checked_tree(&src);
+            let fns = tree.of_kind(ScopeKind::Fn).count();
+            assert_eq!(fns, w.fns, "fn count for {src:?}");
+            // The innermost wrapper scope must close: `close` strictly
+            // inside the token stream means the `}` was found, i.e. no
+            // literal swallowed a brace.
+            let ntoks = lexer::lex(&src).tokens.len();
+            for s in tree.scopes.iter().skip(1) {
+                assert!(s.close < ntoks, "unterminated scope in {src:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wrapper_nesting_depth_is_exact() {
+    for w in WRAPPERS {
+        let src = w.template.replace("«»", "let x = 1;");
+        let tree = checked_tree(&src);
+        // Walk from the deepest `let` token up to the root and compare
+        // the kind chain (innermost-first) with the wrapper's spec.
+        let lexed = lexer::lex(&src);
+        let x_tok = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "x")
+            .expect("placeholder token present");
+        let mut chain = Vec::new();
+        let mut at = Some(&tree.scopes[tree.enclosing[x_tok]]);
+        while let Some(s) = at {
+            if s.kind == ScopeKind::Root {
+                break;
+            }
+            chain.push(s.kind);
+            at = s.parent.map(|p| &tree.scopes[p]);
+        }
+        chain.reverse();
+        assert_eq!(chain, w.depth_kinds, "kind chain for {src:?}");
+    }
+}
+
+#[test]
+fn macro_bodies_nest_like_ordinary_blocks() {
+    let src = "macro_rules! tally {\n    ($($name:ident),*) => {\n        $(\n            fn $name() { body(); }\n        )*\n    };\n}\nfn real() { tally!(a, b); }\n";
+    let tree = checked_tree(src);
+    // The macro body's `fn $name` is still seen as a pending fn by the
+    // token-level builder — that is fine for linting (macro-generated
+    // code is linted at expansion sites in real crates, and the scope
+    // here still balances). `real` must be found regardless.
+    assert!(
+        tree.of_kind(ScopeKind::Fn)
+            .any(|s| s.name.as_deref() == Some("real")),
+        "fn after a macro_rules item is still classified"
+    );
+}
+
+#[test]
+fn nested_generics_do_not_eat_function_bodies() {
+    let srcs = [
+        "fn f() -> Result<Vec<(u8, u8)>, Box<String>> { body(); }",
+        "fn g<T: Iterator<Item = Result<u8, E>>>(it: T) { body(); }",
+        "fn h(map: std::collections::HashMap<String, Vec<u32>>) { body(); }",
+        "struct S<T> { field: Vec<T> }\nfn after_struct() { body(); }",
+    ];
+    for src in srcs {
+        let tree = checked_tree(src);
+        assert_eq!(
+            tree.of_kind(ScopeKind::Fn).count(),
+            1,
+            "exactly one fn in {src:?}"
+        );
+    }
+}
+
+#[test]
+fn lexer_token_kinds_survive_adversarial_literals() {
+    let cases: &[(&str, TokKind)] = &[
+        (r#""} {""#, TokKind::Str),
+        (r##"r#"} {"#"##, TokKind::Str),
+        ("'{'", TokKind::Char),
+        ("'\\''", TokKind::Char),
+        ("'a'", TokKind::Char),
+        ("1_000", TokKind::Int),
+        ("0xFF", TokKind::Int),
+        ("1.5e3", TokKind::Float),
+        ("ident_07", TokKind::Ident),
+    ];
+    for (text, kind) in cases {
+        let src = format!("fn f() {{ let v = {text}; }}");
+        let lexed = lexer::lex(&src);
+        let got = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == *kind)
+            .unwrap_or_else(|| panic!("no {kind:?} token lexed from {src:?}"));
+        assert_eq!(got.kind, *kind);
+        checked_tree(&src);
+    }
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+    let lexed = lexer::lex(src);
+    assert!(
+        lexed.tokens.iter().all(|t| t.kind != TokKind::Char),
+        "lifetimes must lex as lifetimes, not chars"
+    );
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count(),
+        3
+    );
+    let tree = checked_tree(src);
+    assert_eq!(tree.of_kind(ScopeKind::Fn).count(), 1);
+}
+
+#[test]
+fn test_gating_is_stable_under_noise() {
+    for snippet in NOISY_EXPRS {
+        let src = format!(
+            "fn live() {{ {snippet} }}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ {snippet} }}\n}}\n"
+        );
+        let tree = checked_tree(&src);
+        for s in tree.of_kind(ScopeKind::Fn) {
+            match s.name.as_deref() {
+                Some("live") => assert!(!s.test, "live fn wrongly gated in {src:?}"),
+                Some("t") => assert!(s.test, "test fn not gated in {src:?}"),
+                other => panic!("unexpected fn {other:?} in {src:?}"),
+            }
+        }
+    }
+}
