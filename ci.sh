@@ -106,5 +106,21 @@ step obs-trace env ROUTERGEO_SCALE=tiny ROUTERGEO_SEED=20170301 \
         table1 coverage consistency fig2 --obs target/obs_ci.jsonl > /dev/null'
 step obs-check cargo xtask obs-check target/obs_ci.jsonl
 
+# Fuzz gate: the seeded mutation/protocol/differential harness must
+# come back clean, and its JSON report (archived as a CI artifact) is
+# deterministic for a given budget. The trial plan is a pure function
+# of --budget-ms — it never reads the wall clock — so the budget check
+# below bounds harness wall time, not trial count: a blowout means a
+# mutated image wedged the reader or a protocol scenario hit real
+# sleeps instead of the injected clock.
+step fuzz-build cargo build -q -p xtask -p routergeo-fuzz
+fz_start=$(date +%s)
+step fuzz sh -c 'cargo xtask fuzz --budget-ms 30000 --json > target/fuzz_ci.json'
+fz_elapsed=$(( $(date +%s) - fz_start ))
+if [ "$fz_elapsed" -gt 45 ]; then
+    echo "ci.sh: fuzz gate took ${fz_elapsed}s (> 45s) — a trial is wedging or sleeping on wall time" >&2
+    exit 1
+fi
+
 step test cargo test -q
 step test-workspace cargo test --workspace -q

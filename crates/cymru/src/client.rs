@@ -76,9 +76,12 @@ pub enum FailReason {
     Io(std::io::ErrorKind),
     /// A configured connect/read/write deadline fired.
     Timeout,
-    /// The server sent something unparseable (bad banner, bad row,
-    /// answer for an address that was never requested).
+    /// The server sent something unparseable (bad banner, bad row).
     Protocol(String),
+    /// The server echoed an answer or error row for this address even
+    /// though it was never requested. The row is quarantined in
+    /// [`BulkOutcome::unsolicited`]; requested addresses are unaffected.
+    Unsolicited,
     /// The response stream ended cleanly but this address was never
     /// answered — the short-count case a bare EOF loop would miss.
     MissingAnswer,
@@ -94,6 +97,7 @@ impl std::fmt::Display for FailReason {
             FailReason::Io(kind) => write!(f, "i/o error: {kind:?}"),
             FailReason::Timeout => write!(f, "deadline exceeded"),
             FailReason::Protocol(s) => write!(f, "protocol error: {s}"),
+            FailReason::Unsolicited => f.write_str("answer for unrequested address"),
             FailReason::MissingAnswer => write!(f, "no answer before end of stream"),
             FailReason::ServerError(s) => write!(f, "server error: {s}"),
             FailReason::CircuitOpen => write!(f, "circuit breaker open"),
@@ -231,6 +235,12 @@ pub struct BulkOutcome {
     pub not_found: Vec<Ipv4Addr>,
     /// Addresses that exhausted retries (or hit the open breaker).
     pub failed: Vec<AddrFailure>,
+    /// Addresses the server volunteered rows for without being asked
+    /// (reason is always [`FailReason::Unsolicited`]). These are *not*
+    /// requested addresses and live outside the three buckets above;
+    /// they are quarantined here for diagnostics so a corrupted stream
+    /// can neither poison the merge nor abort the batch.
+    pub unsolicited: Vec<AddrFailure>,
     /// Transport accounting for the whole call.
     pub stats: BulkStats,
 }
@@ -260,6 +270,9 @@ pub struct BulkClient {
 struct Attempt {
     answers: Vec<BulkAnswer>,
     addr_errors: Vec<(Ipv4Addr, String)>,
+    /// Echoed IPs that parse but were never requested — quarantined,
+    /// never merged, never fatal (see [`FailReason::Unsolicited`]).
+    unsolicited: Vec<Ipv4Addr>,
     failure: Option<FailReason>,
 }
 
@@ -330,6 +343,7 @@ impl BulkClient {
         routergeo_obs::counter("cymru.addrs_found").add(out.found.len() as u64);
         routergeo_obs::counter("cymru.addrs_not_found").add(out.not_found.len() as u64);
         routergeo_obs::counter("cymru.addrs_failed").add(out.failed.len() as u64);
+        routergeo_obs::counter("cymru.addrs_unsolicited").add(out.unsolicited.len() as u64);
         span.attr("chunks", out.stats.chunks);
         span.attr("retries", out.stats.retries);
         span.attr("failed", out.failed.len());
@@ -363,6 +377,17 @@ impl BulkClient {
                         attempts,
                     },
                 );
+            }
+            for ip in attempt.unsolicited {
+                // First sighting wins; retries re-reading the same bogus
+                // row must not duplicate the quarantine entry.
+                if !out.unsolicited.iter().any(|u| u.ip == ip) {
+                    out.unsolicited.push(AddrFailure {
+                        ip,
+                        reason: FailReason::Unsolicited,
+                        attempts,
+                    });
+                }
             }
             // Resume: only still-unanswered addresses are re-requested.
             pending.retain(|ip| !answered.contains_key(ip) && !addr_failed.contains_key(ip));
@@ -406,6 +431,7 @@ impl BulkClient {
         let mut a = Attempt {
             answers: Vec::new(),
             addr_errors: Vec::new(),
+            unsolicited: Vec::new(),
             failure: None,
         };
         let mut stream = match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
@@ -438,16 +464,29 @@ impl BulkClient {
         }
 
         let expected: HashSet<Ipv4Addr> = pending.iter().copied().collect();
-        let reader = BufReader::new(stream);
+        let mut reader = BufReader::new(stream);
         let mut saw_banner = false;
-        for line in reader.lines() {
-            let line = match line {
-                Ok(l) => l,
+        let mut raw = Vec::new();
+        loop {
+            match read_line_bounded(&mut reader, &mut raw) {
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::Line) => {}
+                Ok(LineRead::TooLong) => {
+                    // A server streaming an endless line is attacking
+                    // client memory; drop the connection rather than
+                    // buffer it. Answers already parsed are kept.
+                    a.failure = Some(FailReason::Protocol(format!(
+                        "response line exceeds {MAX_LINE} bytes"
+                    )));
+                    break;
+                }
                 Err(e) => {
                     a.failure = Some(classify(&e));
                     break;
                 }
-            };
+            }
+            let line = String::from_utf8_lossy(&raw);
+            let line = line.trim_end_matches('\r');
             if !saw_banner {
                 saw_banner = true;
                 if let Some(msg) = line.strip_prefix("Error:") {
@@ -465,24 +504,21 @@ impl BulkClient {
             match parse_line(&line) {
                 Row::Answer(ans) => {
                     // Validate the echoed IP against the request; an
-                    // unrequested echo is kept out of the merge so a
-                    // corrupted stream cannot poison the outcome.
+                    // unrequested echo is quarantined out of the merge
+                    // so a corrupted stream cannot poison the outcome,
+                    // and parsing continues — the echo mismatch is a
+                    // property of that row, not of the whole attempt.
                     if expected.contains(&ans.ip()) {
                         a.answers.push(ans);
-                    } else if a.failure.is_none() {
-                        a.failure = Some(FailReason::Protocol(format!(
-                            "answer for unrequested address {}",
-                            ans.ip()
-                        )));
+                    } else {
+                        a.unsolicited.push(ans.ip());
                     }
                 }
                 Row::AddrError(ip, msg) => {
                     if expected.contains(&ip) {
                         a.addr_errors.push((ip, msg));
-                    } else if a.failure.is_none() {
-                        a.failure = Some(FailReason::Protocol(format!(
-                            "error row for unrequested address {ip}: {msg}"
-                        )));
+                    } else {
+                        a.unsolicited.push(ip);
                     }
                 }
                 Row::Batch(msg) => {
@@ -499,6 +535,58 @@ impl BulkClient {
             }
         }
         a
+    }
+}
+
+/// Longest response row the client will buffer. Real rows are well
+/// under 200 bytes; anything longer is a server (or proxy) attacking
+/// client memory, not a protocol variant.
+pub(crate) const MAX_LINE: usize = 4096;
+
+/// Result of one bounded line read.
+pub(crate) enum LineRead {
+    /// A complete line (newline stripped) is in the buffer.
+    Line,
+    /// Clean end of stream with nothing buffered.
+    Eof,
+    /// The line exceeded [`MAX_LINE`] before a newline arrived; the
+    /// connection should be dropped.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line into `out` without ever buffering more
+/// than [`MAX_LINE`] bytes — the bounded replacement for
+/// `BufRead::read_line`, which grows its buffer with whatever the peer
+/// streams.
+pub(crate) fn read_line_bounded<R: BufRead>(
+    r: &mut R,
+    out: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    out.clear();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if out.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            out.extend_from_slice(buf.get(..pos).unwrap_or(buf));
+            r.consume(pos + 1);
+            return Ok(if out.len() > MAX_LINE {
+                LineRead::TooLong
+            } else {
+                LineRead::Line
+            });
+        }
+        let take = buf.len();
+        out.extend_from_slice(buf);
+        r.consume(take);
+        if out.len() > MAX_LINE {
+            return Ok(LineRead::TooLong);
+        }
     }
 }
 
@@ -721,6 +809,65 @@ mod tests {
             outcome.failed[0].reason,
             FailReason::ServerError(_)
         ));
+    }
+
+    #[test]
+    fn unsolicited_rows_are_quarantined_without_aborting() {
+        // Both an answer row and an error row for never-requested
+        // addresses: neither may poison the merge, fail the batch, or
+        // stop parsing of the rows after them.
+        let addr = scripted_server(
+            "Bulk mode; whois.routergeo.test [synthetic]\n\
+             NA | 9.9.9.9 | NA | NA | NA\n\
+             NA | 66.66.66.66 | NA | NA | NA\n\
+             Error: bad address \"77.77.77.77\"\n\
+             NA | 11.11.11.11 | NA | NA | NA\n",
+        );
+        let config = BulkConfig {
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..BulkConfig::default()
+        };
+        let ips: Vec<Ipv4Addr> = vec!["9.9.9.9".parse().unwrap(), "11.11.11.11".parse().unwrap()];
+        let outcome = BulkClient::with_config(addr, config, SystemClock::shared()).lookup(&ips);
+        assert!(outcome.is_complete(), "failed: {:?}", outcome.failed);
+        assert_eq!(outcome.answered(), 2, "rows after the bogus echoes parse");
+        let quarantined: Vec<Ipv4Addr> = outcome.unsolicited.iter().map(|u| u.ip).collect();
+        assert_eq!(
+            quarantined,
+            vec![
+                "66.66.66.66".parse::<Ipv4Addr>().unwrap(),
+                "77.77.77.77".parse::<Ipv4Addr>().unwrap(),
+            ]
+        );
+        for u in &outcome.unsolicited {
+            assert_eq!(u.reason, FailReason::Unsolicited);
+        }
+    }
+
+    #[test]
+    fn oversized_response_line_fails_the_attempt_not_the_process() {
+        // 1 MiB of banner with no newline: the bounded reader must cut
+        // the connection at MAX_LINE instead of buffering it all.
+        let big: &'static str = Box::leak(format!("Bulk mode; {}", "x".repeat(1 << 20)).into());
+        let addr = scripted_server(big);
+        let config = BulkConfig {
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            ..BulkConfig::default()
+        };
+        let ips: Vec<Ipv4Addr> = vec!["9.9.9.9".parse().unwrap()];
+        let outcome = BulkClient::with_config(addr, config, SystemClock::shared()).lookup(&ips);
+        assert_eq!(outcome.failed.len(), 1);
+        assert!(
+            matches!(&outcome.failed[0].reason, FailReason::Protocol(s) if s.contains("exceeds")),
+            "{:?}",
+            outcome.failed[0].reason
+        );
     }
 
     #[test]

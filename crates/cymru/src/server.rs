@@ -22,8 +22,9 @@
 //! worker forever. [`WhoisServer::shutdown`] drains in flight
 //! connections (bounded wait) and reports how many leaked.
 
+use crate::client::{read_line_bounded, LineRead, MAX_LINE};
 use crate::MappingService;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, TrySendError};
@@ -227,6 +228,23 @@ fn worker_loop(
     }
 }
 
+/// Read and discard the rest of a shed client's request, up to a fixed
+/// cap — closing with unread bytes in the receive buffer makes the
+/// kernel answer RST, which can destroy the error line in flight. The
+/// cap keeps a truly endless client from pinning the worker; past it
+/// the RST is accepted as the lesser evil.
+fn drain_bounded<R: std::io::Read>(r: &mut R) {
+    const DRAIN_CAP: usize = 1 << 20;
+    let mut sink = [0u8; 4096];
+    let mut seen = 0usize;
+    while seen < DRAIN_CAP {
+        match r.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => seen += n,
+        }
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &MappingService,
@@ -240,10 +258,22 @@ fn handle_connection(
     let mut reader = BufReader::new(peer);
     let mut writer = BufWriter::new(stream);
 
+    // Every request line goes through the bounded reader: a client
+    // streaming one endless line is shed at `MAX_LINE` bytes instead of
+    // growing the line buffer until the process dies.
+    let mut raw = Vec::new();
+
     // Expect `begin`.
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    if line.trim() != "begin" {
+    match read_line_bounded(&mut reader, &mut raw)? {
+        LineRead::Eof | LineRead::Line => {}
+        LineRead::TooLong => {
+            writeln!(writer, "Error: line exceeds {MAX_LINE} bytes")?;
+            writer.flush()?;
+            drain_bounded(&mut reader);
+            return Ok(());
+        }
+    }
+    if String::from_utf8_lossy(&raw).trim() != "begin" {
         writeln!(writer, "Error: expected 'begin'")?;
         return writer.flush();
     }
@@ -252,10 +282,17 @@ fn handle_connection(
 
     let mut count = 0usize;
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break; // client hung up
+        match read_line_bounded(&mut reader, &mut raw)? {
+            LineRead::Eof => break, // client hung up
+            LineRead::TooLong => {
+                writeln!(writer, "Error: line exceeds {MAX_LINE} bytes")?;
+                writer.flush()?;
+                drain_bounded(&mut reader);
+                return Ok(());
+            }
+            LineRead::Line => {}
         }
+        let line = String::from_utf8_lossy(&raw);
         let trimmed = line.trim();
         if trimmed == "end" {
             break;
@@ -326,6 +363,23 @@ mod tests {
         assert!(out.contains("Error: bad address"), "{out}");
         assert!(out.contains(&ip.to_string()), "{out}");
         srv.shutdown();
+    }
+
+    #[test]
+    fn endless_line_is_shed_not_buffered() {
+        // A client streaming one line forever must be cut off at the
+        // line cap, not buffered into memory until the process dies.
+        let (_, mut srv) = server();
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.write_all(b"begin\n").unwrap();
+        let garbage = vec![b'a'; MAX_LINE * 4];
+        s.write_all(&garbage).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("Bulk mode;"), "{out}");
+        assert!(out.contains("Error: line exceeds"), "{out}");
+        assert_eq!(srv.shutdown(), 0);
     }
 
     #[test]

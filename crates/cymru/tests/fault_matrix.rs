@@ -272,6 +272,56 @@ fn circuit_breaker_fails_remaining_chunks_fast() {
 }
 
 #[test]
+fn unsolicited_rows_are_quarantined_through_the_proxy() {
+    // A scripted upstream that answers the requested addresses but also
+    // volunteers rows for addresses the client never asked about —
+    // behind a pass-through proxy so the bytes travel the same path as
+    // every other matrix entry. The bogus echoes must be quarantined
+    // per-address (FailReason::Unsolicited) while the batch completes.
+    use std::io::{Read, Write};
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind upstream");
+    let upstream = listener.local_addr().expect("upstream addr");
+    std::thread::spawn(move || {
+        if let Ok((mut s, _)) = listener.accept() {
+            let mut req = Vec::new();
+            let _ = s.read_to_end(&mut req);
+            let _ = s.write_all(
+                b"Bulk mode; whois.routergeo.test [synthetic]\n\
+                  NA | 9.9.9.9 | NA | NA | NA\n\
+                  64500 | 66.66.66.66 | 66.66.66.0/24 | US | arin\n\
+                  Error: bad address \"77.77.77.77\"\n\
+                  NA | 11.11.11.11 | NA | NA | NA\n",
+            );
+        }
+    });
+    let proxy = ChaosProxy::spawn(upstream, FaultPlan::pass_through(), SystemClock::shared())
+        .expect("spawn proxy");
+    let mut config = fast_config();
+    config.retry.max_attempts = 1;
+    let (_clock, handle) = TestClock::shared();
+    let ips: Vec<Ipv4Addr> = vec!["9.9.9.9".parse().unwrap(), "11.11.11.11".parse().unwrap()];
+    let outcome = BulkClient::with_config(proxy.addr(), config, handle).lookup(&ips);
+    assert!(outcome.is_complete(), "failed: {:?}", outcome.failed);
+    assert_eq!(
+        outcome.answered(),
+        ips.len(),
+        "rows after bogus echoes parse"
+    );
+    let quarantined: Vec<Ipv4Addr> = outcome.unsolicited.iter().map(|u| u.ip).collect();
+    assert_eq!(
+        quarantined,
+        vec![
+            "66.66.66.66".parse::<Ipv4Addr>().unwrap(),
+            "77.77.77.77".parse::<Ipv4Addr>().unwrap(),
+        ]
+    );
+    assert!(outcome
+        .unsolicited
+        .iter()
+        .all(|u| u.reason == FailReason::Unsolicited));
+}
+
+#[test]
 fn per_chunk_jitter_spreads_backoff_across_chunks() {
     // Two chunks that both fail once: each sleeps its own chunk's
     // deterministic schedule, not a shared one.

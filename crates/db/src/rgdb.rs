@@ -46,6 +46,56 @@ const VERSION: u16 = 1;
 const NONE: u32 = u32::MAX;
 const HEADER_LEN: usize = 28;
 
+/// Image region a structural error is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// The 28-byte fixed header.
+    Header,
+    /// The display-name bytes following the header.
+    Name,
+    /// The trie node array.
+    Nodes,
+    /// The deduplicated record data section.
+    Data,
+}
+
+impl Section {
+    /// Lower-case label used in rendered errors.
+    pub fn label(self) -> &'static str {
+        match self {
+            Section::Header => "header",
+            Section::Name => "name",
+            Section::Nodes => "nodes",
+            Section::Data => "data",
+        }
+    }
+}
+
+/// Where a structural error was detected and what the reader expected
+/// to find there. `offset` is an absolute byte offset from the start of
+/// the image, so a hexdump of the rejected file lines up directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptContext {
+    /// Which image section the offending bytes live in.
+    pub section: Section,
+    /// Absolute byte offset from the start of the image.
+    pub offset: usize,
+    /// What the reader expected at that offset.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for CorruptContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} section, byte {}: expected {}",
+            self.section.label(),
+            self.offset,
+            self.expected
+        )
+    }
+}
+
 /// Errors reading an RGDB image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RgdbError {
@@ -57,8 +107,28 @@ pub enum RgdbError {
     BadVersion(u16),
     /// Checksum mismatch — corrupt image.
     ChecksumMismatch,
-    /// Structural corruption (out-of-range offsets, bad UTF-8, …).
-    Corrupt(&'static str),
+    /// Structural corruption (out-of-range offsets, bad UTF-8, …),
+    /// attributed to a section and absolute offset.
+    Corrupt(CorruptContext),
+}
+
+impl RgdbError {
+    /// Build a [`RgdbError::Corrupt`] with full attribution.
+    fn corrupt(section: Section, offset: usize, expected: &'static str) -> RgdbError {
+        RgdbError::Corrupt(CorruptContext {
+            section,
+            offset,
+            expected,
+        })
+    }
+
+    /// Structural-corruption context, if this error carries one.
+    pub fn context(&self) -> Option<&CorruptContext> {
+        match self {
+            RgdbError::Corrupt(ctx) => Some(ctx),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RgdbError {
@@ -68,7 +138,7 @@ impl fmt::Display for RgdbError {
             RgdbError::BadMagic => f.write_str("not an RGDB image (bad magic)"),
             RgdbError::BadVersion(v) => write!(f, "unsupported RGDB version {v}"),
             RgdbError::ChecksumMismatch => f.write_str("RGDB checksum mismatch"),
-            RgdbError::Corrupt(what) => write!(f, "corrupt RGDB image: {what}"),
+            RgdbError::Corrupt(ctx) => write!(f, "corrupt RGDB image: {ctx}"),
         }
     }
 }
@@ -143,51 +213,93 @@ fn put_str255(out: &mut BytesMut, bytes: &[u8]) {
     out.put_slice(bytes.get(..take).unwrap_or(bytes));
 }
 
-fn decode_record(mut buf: &[u8]) -> Result<LocationRecord, RgdbError> {
+/// Decode one record starting at `base` — the record's absolute byte
+/// offset in the image, used only to attribute errors to the exact byte
+/// being read when the buffer runs dry or a field fails validation.
+fn decode_record(mut buf: &[u8], base: usize) -> Result<LocationRecord, RgdbError> {
+    let full = buf.len();
+    // Absolute offset of the next unread byte.
+    let at = |buf: &[u8]| base + (full - buf.len());
     if buf.len() < 2 {
-        return Err(RgdbError::Corrupt("record header"));
+        return Err(RgdbError::corrupt(
+            Section::Data,
+            at(buf),
+            "2-byte record header (flags, granularity)",
+        ));
     }
     let flags = buf.get_u8();
-    let gran = Granularity::from_id(buf.get_u8()).ok_or(RgdbError::Corrupt("granularity"))?;
+    let gran_at = at(buf);
+    let gran = Granularity::from_id(buf.get_u8())
+        .ok_or_else(|| RgdbError::corrupt(Section::Data, gran_at, "known granularity id"))?;
     let country = if flags & 1 != 0 {
+        let cc_at = at(buf);
         if buf.len() < 2 {
-            return Err(RgdbError::Corrupt("country"));
+            return Err(RgdbError::corrupt(
+                Section::Data,
+                cc_at,
+                "2-byte country code",
+            ));
         }
         let a = buf.get_u8();
         let b = buf.get_u8();
-        Some(CountryCode::new(a, b).ok_or(RgdbError::Corrupt("country code"))?)
+        Some(
+            CountryCode::new(a, b)
+                .ok_or_else(|| RgdbError::corrupt(Section::Data, cc_at, "ASCII country code"))?,
+        )
     } else {
         None
     };
-    let mut read_str = |what: &'static str| -> Result<String, RgdbError> {
+    let mut read_str = |need_len: &'static str,
+                        need_bytes: &'static str,
+                        need_utf8: &'static str|
+     -> Result<String, RgdbError> {
+        let len_at = at(buf);
         if buf.is_empty() {
-            return Err(RgdbError::Corrupt(what));
+            return Err(RgdbError::corrupt(Section::Data, len_at, need_len));
         }
         let len = usize::from(buf.get_u8());
-        let bytes = buf.get(..len).ok_or(RgdbError::Corrupt(what))?;
+        let str_at = at(buf);
+        let bytes = buf
+            .get(..len)
+            .ok_or_else(|| RgdbError::corrupt(Section::Data, str_at, need_bytes))?;
         let s = std::str::from_utf8(bytes)
-            .map_err(|_| RgdbError::Corrupt(what))?
+            .map_err(|_| RgdbError::corrupt(Section::Data, str_at, need_utf8))?
             .to_string();
         buf.advance(len);
         Ok(s)
     };
     let region = if flags & 2 != 0 {
-        Some(read_str("region")?)
+        Some(read_str(
+            "region length byte",
+            "region bytes within data section",
+            "UTF-8 region name",
+        )?)
     } else {
         None
     };
     let city = if flags & 4 != 0 {
-        Some(read_str("city")?)
+        Some(read_str(
+            "city length byte",
+            "city bytes within data section",
+            "UTF-8 city name",
+        )?)
     } else {
         None
     };
     let coord = if flags & 8 != 0 {
+        let coord_at = at(buf);
         if buf.len() < 8 {
-            return Err(RgdbError::Corrupt("coord"));
+            return Err(RgdbError::corrupt(
+                Section::Data,
+                coord_at,
+                "8-byte coordinate pair",
+            ));
         }
         let lat = f64::from(buf.get_i32_le()) / 1e6;
         let lon = f64::from(buf.get_i32_le()) / 1e6;
-        Some(Coordinate::new(lat, lon).map_err(|_| RgdbError::Corrupt("coord range"))?)
+        Some(Coordinate::new(lat, lon).map_err(|_| {
+            RgdbError::corrupt(Section::Data, coord_at, "coordinate within ±90/±180")
+        })?)
     } else {
         None
     };
@@ -350,13 +462,18 @@ impl RgdbReader {
             return Err(RgdbError::ChecksumMismatch);
         }
         if node_count == 0 {
-            return Err(RgdbError::Corrupt("zero nodes"));
+            // Byte 8 is the node_count field in the fixed header.
+            return Err(RgdbError::corrupt(
+                Section::Header,
+                8,
+                "nonzero node count (trie needs a root)",
+            ));
         }
         let name_bytes = image
             .get(HEADER_LEN..nodes_start)
             .ok_or(RgdbError::Truncated)?;
         let name = std::str::from_utf8(name_bytes)
-            .map_err(|_| RgdbError::Corrupt("name"))?
+            .map_err(|_| RgdbError::corrupt(Section::Name, HEADER_LEN, "UTF-8 database name"))?
             .to_string();
         Ok(RgdbReader {
             image,
@@ -384,14 +501,18 @@ impl RgdbReader {
 
     #[inline]
     fn node(&self, idx: u32) -> Result<(u32, u32, u32), RgdbError> {
-        if idx >= self.node_count {
-            return Err(RgdbError::Corrupt("node index"));
-        }
         let at = self.nodes_start + ix(idx) * 12;
+        if idx >= self.node_count {
+            return Err(RgdbError::corrupt(
+                Section::Nodes,
+                at,
+                "node link within node_count",
+            ));
+        }
         let mut b = self
             .image
             .get(at..at + 12)
-            .ok_or(RgdbError::Corrupt("node bounds"))?;
+            .ok_or_else(|| RgdbError::corrupt(Section::Nodes, at, "12-byte node in bounds"))?;
         Ok((b.get_u32_le(), b.get_u32_le(), b.get_u32_le()))
     }
 
@@ -446,14 +567,21 @@ impl RgdbReader {
             }
         }
         let at = ix(off);
+        let abs = self.data_start + at;
         if at >= self.data_len {
-            return Err(RgdbError::Corrupt("data offset"));
+            return Err(RgdbError::corrupt(
+                Section::Data,
+                abs,
+                "record offset within data section",
+            ));
         }
         let slice = self
             .image
-            .get(self.data_start + at..self.data_start + self.data_len)
-            .ok_or(RgdbError::Corrupt("data bounds"))?;
-        let rec = decode_record(slice)?;
+            .get(abs..self.data_start + self.data_len)
+            .ok_or_else(|| {
+                RgdbError::corrupt(Section::Data, abs, "record bytes within image bounds")
+            })?;
+        let rec = decode_record(slice, abs)?;
         self.parses.fetch_add(1, Ordering::Relaxed);
         routergeo_obs::counter("resolve.rgdb_decode_parses").incr();
         let mut cache = match self.decoded.lock() {
@@ -621,6 +749,28 @@ mod tests {
             RgdbReader::open(Bytes::from(bytes)),
             Err(RgdbError::BadVersion(_))
         ));
+    }
+
+    #[test]
+    fn corruption_errors_carry_section_and_offset() {
+        let recs = sample_records();
+        let image = write("Test-DB", recs.iter().map(|(p, r)| (*p, r)));
+        // Invalidate the first name byte (0xFF is never valid UTF-8) and
+        // re-fix the checksum so the structural check is what fires.
+        let mut bytes = image.to_vec();
+        bytes[HEADER_LEN] = 0xFF;
+        let sum = fnv1a(&bytes[HEADER_LEN..]).to_le_bytes();
+        bytes[20..28].copy_from_slice(&sum);
+        let err = match RgdbReader::open(Bytes::from(bytes)) {
+            Err(e) => e,
+            Ok(_) => panic!("invalid name must not open"),
+        };
+        let ctx = *err.context().expect("structural error carries context");
+        assert_eq!(ctx.section, Section::Name);
+        assert_eq!(ctx.offset, HEADER_LEN);
+        let shown = err.to_string();
+        assert!(shown.contains("name section"), "got: {shown}");
+        assert!(shown.contains("byte 28"), "got: {shown}");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Pillar 3: differential lookups across the three database backends.
+//!
+//! For every corpus entry, the same `(prefix, record)` set is loaded
+//! three ways — the RGDB binary trie, a flat [`InMemoryDb`] range map,
+//! and a CSV round-trip through `csvdb::write`/`csvdb::parse` — and
+//! all three must answer [`GeoDatabase::lookup_compact`] identically
+//! over a seeded address sweep. One [`LocationInterner`] is shared by
+//! the three backends so equal strings intern to equal ids and
+//! [`CompactRecord`]s compare directly.
+//!
+//! The corpus is constructed to be exactly representable in all three
+//! formats (disjoint prefixes, micro-degree coordinates, non-empty
+//! strings — see [`crate::corpus`]), so any disagreement is a backend
+//! defect, not a corpus artifact.
+
+use crate::corpus::{build_entry, Scale};
+use crate::rgdb_fuzz::CORPUS_SEEDS;
+use crate::rng::FuzzRng;
+use crate::FuzzConfig;
+use routergeo_db::csvdb;
+use routergeo_db::inmem::InMemoryDbBuilder;
+use routergeo_db::rgdb::RgdbReader;
+use routergeo_db::{CompactRecord, GeoDatabase, LocationInterner};
+use std::net::Ipv4Addr;
+
+/// Aggregates for one scale.
+#[derive(Debug)]
+pub struct DiffScaleOutcome {
+    /// Scale these counts describe.
+    pub scale: Scale,
+    /// Corpus entries compared.
+    pub entries: u64,
+    /// Addresses swept across all entries (each checked three ways).
+    pub addresses: u64,
+    /// One line per disagreement (empty on a healthy run).
+    pub mismatches: Vec<String>,
+}
+
+/// Report for the differential pillar.
+#[derive(Debug)]
+pub struct DiffOutcome {
+    /// Per-scale aggregates: tiny and tenth, per the acceptance bar.
+    pub scales: Vec<DiffScaleOutcome>,
+}
+
+fn render(r: Option<CompactRecord>) -> String {
+    match r {
+        None => "none".to_string(),
+        Some(c) => format!(
+            "country={:?} region={:?} city={:?} coord={:?} gran={:?}",
+            c.country.map(|cc| cc.as_str().to_string()),
+            c.region_id,
+            c.city_id,
+            c.coord,
+            c.granularity
+        ),
+    }
+}
+
+/// Sweep one corpus entry across the three backends. Returns the
+/// addresses probed and any disagreement lines.
+fn sweep_entry(seed: u64, scale: Scale, diff_addrs: u64, root: u64) -> (u64, Vec<String>) {
+    let entry = build_entry(seed, scale);
+    let mut mismatches = Vec::new();
+    let spec = |what: &str| format!("seed={seed} scale={} {what}", scale.label());
+
+    let rgdb = match RgdbReader::open(entry.image()) {
+        Ok(r) => r,
+        Err(e) => return (0, vec![spec(&format!("rgdb image failed to open: {e}"))]),
+    };
+    let mut builder = InMemoryDbBuilder::new("mem");
+    for (prefix, record) in &entry.entries {
+        builder.push_prefix(*prefix, record.clone());
+    }
+    let inmem = match builder.build() {
+        Ok(db) => db,
+        Err(e) => return (0, vec![spec(&format!("in-memory build failed: {e}"))]),
+    };
+    let csv = match csvdb::parse("csv", &csvdb::write(&inmem)) {
+        Ok(db) => db,
+        Err(e) => return (0, vec![spec(&format!("csv round-trip failed: {e}"))]),
+    };
+
+    // One shared interner: identical strings get identical ids no
+    // matter which backend interned them first.
+    let mut interner = LocationInterner::new();
+    let mut addresses = 0u64;
+    let mut rng = FuzzRng::new(root ^ seed.rotate_left(13) ^ (scale.records() as u64));
+
+    let probe = |ip: Ipv4Addr,
+                 interner: &mut LocationInterner,
+                 mismatches: &mut Vec<String>,
+                 addresses: &mut u64| {
+        let a = rgdb.lookup_compact(ip, interner);
+        let b = inmem.lookup_compact(ip, interner);
+        let c = csv.lookup_compact(ip, interner);
+        *addresses += 1;
+        if a != b || b != c {
+            mismatches.push(spec(&format!(
+                "addr={ip}: rgdb[{}] mem[{}] csv[{}]",
+                render(a),
+                render(b),
+                render(c)
+            )));
+        }
+    };
+
+    // Boundary probes: first, last, and a random inner address of every
+    // prefix — exactly where trie walks and range maps disagree first.
+    for (prefix, _) in &entry.entries {
+        probe(
+            prefix.first(),
+            &mut interner,
+            &mut mismatches,
+            &mut addresses,
+        );
+        probe(
+            prefix.last(),
+            &mut interner,
+            &mut mismatches,
+            &mut addresses,
+        );
+        let span = u64::from(u32::from(prefix.last())) - u64::from(u32::from(prefix.first()));
+        let inner = u32::from(prefix.first()).wrapping_add(
+            u32::try_from(rng.below(span.saturating_add(1)) & 0xFFFF_FFFF).unwrap_or(0),
+        );
+        probe(
+            Ipv4Addr::from(inner),
+            &mut interner,
+            &mut mismatches,
+            &mut addresses,
+        );
+    }
+    // Global sweep: uniform addresses, mostly landing in uncovered
+    // space — the `None == None == None` agreement matters too.
+    for _ in 0..diff_addrs {
+        let word = u32::try_from(rng.next_u64() & 0xFFFF_FFFF).unwrap_or(0);
+        probe(
+            Ipv4Addr::from(word),
+            &mut interner,
+            &mut mismatches,
+            &mut addresses,
+        );
+    }
+    (addresses, mismatches)
+}
+
+/// Run the pillar over the tiny and tenth scales for every corpus seed.
+pub fn run(config: &FuzzConfig) -> DiffOutcome {
+    let mut scales = Vec::new();
+    for scale in [Scale::Tiny, Scale::Tenth] {
+        let mut out = DiffScaleOutcome {
+            scale,
+            entries: 0,
+            addresses: 0,
+            mismatches: Vec::new(),
+        };
+        for &seed in &CORPUS_SEEDS {
+            let (addresses, mut mismatches) =
+                sweep_entry(seed, scale, config.diff_addrs, config.seed);
+            out.entries += 1;
+            out.addresses += addresses;
+            out.mismatches.append(&mut mismatches);
+        }
+        scales.push(out);
+    }
+    DiffOutcome { scales }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_agree_on_the_corpus() {
+        let config = FuzzConfig {
+            seed: 7,
+            trials_per_class: 1,
+            proto_runs: 1,
+            diff_addrs: 32,
+        };
+        let outcome = run(&config);
+        assert_eq!(outcome.scales.len(), 2);
+        for s in &outcome.scales {
+            assert!(s.mismatches.is_empty(), "{:#?}", s.mismatches);
+            assert!(s.addresses > 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The aggregated fuzz report and its hand-rolled JSON rendering.
+//!
+//! The JSON is the CI artifact (`target/fuzz_ci.json`) and the
+//! acceptance bar requires it to be byte-identical across runs and
+//! machines, so it is rendered by hand with a fixed field order and no
+//! floats, timestamps, or platform-dependent strings — everything in
+//! it is a pure function of the [`crate::FuzzConfig`] trial plan.
+
+use crate::diff::DiffOutcome;
+use crate::proto_fuzz::ProtoOutcome;
+use crate::rgdb_fuzz::RgdbOutcome;
+use std::fmt::Write as _;
+
+/// The full three-pillar report.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// RGDB mutation pillar.
+    pub rgdb: RgdbOutcome,
+    /// Protocol pillar.
+    pub proto: ProtoOutcome,
+    /// Differential pillar.
+    pub diff: DiffOutcome,
+}
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl FuzzReport {
+    /// Every violation across the three pillars, in report order. An
+    /// empty list is the passing condition.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for class in &self.rgdb.classes {
+            out.extend(class.violations.iter().cloned());
+        }
+        for scenario in &self.proto.scenarios {
+            out.extend(scenario.violations.iter().cloned());
+        }
+        for scale in &self.diff.scales {
+            out.extend(scale.mismatches.iter().cloned());
+        }
+        out
+    }
+
+    /// Whether the run passed: no panics, no unattributed errors, no
+    /// protocol invariant breaches, no differential mismatches.
+    pub fn is_clean(&self) -> bool {
+        self.violations().is_empty()
+    }
+
+    /// Render the deterministic JSON document (fixed field order, no
+    /// timestamps, trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"rgdb\": {\n");
+        let _ = write!(
+            s,
+            "    \"entries\": {},\n    \"classes\": [\n",
+            self.rgdb.entries
+        );
+        for (i, c) in self.rgdb.classes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"class\": \"{}\", \"trials\": {}, \"rejected\": {}, \"opened\": {}, \
+                 \"lookup_rejections\": {}, \"panics\": {}, \"violations\": {}}}",
+                c.class.label(),
+                c.trials,
+                c.rejected,
+                c.opened,
+                c.lookup_rejections,
+                c.panics,
+                str_array(&c.violations)
+            );
+            s.push_str(if i + 1 < self.rgdb.classes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("    ]\n  },\n  \"proto\": {\n    \"scenarios\": [\n");
+        for (i, sc) in self.proto.scenarios.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"scenario\": \"{}\", \"runs\": {}, \"attributed\": {}, \
+                 \"violations\": {}}}",
+                esc(sc.scenario),
+                sc.runs,
+                sc.attributed,
+                str_array(&sc.violations)
+            );
+            s.push_str(if i + 1 < self.proto.scenarios.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("    ]\n  },\n  \"diff\": {\n    \"scales\": [\n");
+        for (i, d) in self.diff.scales.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"scale\": \"{}\", \"entries\": {}, \"addresses\": {}, \
+                 \"mismatches\": {}}}",
+                d.scale.label(),
+                d.entries,
+                d.addresses,
+                str_array(&d.mismatches)
+            );
+            s.push_str(if i + 1 < self.diff.scales.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(s, "    ]\n  }},\n  \"clean\": {}\n}}\n", self.is_clean());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_bytes() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_is_stable_for_identical_reports() {
+        let config = crate::FuzzConfig {
+            seed: 3,
+            trials_per_class: 2,
+            proto_runs: 1,
+            diff_addrs: 4,
+        };
+        let a = crate::run(config).to_json();
+        let b = crate::run(config).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"clean\": true"), "{a}");
+    }
+}

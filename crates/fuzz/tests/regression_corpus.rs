@@ -1,0 +1,29 @@
+//! Replays every `.case` file in `crates/fuzz/corpus/` on plain
+//! `cargo test`, so pinned reader findings stay fixed without any
+//! fuzz-budget machinery.
+
+use routergeo_fuzz::replay::replay_corpus_text;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("crates/fuzz/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "regression corpus must not be empty");
+    let mut total = 0u64;
+    for file in files {
+        let text = std::fs::read_to_string(&file).expect("corpus file reads");
+        let ran = replay_corpus_text(&text).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        assert!(ran > 0, "{}: no cases", file.display());
+        total += ran;
+    }
+    assert!(total >= 20, "corpus shrank to {total} cases");
+}

@@ -18,7 +18,7 @@ use crate::scope;
 /// Library crates subject to the panic-safety rules (RG001): everything
 /// under `crates/` that external code links against. `xtask` dogfoods
 /// the same rules; `bench` is a harness binary and exempt from RG001.
-const LIB_CRATES: [&str; 14] = [
+const LIB_CRATES: [&str; 15] = [
     "geo",
     "net",
     "db",
@@ -33,6 +33,7 @@ const LIB_CRATES: [&str; 14] = [
     "pool",
     "obs",
     "xtask",
+    "fuzz",
 ];
 
 /// Files exempt from RG008 (ad-hoc instrumentation): the bench crate's
@@ -181,6 +182,9 @@ pub fn rules_for(rel: &str) -> Option<RuleSet> {
         // Swallowed Results are a library-crate concern; the bench
         // harness may discard at will.
         rules.rg012 = LIB_CRATES.contains(&krate);
+        // Placeholder macros (`todo!` / `unimplemented!`) are likewise a
+        // library-crate concern — a harness may scaffold.
+        rules.rg013 = LIB_CRATES.contains(&krate);
     } else if rel.starts_with("src/") {
         // Umbrella library + CLI binaries: panics are still forbidden in
         // non-test code, but startup `expect`s with reasons are allowed.
@@ -503,6 +507,12 @@ mod tests {
         let xtask_main = rules_for("crates/xtask/src/main.rs").expect("in scope");
         assert!(!xtask_main.rg008 && xtask_main.rg001);
 
+        let fuzz = rules_for("crates/fuzz/src/mutate.rs").expect("in scope");
+        assert!(
+            fuzz.rg001 && fuzz.rg012 && fuzz.rg013,
+            "the fuzz harness is a library crate and dogfoods the gates"
+        );
+
         let root_bin = rules_for("src/bin/routergeo.rs").expect("in scope");
         assert!(!root_bin.rg001 && root_bin.rg002 && root_bin.rg006 && root_bin.rg007);
         assert!(!root_bin.rg008);
@@ -524,11 +534,14 @@ mod tests {
         assert!(prefix.rg010);
 
         let geo = rules_for("crates/geo/src/coord.rs").expect("in scope");
-        assert!(!geo.rg010 && geo.rg011 && geo.rg012);
+        assert!(!geo.rg010 && geo.rg011 && geo.rg012 && geo.rg013);
         let bench = rules_for("crates/bench/src/lab.rs").expect("in scope");
-        assert!(bench.rg011 && !bench.rg012, "bench harness may discard");
+        assert!(
+            bench.rg011 && !bench.rg012 && !bench.rg013,
+            "bench harness may discard and scaffold"
+        );
         let bin = rules_for("src/bin/routergeo.rs").expect("in scope");
-        assert!(bin.rg011 && !bin.rg010 && !bin.rg012);
+        assert!(bin.rg011 && !bin.rg010 && !bin.rg012 && !bin.rg013);
 
         assert!(rules_for("results/leftover.rs").is_none());
     }

@@ -10,7 +10,7 @@ use xtask::{bench, deps, engine, json};
 const USAGE: &str = "usage: cargo xtask <command>\n\n\
 commands:\n  \
   lint [--waivers] [--json]\n  \
-                        run RG001-RG012 over workspace sources; non-zero exit on violations\n  \
+                        run RG001-RG013 over workspace sources; non-zero exit on violations\n  \
                         (--json prints machine-readable findings on stdout)\n  \
   unsafe-audit [--json] inventory every `unsafe` site workspace-wide; non-zero exit unless\n  \
                         each carries a `// SAFETY:` comment\n  \
@@ -19,7 +19,12 @@ commands:\n  \
   bench-check [--bless] run repro --timings at tiny scale and gate per-stage wall clock\n  \
                         against BENCH_pipeline.json (--bless refreshes the baseline)\n  \
   obs-check FILE        verify the structural invariants of a `repro --obs` JSONL trace\n  \
-                        (span accounting, counter identities, histogram totals)\n";
+                        (span accounting, counter identities, histogram totals)\n  \
+  fuzz [--budget-ms N] [--json]\n  \
+                        run the structural fuzzing + differential harness (RGDB mutants,\n  \
+                        whois protocol abuse, three-way lookup agreement); the trial plan\n  \
+                        is a pure function of the budget, so output is byte-identical\n  \
+                        across runs (default budget 30000 ms)\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -66,6 +71,30 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("fuzz") => {
+            let as_json = args.iter().any(|a| a == "--json");
+            let mut budget_ms: u64 = 30_000;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--json" => {}
+                    "--budget-ms" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => budget_ms = v,
+                        None => {
+                            eprintln!(
+                                "xtask fuzz: --budget-ms needs a millisecond count\n\n{USAGE}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    bad => {
+                        eprintln!("xtask fuzz: unknown flag `{bad}`\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_fuzz(budget_ms, as_json)
+        }
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
@@ -346,6 +375,38 @@ fn run_obs_check(path: &std::path::Path) -> ExitCode {
         violations.len()
     );
     if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fuzz(budget_ms: u64, as_json: bool) -> ExitCode {
+    let config = routergeo_fuzz::FuzzConfig::from_budget(budget_ms);
+    let report = routergeo_fuzz::run(config);
+    let violations = report.violations();
+    if as_json {
+        // `to_json` already ends with a newline and must stay
+        // byte-identical across runs, so no println framing.
+        print!("{}", report.to_json());
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+    }
+    let trials: u64 = report.rgdb.classes.iter().map(|c| c.trials).sum();
+    let proto_runs: u64 = report.proto.scenarios.iter().map(|s| s.runs).sum();
+    let diff_addrs: u64 = report.diff.scales.iter().map(|s| s.addresses).sum();
+    eprintln!(
+        "xtask fuzz: {} mutation trial(s) across {} class(es), {} protocol scenario run(s), \
+         {} differential address(es), {} violation(s)",
+        trials,
+        report.rgdb.classes.len(),
+        proto_runs,
+        diff_addrs,
+        violations.len()
+    );
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

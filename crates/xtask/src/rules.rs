@@ -56,6 +56,11 @@ pub struct RuleSet {
     /// `let _ = fallible(…)` for an in-file fallible function,
     /// statement-position `.ok();`, or an explicit `let _: Result` bind.
     pub rg012: bool,
+    /// RG013: no unfinished-code placeholders (`todo!` /
+    /// `unimplemented!`) in library crates — together with RG002
+    /// (`panic!` / `unreachable!`, enforced everywhere) this denies the
+    /// full abort-macro trio on library code.
+    pub rg013: bool,
 }
 
 impl RuleSet {
@@ -74,6 +79,7 @@ impl RuleSet {
             rg010: true,
             rg011: true,
             rg012: true,
+            rg013: true,
         }
     }
 
@@ -86,7 +92,7 @@ impl RuleSet {
 /// A single finding, before waiver application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`RG001` … `RG012`, or `XW00x` for waiver faults).
+    /// Rule identifier (`RG001` … `RG013`, or `XW00x` for waiver faults).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -181,6 +187,9 @@ pub fn run_rules(lexed: &Lexed, ctx: &Context, rules: &RuleSet) -> Vec<Finding> 
         if rules.rg009 {
             check_rg009(toks, i, &mut findings);
         }
+        if rules.rg013 {
+            check_rg013(toks, i, &mut findings);
+        }
     }
     // Scope/fact-driven rules run once per file over the extracted
     // facts rather than per token.
@@ -260,6 +269,32 @@ fn check_rg002(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
         col: t.col,
         message: format!(
             "`{}!` outside tests — return an error variant instead of aborting the caller",
+            t.text
+        ),
+    });
+}
+
+/// RG013: `todo!` / `unimplemented!` placeholders in library crates. A
+/// caller handing untrusted input to a half-finished path must get an
+/// error variant back, not an abort. `unreachable!` — the third macro
+/// of the trio — is RG002's, which applies even more broadly, so it is
+/// not re-reported here.
+fn check_rg013(toks: &[Tok], i: usize, out: &mut Vec<Finding>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || (t.text != "todo" && t.text != "unimplemented") {
+        return;
+    }
+    if !tok_is(toks, i + 1, TokKind::Punct, "!") {
+        return;
+    }
+    // Path segments (`core::todo::x`) never match: the next token would
+    // be `::`, not `!`.
+    out.push(Finding {
+        rule: "RG013",
+        line: t.line,
+        col: t.col,
+        message: format!(
+            "`{}!` in library code — finish the path or return an error variant",
             t.text
         ),
     });

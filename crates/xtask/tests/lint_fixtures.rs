@@ -293,6 +293,31 @@ fn rg012_fixture_flags_swallowed_results() {
 }
 
 #[test]
+fn rg013_fixture_flags_placeholders_and_honours_waivers() {
+    let out = lint_source("bad_rg013.rs", &fixture("bad_rg013.rs"), &RuleSet::all());
+    let got: Vec<(&str, u32)> = out
+        .violations
+        .iter()
+        .map(|v| (v.rule.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("RG013", 5),  // todo! on a library path
+            ("RG013", 14), // unimplemented! arm
+            ("RG002", 15), // unreachable! stays RG002's, reported once
+        ],
+        "full diagnostics: {:#?}",
+        out.violations
+    );
+    // The waived scaffold is suppressed and audited; #[cfg(test)]
+    // placeholders pass outright.
+    assert_eq!(out.waivers.len(), 1);
+    assert_eq!(out.waivers[0].rules, vec!["RG013".to_string()]);
+    assert_eq!(out.waivers[0].suppressed, 1);
+}
+
+#[test]
 fn unsafe_audit_fixture_reports_every_site_and_flags_undocumented_ones() {
     let sites = engine::audit_source("bad_unsafe.rs", &fixture("bad_unsafe.rs"));
     let got: Vec<(u32, &str, Option<&str>, bool, bool)> = sites
