@@ -2,10 +2,14 @@
 # Offline CI gate for the routergeo workspace. Every step runs without
 # network access; failures stop the script immediately. A per-step
 # timing table prints on exit — including on failure — so slow or hung
-# gates are visible from the log alone.
+# gates are visible from the log alone. Machine-readable gate reports
+# are collected under target/ci-artifacts/ and listed in the summary.
 set -eu
 
 cd "$(dirname "$0")"
+
+ART_DIR=target/ci-artifacts
+mkdir -p "$ART_DIR"
 
 STEP_LOG=$(mktemp)
 CURRENT_STEP=""
@@ -21,6 +25,12 @@ summary() {
     echo "==> ci.sh step timing summary"
     awk '{ printf "    %-28s %4ss  %s\n", $1, $2, $3 }' "$STEP_LOG"
     rm -f "$STEP_LOG"
+    echo ""
+    echo "==> ci.sh artifacts ($ART_DIR)"
+    for art in "$ART_DIR"/*; do
+        [ -f "$art" ] || continue
+        echo "    $(basename "$art") ($(wc -c < "$art") bytes)"
+    done
     if [ "$status" -eq 0 ]; then
         echo "ci.sh: all gates passed"
     else
@@ -41,6 +51,23 @@ step() {
     CURRENT_STEP=""
 }
 
+# step_budget <name> <secs> <cmd...>: like step, but fail the run if the
+# gate exceeds its wall-clock budget. Budgets catch regressions the
+# gate's own assertions can't see — real sleeps where an injected clock
+# belongs, a parallel stage gone quadratic, a wedged reader.
+step_budget() {
+    budget_name=$1
+    budget_secs=$2
+    shift 2
+    budget_start=$(date +%s)
+    step "$budget_name" "$@"
+    budget_elapsed=$(( $(date +%s) - budget_start ))
+    if [ "$budget_elapsed" -gt "$budget_secs" ]; then
+        echo "ci.sh: $budget_name took ${budget_elapsed}s (> ${budget_secs}s budget)" >&2
+        exit 1
+    fi
+}
+
 step fmt cargo fmt --all --check
 
 # Lint gate: machine-readable output (archived as a CI artifact) with a
@@ -49,14 +76,7 @@ step fmt cargo fmt --all --check
 # quadratic. The xtask binary is built in a separate step so compile
 # time never eats the scan budget.
 step lint-build cargo build -q -p xtask
-mkdir -p target
-lint_start=$(date +%s)
-step lint sh -c 'cargo xtask lint --json > target/lint_ci.json'
-lint_elapsed=$(( $(date +%s) - lint_start ))
-if [ "$lint_elapsed" -gt 30 ]; then
-    echo "ci.sh: lint scan took ${lint_elapsed}s (> 30s) — a rule pass regressed" >&2
-    exit 1
-fi
+step_budget lint 30 sh -c "cargo xtask lint --json > $ART_DIR/lint_ci.json"
 
 # Unsafe audit: every `unsafe` site in the tree (tests and benches
 # included) must carry a `// SAFETY:` comment.
@@ -67,15 +87,9 @@ step deps cargo xtask deps
 # Fault-matrix gate: the resilient bulk-whois path must stay wall-clock
 # deterministic. Backoff sleeps run on an injected clock, so the whole
 # matrix — retries, timeouts, circuit breaker — completes in seconds of
-# real time; a wall-clock budget catches any regression to real sleeps.
+# real time; the budget catches any regression to real sleeps.
 step fault-matrix-build cargo test -q -p routergeo-cymru --test fault_matrix --no-run
-fm_start=$(date +%s)
-step fault-matrix cargo test -q -p routergeo-cymru --test fault_matrix
-fm_elapsed=$(( $(date +%s) - fm_start ))
-if [ "$fm_elapsed" -gt 60 ]; then
-    echo "ci.sh: fault matrix took ${fm_elapsed}s (> 60s) — backoff is sleeping on wall time" >&2
-    exit 1
-fi
+step_budget fault-matrix 60 cargo test -q -p routergeo-cymru --test fault_matrix
 
 step build-release cargo build --release
 
@@ -84,13 +98,7 @@ step build-release cargo build --release
 # a blowout means a parallel stage fell back to something quadratic or a
 # worker is deadlocked on the shard queue.
 step determinism-build cargo test -q --test parallel_determinism --no-run
-pd_start=$(date +%s)
-step determinism-gate cargo test -q --test parallel_determinism
-pd_elapsed=$(( $(date +%s) - pd_start ))
-if [ "$pd_elapsed" -gt 120 ]; then
-    echo "ci.sh: determinism gate took ${pd_elapsed}s (> 120s) — parallel stages regressed" >&2
-    exit 1
-fi
+step_budget determinism-gate 120 cargo test -q --test parallel_determinism
 
 # Perf gate: fresh repro --timings vs the committed BENCH_pipeline.json
 # baseline; fails on a >2x per-stage wall-clock regression after
@@ -100,27 +108,31 @@ step bench-check cargo xtask bench-check
 
 # Observability gate: a traced Tiny run must satisfy every structural
 # invariant of the obs JSONL schema — span open/close accounting,
-# counter identities (cdf/cymru/pool), histogram bucket totals.
+# counter identities (cdf/cymru/pool/serve), histogram bucket totals.
 step obs-trace env ROUTERGEO_SCALE=tiny ROUTERGEO_SEED=20170301 \
-    sh -c 'cargo run --release -q -p routergeo-bench --bin repro -- \
-        table1 coverage consistency fig2 --obs target/obs_ci.jsonl > /dev/null'
-step obs-check cargo xtask obs-check target/obs_ci.jsonl
+    sh -c "cargo run --release -q -p routergeo-bench --bin repro -- \
+        table1 coverage consistency fig2 --obs $ART_DIR/obs_ci.jsonl > /dev/null"
+step obs-check cargo xtask obs-check "$ART_DIR/obs_ci.jsonl"
 
 # Fuzz gate: the seeded mutation/protocol/differential harness must
 # come back clean, and its JSON report (archived as a CI artifact) is
 # deterministic for a given budget. The trial plan is a pure function
 # of --budget-ms — it never reads the wall clock — so the budget check
-# below bounds harness wall time, not trial count: a blowout means a
-# mutated image wedged the reader or a protocol scenario hit real
-# sleeps instead of the injected clock.
+# bounds harness wall time, not trial count: a blowout means a mutated
+# image wedged the reader or a protocol scenario hit real sleeps
+# instead of the injected clock.
 step fuzz-build cargo build -q -p xtask -p routergeo-fuzz
-fz_start=$(date +%s)
-step fuzz sh -c 'cargo xtask fuzz --budget-ms 30000 --json > target/fuzz_ci.json'
-fz_elapsed=$(( $(date +%s) - fz_start ))
-if [ "$fz_elapsed" -gt 45 ]; then
-    echo "ci.sh: fuzz gate took ${fz_elapsed}s (> 45s) — a trial is wedging or sleeping on wall time" >&2
-    exit 1
-fi
+step_budget fuzz 45 sh -c "cargo xtask fuzz --budget-ms 30000 --json > $ART_DIR/fuzz_ci.json"
+
+# Serve gate: the lookup daemon must hold its production discipline
+# under a deterministic loadgen — virtual-time sim (byte-identical
+# serve_ci.json at any thread count), one hot swap under concurrent
+# load with zero failed lookups and zero torn reads, raw-socket and
+# faultnet abuse fully attributed, and wall-clock latency/throughput
+# gated by machine-speed-cancelling ratios. The budget catches a
+# wedged worker pool or a drain that never completes.
+step serve-build cargo build --release -q -p routergeo-serve
+step_budget serve-loadgen 90 cargo xtask serve-check --budget-ms 8000
 
 step test cargo test -q
 step test-workspace cargo test --workspace -q

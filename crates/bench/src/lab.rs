@@ -6,6 +6,7 @@ use routergeo_db::synth::{build_vendor_with, SignalWorld, VendorProfile};
 use routergeo_db::InMemoryDb;
 use routergeo_dns::RuleEngine;
 use routergeo_gazetteer::Gazetteer;
+use routergeo_net::Prefix;
 use routergeo_pool::Pool;
 use routergeo_rtt::{build_dataset, ProximityConfig, QaReport, RttProximityDataset};
 use routergeo_trace::{
@@ -259,6 +260,28 @@ impl Lab {
     /// Failures degrade the per-region report instead of aborting.
     pub fn annotate_rir_over_socket(&mut self, client: &BulkClient) -> RirAnnotation {
         self.gt.annotate_rir_bulk(client)
+    }
+
+    /// Serialize each vendor database to an RGDB image, in the paper's
+    /// vendor order — the serving twin of [`Lab::dbs`]. Each range is
+    /// decomposed into covering CIDR prefixes, so a daemon serving the
+    /// image answers exactly what the in-memory range map would.
+    pub fn vendor_images(&self) -> Vec<bytes::Bytes> {
+        self.dbs
+            .iter()
+            .enumerate()
+            .map(|(ix, db)| {
+                let entries: Vec<(Prefix, &routergeo_db::LocationRecord)> = db
+                    .iter()
+                    .flat_map(|(start, end, rec)| {
+                        Prefix::cover_range(start, end)
+                            .into_iter()
+                            .map(move |p| (p, rec))
+                    })
+                    .collect();
+                routergeo_db::rgdb::write(&format!("vendor-{ix}"), entries)
+            })
+            .collect()
     }
 
     /// Convenience: a small lab for tests.

@@ -1,0 +1,72 @@
+//! Differential check: a `routergeo-serve` daemon serving a lab
+//! vendor's RGDB image must answer exactly what the in-memory range map
+//! answers — same coverage, same country/region/city, coordinates equal
+//! up to the wire format's micro-degree quantization.
+
+use std::net::Ipv4Addr;
+
+use routergeo_bench::lab::Lab;
+use routergeo_db::GeoDatabase;
+use routergeo_serve::daemon::ServeDaemon;
+use routergeo_serve::live::ServeClient;
+use routergeo_serve::protocol::{Request, Response};
+
+/// Probe addresses: every range boundary (first/last address) of the
+/// vendor plus a neighbour just past each range, which may fall in a
+/// coverage hole.
+fn probes(db: &routergeo_db::InMemoryDb) -> Vec<Ipv4Addr> {
+    let mut out = Vec::new();
+    for (start, end, _) in db.iter() {
+        out.push(start);
+        out.push(end);
+        let next = u32::from(end).saturating_add(1);
+        out.push(Ipv4Addr::from(next));
+    }
+    out
+}
+
+#[test]
+fn daemon_agrees_with_in_memory_vendor() {
+    let lab = Lab::tiny(20_170_301);
+    let images = lab.vendor_images();
+    assert_eq!(images.len(), lab.dbs.len(), "one image per vendor");
+
+    // One vendor end-to-end is plenty: the codec is shared, only the
+    // image contents differ.
+    let db = &lab.dbs[0];
+    let daemon = ServeDaemon::spawn(images[0].clone()).expect("daemon spawns");
+    let mut client = ServeClient::connect(daemon.addr()).expect("client connects");
+
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    for ip in probes(db) {
+        let expected = db.lookup(ip);
+        let response = client
+            .request(&Request::Lookup(ip))
+            .expect("lookup round-trips");
+        match (expected, response) {
+            (Some(want), Response::Hit { record: got, .. }) => {
+                hits += 1;
+                assert_eq!(want.country, got.country, "{ip}");
+                assert_eq!(want.region, got.region, "{ip}");
+                assert_eq!(want.city, got.city, "{ip}");
+                assert_eq!(want.granularity, got.granularity, "{ip}");
+                match (want.coord, got.coord) {
+                    (None, None) => {}
+                    (Some(w), Some(g)) => {
+                        assert!(
+                            (w.lat() - g.lat()).abs() < 1e-5 && (w.lon() - g.lon()).abs() < 1e-5,
+                            "{ip}: coordinate drifted beyond micro-degree quantization"
+                        );
+                    }
+                    (w, g) => panic!("{ip}: coordinate presence differs: {w:?} vs {g:?}"),
+                }
+            }
+            (None, Response::Miss { .. }) => misses += 1,
+            (want, got) => panic!("{ip}: coverage differs: {want:?} vs {got:?}"),
+        }
+    }
+    assert!(hits > 0, "probe set must exercise covered space");
+    assert!(misses > 0, "probe set must exercise coverage holes");
+    drop(client);
+}

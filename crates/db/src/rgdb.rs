@@ -517,15 +517,16 @@ impl RgdbReader {
     }
 
     /// Walk the trie MSB-first and return the deepest data offset on the
-    /// path — the longest-prefix match, not yet decoded.
-    fn deepest_offset(&self, ip: Ipv4Addr) -> Result<Option<u32>, RgdbError> {
+    /// path together with its depth — the longest-prefix match (and its
+    /// prefix length), not yet decoded.
+    fn deepest_match(&self, ip: Ipv4Addr) -> Result<Option<(u32, u8)>, RgdbError> {
         let addr = u32::from(ip);
         let mut node = 0u32;
-        let mut best: Option<u32> = None;
+        let mut best: Option<(u32, u8)> = None;
         for depth in 0..=32u32 {
             let (left, right, data) = self.node(node)?;
             if data != NONE {
-                best = Some(data);
+                best = Some((data, u8::try_from(depth).expect("trie depth <= 32")));
             }
             if depth == 32 {
                 break;
@@ -538,6 +539,20 @@ impl RgdbReader {
             node = next;
         }
         Ok(best)
+    }
+
+    /// Walk the trie MSB-first and return the deepest data offset on the
+    /// path — the longest-prefix match, not yet decoded.
+    fn deepest_offset(&self, ip: Ipv4Addr) -> Result<Option<u32>, RgdbError> {
+        Ok(self.deepest_match(ip)?.map(|(off, _)| off))
+    }
+
+    /// Prefix length of the longest match for `ip`, without decoding the
+    /// record. `None` when no prefix on the walk carries data. This is
+    /// the trie-walk depth the serving cost model keys on: a /28 match
+    /// costs a deeper walk than a /12 match.
+    pub fn match_len(&self, ip: Ipv4Addr) -> Result<Option<u8>, RgdbError> {
+        Ok(self.deepest_match(ip)?.map(|(_, len)| len))
     }
 
     /// Run `f` against the decoded record at data offset `off`, parsing
@@ -692,6 +707,25 @@ mod tests {
         let r = db.lookup("31.0.99.1".parse().unwrap()).unwrap();
         assert_eq!(r.country.unwrap().as_str(), "DE");
         assert!(db.lookup("99.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn match_len_reports_longest_prefix_depth() {
+        let db = build();
+        // /24 city record.
+        assert_eq!(
+            db.match_len("6.0.0.200".parse().unwrap()).unwrap(),
+            Some(24)
+        );
+        // /24 centroid nested inside the /16 country record.
+        assert_eq!(db.match_len("31.0.1.7".parse().unwrap()).unwrap(), Some(24));
+        // Only the /16 covers this address.
+        assert_eq!(
+            db.match_len("31.0.99.1".parse().unwrap()).unwrap(),
+            Some(16)
+        );
+        // No match at all.
+        assert_eq!(db.match_len("99.0.0.1".parse().unwrap()).unwrap(), None);
     }
 
     #[test]

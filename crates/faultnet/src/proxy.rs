@@ -170,6 +170,13 @@ impl ProxyStats {
     pub fn injected_delay(&self) -> Duration {
         self.conns.iter().map(|c| c.injected_delay).sum()
     }
+
+    /// Fault labels in accept order — lets a scripted scenario assert
+    /// that each connection received exactly the fault the plan
+    /// assigned it (connection `i` → `plan[i]`).
+    pub fn fault_labels(&self) -> Vec<&'static str> {
+        self.conns.iter().map(|c| c.fault).collect()
+    }
 }
 
 struct ProxyShared {

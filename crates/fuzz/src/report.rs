@@ -1,6 +1,6 @@
 //! The aggregated fuzz report and its hand-rolled JSON rendering.
 //!
-//! The JSON is the CI artifact (`target/fuzz_ci.json`) and the
+//! The JSON is the CI artifact (`target/ci-artifacts/fuzz_ci.json`) and the
 //! acceptance bar requires it to be byte-identical across runs and
 //! machines, so it is rendered by hand with a fixed field order and no
 //! floats, timestamps, or platform-dependent strings — everything in

@@ -183,6 +183,14 @@ const IDENTITIES: &[(&str, &[&str])] = &[
     ),
     ("pool.shards_planned", &["pool.shards_run"]),
     ("resolve.lookups", &["resolve.hits", "resolve.misses"]),
+    (
+        "serve.requests",
+        &["serve.served", "serve.shed", "serve.malformed"],
+    ),
+    (
+        "serve.lookups",
+        &["serve.hits", "serve.misses", "serve.lookup_errors"],
+    ),
 ];
 
 /// Verify structural invariants; returns human-readable violations
@@ -387,6 +395,54 @@ mod tests {
         assert!(
             v.iter()
                 .any(|m| m.contains("counter identity") && m.contains("resolve.lookups")),
+            "{v:?}"
+        );
+    }
+
+    const SERVE: &str = concat!(
+        "{\"type\":\"counter\",\"name\":\"serve.requests\",\"total\":100}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.served\",\"total\":80}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.shed\",\"total\":12}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.malformed\",\"total\":8}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.lookups\",\"total\":70}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.hits\",\"total\":50}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.misses\",\"total\":19}\n",
+        "{\"type\":\"counter\",\"name\":\"serve.lookup_errors\",\"total\":1}\n",
+        "{\"type\":\"summary\",\"schema\":\"routergeo-obs-v1\",\"spans_opened\":0,\"spans_closed\":0,\"counters\":8,\"histograms\":0}\n",
+    );
+
+    #[test]
+    fn serve_identities_verify_when_conserved() {
+        let v = verify(&parse(SERVE).expect("parses"));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn broken_serve_request_identity_detected() {
+        // Drop a shed: requests != served + shed + malformed.
+        let text = SERVE.replace(
+            "\"name\":\"serve.shed\",\"total\":12",
+            "\"name\":\"serve.shed\",\"total\":11",
+        );
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(
+            v.iter()
+                .any(|m| m.contains("counter identity") && m.contains("serve.requests")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn broken_serve_lookup_identity_detected() {
+        // A hit that never entered serve.lookups.
+        let text = SERVE.replace(
+            "\"name\":\"serve.hits\",\"total\":50",
+            "\"name\":\"serve.hits\",\"total\":51",
+        );
+        let v = verify(&parse(&text).expect("parses"));
+        assert!(
+            v.iter()
+                .any(|m| m.contains("counter identity") && m.contains("serve.lookups")),
             "{v:?}"
         );
     }

@@ -1,0 +1,64 @@
+//! The loadgen report is a CI artifact: it must be byte-identical
+//! across repeated runs and across worker-thread counts, or the
+//! `serve-loadgen` gate would flake on diffs.
+
+use routergeo_pool::Pool;
+use routergeo_serve::{run_loadgen, LoadgenConfig};
+
+/// A small plan so the three live phases stay cheap under `cargo test`.
+fn small_config() -> LoadgenConfig {
+    LoadgenConfig {
+        swap_clients: 2,
+        swap_lookups: 40,
+        wall_probes: 20,
+        wall_batches: 4,
+        sim_requests: 4_000,
+        ..LoadgenConfig::from_budget(500, 20_170_301)
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    let config = small_config();
+    let first = run_loadgen(&config, &Pool::serial()).expect("loadgen runs");
+    let second = run_loadgen(&config, &Pool::serial()).expect("loadgen runs");
+    assert!(
+        first.report.violations().is_empty(),
+        "clean run expected: {:?}",
+        first.report.violations()
+    );
+    assert_eq!(
+        first.report.to_json(),
+        second.report.to_json(),
+        "repeated runs must serialize identically"
+    );
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let config = small_config();
+    let baseline = run_loadgen(&config, &Pool::new(1))
+        .expect("loadgen runs")
+        .report
+        .to_json();
+    for threads in [2, 8] {
+        let json = run_loadgen(&config, &Pool::new(threads))
+            .expect("loadgen runs")
+            .report
+            .to_json();
+        assert_eq!(baseline, json, "threads={threads}");
+    }
+}
+
+#[test]
+fn seed_changes_the_report() {
+    let config = small_config();
+    let reseeded = LoadgenConfig { seed: 99, ..config };
+    let a = run_loadgen(&config, &Pool::serial()).expect("loadgen runs");
+    let b = run_loadgen(&reseeded, &Pool::serial()).expect("loadgen runs");
+    assert_ne!(
+        a.report.to_json(),
+        b.report.to_json(),
+        "the seed must actually steer the traffic mix"
+    );
+}

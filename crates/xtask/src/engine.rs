@@ -18,7 +18,7 @@ use crate::scope;
 /// Library crates subject to the panic-safety rules (RG001): everything
 /// under `crates/` that external code links against. `xtask` dogfoods
 /// the same rules; `bench` is a harness binary and exempt from RG001.
-const LIB_CRATES: [&str; 15] = [
+const LIB_CRATES: [&str; 16] = [
     "geo",
     "net",
     "db",
@@ -34,6 +34,7 @@ const LIB_CRATES: [&str; 15] = [
     "obs",
     "xtask",
     "fuzz",
+    "serve",
 ];
 
 /// Files exempt from RG008 (ad-hoc instrumentation): the bench crate's
@@ -491,6 +492,14 @@ mod tests {
         assert!(!resolve.rg009, "the view builder itself resolves lookups");
         let inmem = rules_for("crates/db/src/inmem.rs").expect("in scope");
         assert!(!inmem.rg009, "database impls own their lookups");
+
+        let serve = rules_for("crates/serve/src/daemon.rs").expect("in scope");
+        assert!(
+            serve.rg001 && serve.rg006 && serve.rg007,
+            "the daemon is a lib crate: panic-safety and thread rules apply"
+        );
+        let loadgen = rules_for("crates/serve/src/bin/loadgen.rs").expect("in scope");
+        assert!(!loadgen.rg008, "binary entry points own their wall clock");
 
         let bench = rules_for("crates/bench/src/lab.rs").expect("in scope");
         assert!(!bench.rg001 && bench.rg002 && bench.rg008);

@@ -24,7 +24,12 @@ commands:\n  \
                         run the structural fuzzing + differential harness (RGDB mutants,\n  \
                         whois protocol abuse, three-way lookup agreement); the trial plan\n  \
                         is a pure function of the budget, so output is byte-identical\n  \
-                        across runs (default budget 30000 ms)\n";
+                        across runs (default budget 30000 ms)\n  \
+  serve-check [--budget-ms N]\n  \
+                        run the serve loadgen (virtual-time sim, hot swap under load,\n  \
+                        abuse, wall-clock ratio gates) and write the deterministic\n  \
+                        report to target/ci-artifacts/serve_ci.json (default budget\n  \
+                        8000 ms)\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -94,6 +99,28 @@ fn main() -> ExitCode {
                 }
             }
             run_fuzz(budget_ms, as_json)
+        }
+        Some("serve-check") => {
+            let mut budget_ms: u64 = 8_000;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--budget-ms" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => budget_ms = v,
+                        None => {
+                            eprintln!(
+                                "xtask serve-check: --budget-ms needs a millisecond count\n\n{USAGE}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    bad => {
+                        eprintln!("xtask serve-check: unknown flag `{bad}`\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_serve_check(&root, budget_ms)
         }
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
@@ -410,6 +437,68 @@ fn run_fuzz(budget_ms: u64, as_json: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// The loadgen seed pinned for CI: the report is a pure function of
+/// `(budget, seed)`, so the artifact diffs cleanly between runs.
+const SERVE_CHECK_SEED: &str = "20170301";
+
+fn run_serve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
+    let art_dir = root.join("target").join("ci-artifacts");
+    if let Err(err) = std::fs::create_dir_all(&art_dir) {
+        eprintln!(
+            "xtask serve-check: cannot create {}: {err}",
+            art_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let artifact = art_dir.join("serve_ci.json");
+    let out_file = match std::fs::File::create(&artifact) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!(
+                "xtask serve-check: cannot create {}: {err}",
+                artifact.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("xtask serve-check: running loadgen (budget {budget_ms} ms, release)…");
+    let status = std::process::Command::new("cargo")
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "routergeo-serve",
+            "--bin",
+            "loadgen",
+            "--",
+            "--budget-ms",
+        ])
+        .arg(budget_ms.to_string())
+        .args(["--seed", SERVE_CHECK_SEED, "--json"])
+        .stdout(out_file)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            eprintln!("xtask serve-check: wrote {}", artifact.display());
+            ExitCode::SUCCESS
+        }
+        Ok(s) => {
+            eprintln!(
+                "xtask serve-check: loadgen exited with {s} (report at {})",
+                artifact.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask serve-check: cannot run loadgen: {err}");
+            ExitCode::FAILURE
+        }
     }
 }
 
