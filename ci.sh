@@ -134,5 +134,15 @@ step_budget fuzz 45 sh -c "cargo xtask fuzz --budget-ms 30000 --json > $ART_DIR/
 step serve-build cargo build --release -q -p routergeo-serve
 step_budget serve-loadgen 90 cargo xtask serve-check --budget-ms 8000
 
+# Resolve gate: the paper-scale lookup workload — four synthetic vendor
+# databases written as RGDB v2 images, 1.5 M interface addresses pushed
+# through ResolvedView's batched lookup path — must finish its resolve
+# stage inside the wall budget. This is the §5 hot path at the paper's
+# real size; a blowout means the zero-copy reader or the batched trie
+# walk regressed to per-lookup parsing or allocation. The outer budget
+# adds slack for synthesis and image writing around the gated stage.
+step resolve-build cargo build --release -q -p routergeo-bench
+step_budget resolve-smoke 90 cargo xtask resolve-check --budget-ms 45000
+
 step test cargo test -q
 step test-workspace cargo test --workspace -q

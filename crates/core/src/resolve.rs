@@ -61,31 +61,51 @@ impl ResolvedView {
         let c_strings = routergeo_obs::counter("resolve.interner_strings");
         let c_refs = routergeo_obs::counter("resolve.interner_refs");
 
-        let shards = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
-            let mut local = LocationInterner::new();
-            let mut cols: Vec<Vec<Option<CompactRecord>>> =
-                vec![Vec::with_capacity(chunk.len()); n];
-            for (col, db) in cols.iter_mut().zip(dbs) {
-                for ip in chunk {
-                    col.push(db.lookup_compact(*ip, &mut local));
-                }
-            }
-            (local, cols)
-        });
-
         let mut interner = LocationInterner::new();
         let mut columns: Vec<Vec<Option<CompactRecord>>> = vec![Vec::with_capacity(ips.len()); n];
         let mut hits = 0u64;
         let mut refs = 0u64;
-        for (local, cols) in shards {
-            refs += local.ref_count();
-            let remap = interner.absorb(&local);
-            for (column, chunk) in columns.iter_mut().zip(cols) {
-                for rec in chunk {
-                    if rec.is_some() {
-                        hits += 1;
+        if pool.threads() <= 1 {
+            // Serial fast path: resolve chunk-major straight into the
+            // global interner. First-seen order is exactly the order the
+            // sharded merge below replays, so ids — and therefore the
+            // whole view — are bit-identical to the threaded build, with
+            // none of the local-table absorb/remap machinery. Going
+            // through `for_each_shard` keeps the pool's shard counters
+            // and spans identical to the threaded plan.
+            pool.for_each_shard(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
+                for (column, db) in columns.iter_mut().zip(dbs) {
+                    let part = db.lookup_batch(chunk, &mut interner);
+                    hits += part.iter().filter(|r| r.is_some()).count() as u64;
+                    column.extend(part);
+                }
+            });
+            refs = interner.ref_count();
+        } else {
+            let shards = pool.map_shards(0, ips, LOOKUP_SHARD_SIZE, |_, chunk| {
+                let mut local = LocationInterner::new();
+                let mut cols: Vec<Vec<Option<CompactRecord>>> =
+                    vec![Vec::with_capacity(chunk.len()); n];
+                for (col, db) in cols.iter_mut().zip(dbs) {
+                    // Batched resolve: backends exploit the whole-chunk
+                    // view (sorted range/trie sweeps, per-record
+                    // memoizing) while guaranteeing the same answers and
+                    // interner ids as the per-address loop.
+                    col.extend(db.lookup_batch(chunk, &mut local));
+                }
+                (local, cols)
+            });
+
+            for (local, cols) in shards {
+                refs += local.ref_count();
+                let remap = interner.absorb(&local);
+                for (column, chunk) in columns.iter_mut().zip(cols) {
+                    for rec in chunk {
+                        if rec.is_some() {
+                            hits += 1;
+                        }
+                        column.push(rec.map(|r| r.remapped(&remap)));
                     }
-                    column.push(rec.map(|r| r.remapped(&remap)));
                 }
             }
         }

@@ -20,13 +20,50 @@
 use crate::record::{Granularity, LocationRecord};
 use routergeo_geo::{Coordinate, CountryCode};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// FNV-1a as a [`std::hash::Hasher`]: a handful of instructions per
+/// byte, no per-hash setup cost. The resolve hot path hashes short
+/// location names and small integer keys millions of times; SipHash's
+/// HashDoS hardening buys nothing for these private, trusted-key maps
+/// and costs most of the lookup. Not for untrusted keys.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+/// [`BuildHasher`] producing [`FnvHasher`]s seeded with the FNV-1a
+/// offset basis. Plug into `HashMap` as the third type parameter.
+#[derive(Debug, Default, Clone)]
+pub struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xCBF2_9CE4_8422_2325)
+    }
+}
 
 /// A symbol table for region/city names: each distinct string gets a
 /// dense `u32` id, assigned in first-seen order.
 #[derive(Debug, Default, Clone)]
 pub struct LocationInterner {
     strings: Vec<String>,
-    ids: HashMap<String, u32>,
+    ids: HashMap<String, u32, FnvBuildHasher>,
     refs: u64,
 }
 

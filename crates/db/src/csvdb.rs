@@ -6,9 +6,13 @@
 //! "100663296","100663551","US","United States","USA Region 1","Springfield","39.800000","-89.600000"
 //! ```
 //!
-//! First two columns are the inclusive `u32` range; empty country renders
-//! as `"-"`; rows without city-level data carry `"-"` city and empty
-//! coordinates. A trailing granularity column (non-standard, but explicit
+//! First two columns are the inclusive `u32` range. Field *presence* is
+//! encoded by quoting: an **absent** field is a blank cell (no quotes at
+//! all), a **present** field is always quoted — so a present-but-empty
+//! string renders as `""` and round-trips as `Some("")`, distinct from
+//! the blank cell's `None`. Legacy rows that spell absence as a quoted
+//! `"-"` (country/region/city) or a quoted-empty coordinate still parse
+//! as absent. A trailing granularity column (non-standard, but explicit
 //! beats sneaking state into coordinates) preserves the block-level flag.
 
 use crate::inmem::{InMemoryDb, InMemoryDbBuilder};
@@ -57,32 +61,29 @@ fn quote(s: &str) -> String {
     format!("\"{}\"", s.replace('"', ""))
 }
 
-/// Render one row.
+/// Render one row: present fields quoted, absent fields as blank cells.
 fn format_row(start: Ipv4Addr, end: Ipv4Addr, rec: &LocationRecord) -> String {
-    let country = rec.country.map(|c| c.as_str().to_string());
-    let country_name = rec
-        .country
-        .and_then(lookup)
-        .map(|i| i.name.to_string())
-        .unwrap_or_else(|| "-".to_string());
     let (lat, lon) = match rec.coord {
-        Some(c) => (format!("{:.6}", c.lat()), format!("{:.6}", c.lon())),
+        Some(c) => (
+            quote(&format!("{:.6}", c.lat())),
+            quote(&format!("{:.6}", c.lon())),
+        ),
         None => (String::new(), String::new()),
     };
     [
-        u32::from(start).to_string(),
-        u32::from(end).to_string(),
-        country.unwrap_or_else(|| "-".to_string()),
-        country_name,
-        rec.region.clone().unwrap_or_else(|| "-".to_string()),
-        rec.city.clone().unwrap_or_else(|| "-".to_string()),
+        quote(&u32::from(start).to_string()),
+        quote(&u32::from(end).to_string()),
+        rec.country.map(|c| quote(c.as_str())).unwrap_or_default(),
+        rec.country
+            .and_then(lookup)
+            .map(|i| quote(i.name))
+            .unwrap_or_default(),
+        rec.region.as_deref().map(quote).unwrap_or_default(),
+        rec.city.as_deref().map(quote).unwrap_or_default(),
         lat,
         lon,
-        rec.granularity.id().to_string(),
+        quote(&rec.granularity.id().to_string()),
     ]
-    .iter()
-    .map(|f| quote(f))
-    .collect::<Vec<_>>()
     .join(",")
 }
 
@@ -96,12 +97,18 @@ pub fn write(db: &InMemoryDb) -> String {
     out
 }
 
-/// Split one CSV line into unquoted fields. The format never embeds commas
-/// inside fields, so this stays simple — but quotes are validated.
-fn split_line(line: &str, lineno: usize) -> Result<Vec<String>, CsvError> {
+/// Split one CSV line into presence-aware fields: a blank cell is
+/// `None` (absent), a quoted cell is `Some(inner)` — which may be the
+/// empty string. The format never embeds commas inside fields, so this
+/// stays simple — but any non-blank cell must be quoted.
+fn split_line(line: &str, lineno: usize) -> Result<Vec<Option<String>>, CsvError> {
     let mut fields = Vec::new();
     for raw in line.split(',') {
         let raw = raw.trim();
+        if raw.is_empty() {
+            fields.push(None);
+            continue;
+        }
         let inner = raw
             .strip_prefix('"')
             .and_then(|s| s.strip_suffix('"'))
@@ -109,7 +116,7 @@ fn split_line(line: &str, lineno: usize) -> Result<Vec<String>, CsvError> {
                 line: lineno,
                 what: "quoting",
             })?;
-        fields.push(inner.to_string());
+        fields.push(Some(inner.to_string()));
     }
     Ok(fields)
 }
@@ -129,30 +136,39 @@ pub fn parse(name: &str, text: &str) -> Result<InMemoryDb, CsvError> {
                 got: fields.len(),
             });
         }
-        let start: u32 = fields[0].parse().map_err(|_| CsvError::BadField {
+        // Numeric columns cannot be empty-present, so a blank cell and
+        // a quoted-empty cell parse the same way there; only the string
+        // columns distinguish `Some("")` (quoted-empty) from `None`
+        // (blank cell).
+        let numeric = |i: usize| -> &str { fields.get(i).and_then(|f| f.as_deref()).unwrap_or("") };
+        let start: u32 = numeric(0).parse().map_err(|_| CsvError::BadField {
             line: lineno,
             what: "range start",
         })?;
-        let end: u32 = fields[1].parse().map_err(|_| CsvError::BadField {
+        let end: u32 = numeric(1).parse().map_err(|_| CsvError::BadField {
             line: lineno,
             what: "range end",
         })?;
-        let country = match fields[2].as_str() {
-            "-" | "" => None,
-            s => Some(s.parse().map_err(|_| CsvError::BadField {
+        // A country code is never empty, so quoted-empty and the legacy
+        // quoted "-" both mean absent here.
+        let country = match fields.get(2).and_then(|f| f.as_deref()) {
+            None | Some("-") | Some("") => None,
+            Some(s) => Some(s.parse().map_err(|_| CsvError::BadField {
                 line: lineno,
                 what: "country",
             })?),
         };
-        let region = match fields[4].as_str() {
-            "-" | "" => None,
-            s => Some(s.to_string()),
+        // Region/city: blank cell = absent, quoted "-" = legacy absent,
+        // any quoted content — including the empty string — is present.
+        let region = match fields.get(4).and_then(|f| f.as_deref()) {
+            None | Some("-") => None,
+            Some(s) => Some(s.to_string()),
         };
-        let city = match fields[5].as_str() {
-            "-" | "" => None,
-            s => Some(s.to_string()),
+        let city = match fields.get(5).and_then(|f| f.as_deref()) {
+            None | Some("-") => None,
+            Some(s) => Some(s.to_string()),
         };
-        let coord = match (fields[6].as_str(), fields[7].as_str()) {
+        let coord = match (numeric(6), numeric(7)) {
             ("", "") => None,
             (lat, lon) => {
                 let lat: f64 = lat.parse().map_err(|_| CsvError::BadField {
@@ -169,7 +185,7 @@ pub fn parse(name: &str, text: &str) -> Result<InMemoryDb, CsvError> {
                 })?)
             }
         };
-        let granularity = fields[8]
+        let granularity = numeric(8)
             .parse::<u8>()
             .ok()
             .and_then(Granularity::from_id)
@@ -251,6 +267,63 @@ mod tests {
         let first = text.lines().next().unwrap();
         assert!(first.starts_with("\"100663296\",\"100663551\",\"US\",\"United States\""));
         assert!(first.contains("\"Springfield\""));
+        // Absent region/city/coords render as blank cells, not "-".
+        let second = text.lines().nth(1).unwrap();
+        assert!(second.contains("\"DE\",\"Germany\",,,,,\"0\""), "{second}");
+    }
+
+    #[test]
+    fn empty_present_strings_round_trip_distinct_from_absent() {
+        let mut b = InMemoryDbBuilder::new("empties");
+        b.push_prefix(
+            "6.0.0.0/24".parse().unwrap(),
+            LocationRecord {
+                country: Some("US".parse().unwrap()),
+                region: Some(String::new()),
+                city: Some(String::new()),
+                coord: None,
+                granularity: Granularity::Block24,
+            },
+        );
+        b.push_prefix(
+            "6.0.1.0/24".parse().unwrap(),
+            LocationRecord {
+                country: Some("US".parse().unwrap()),
+                region: None,
+                city: None,
+                coord: None,
+                granularity: Granularity::Block24,
+            },
+        );
+        let db = b.build().unwrap();
+        let text = write(&db);
+        // Present-but-empty renders quoted, absent renders blank.
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"\",\"\",,,"), "{first}");
+        let back = parse("empties", &text).unwrap();
+        let some_empty = back.lookup("6.0.0.9".parse().unwrap()).unwrap();
+        assert_eq!(some_empty.region.as_deref(), Some(""));
+        assert_eq!(some_empty.city.as_deref(), Some(""));
+        let absent = back.lookup("6.0.1.9".parse().unwrap()).unwrap();
+        assert_eq!(absent.region, None);
+        assert_eq!(absent.city, None);
+        // The two records stay distinguishable after the round trip —
+        // this is the field the old codec silently collapsed.
+        assert_ne!(some_empty, absent);
+    }
+
+    #[test]
+    fn legacy_dash_and_blank_cells_both_parse_as_absent() {
+        let legacy = "\"0\",\"255\",\"-\",\"-\",\"-\",\"-\",\"\",\"\",\"1\"\n";
+        let modern = "\"256\",\"511\",,,,,,,\"1\"\n";
+        let db = parse("legacy", &format!("{legacy}{modern}")).unwrap();
+        for ip in ["0.0.0.9", "0.0.1.9"] {
+            let rec = db.lookup(ip.parse().unwrap()).unwrap();
+            assert_eq!(rec.country, None, "{ip}");
+            assert_eq!(rec.region, None, "{ip}");
+            assert_eq!(rec.city, None, "{ip}");
+            assert_eq!(rec.coord, None, "{ip}");
+        }
     }
 
     #[test]

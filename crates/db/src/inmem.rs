@@ -1,10 +1,11 @@
 //! In-memory range database — the working representation every other
 //! format converts to or from.
 
-use crate::compact::{CompactRecord, LocationInterner};
+use crate::compact::{CompactRecord, FnvBuildHasher, LocationInterner};
 use crate::record::LocationRecord;
 use crate::GeoDatabase;
 use routergeo_net::{Prefix, RangeMap, RangeMapBuilder, RangeOverlap};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// A named in-memory geolocation database over non-overlapping ranges.
@@ -103,6 +104,45 @@ impl GeoDatabase for InMemoryDb {
             .lookup(ip)
             .map(|rec| CompactRecord::from_record(rec, interner))
     }
+
+    fn lookup_batch(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        // Pass 1: one sorted monotone sweep over the range entries
+        // resolves every address to its entry index.
+        let located = self.map.locate_batch(ips);
+        // Pass 2, in original order so interner id assignment matches
+        // the sequential loop bit-for-bit: compact each distinct entry
+        // once and replay the memo for repeats. Sorted inputs revisit
+        // the entry they just left, so a one-slot cache answers most
+        // repeats before the (FNV-hashed) memo map is even probed.
+        let mut memo: HashMap<usize, CompactRecord, FnvBuildHasher> = HashMap::default();
+        let mut last: Option<(usize, CompactRecord)> = None;
+        located
+            .into_iter()
+            .map(|slot| {
+                let idx = slot?;
+                if let Some((li, hit)) = last {
+                    if li == idx {
+                        return Some(hit);
+                    }
+                }
+                if let Some(hit) = memo.get(&idx) {
+                    last = Some((idx, *hit));
+                    return Some(*hit);
+                }
+                let compact = self
+                    .map
+                    .value_at(idx)
+                    .map(|rec| CompactRecord::from_record(rec, interner))?;
+                memo.insert(idx, compact);
+                last = Some((idx, compact));
+                Some(compact)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +165,39 @@ mod tests {
         let r = db.lookup("6.0.0.55".parse().unwrap()).unwrap();
         assert_eq!(r.country.unwrap().as_str(), "US");
         assert!(db.lookup("7.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn batched_lookups_match_sequential_ids_and_answers() {
+        let mut b = InMemoryDbBuilder::new("batch-db");
+        let mut r = rec("US");
+        r.region = Some("Texas".into());
+        r.city = Some("Dallas".into());
+        b.push_prefix("6.0.0.0/24".parse().unwrap(), r);
+        let mut r2 = rec("DE");
+        r2.city = Some("Berlin".into());
+        b.push_prefix("31.0.0.0/24".parse().unwrap(), r2);
+        let db = b.build().unwrap();
+        let ips: Vec<Ipv4Addr> = [
+            "31.0.0.9",
+            "6.0.0.1",
+            "7.7.7.7",
+            "6.0.0.1",
+            "31.0.0.200",
+            "6.0.0.255",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let mut seq_interner = LocationInterner::new();
+        let seq: Vec<_> = ips
+            .iter()
+            .map(|ip| db.lookup_compact(*ip, &mut seq_interner))
+            .collect();
+        let mut batch_interner = LocationInterner::new();
+        let batch = db.lookup_batch(&ips, &mut batch_interner);
+        assert_eq!(seq, batch);
+        assert_eq!(seq_interner, batch_interner);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   binary search trie over address bits plus a deduplicated data
 //!   section, with a checksummed header; reader works directly over
 //!   [`bytes::Bytes`].
+//! * [`rgdb2`] — **RGDB v2**, the flat zero-copy revision: fixed-width
+//!   trie nodes and records plus a deduplicated string table, fully
+//!   validated at open so lookups are lock-free pointer arithmetic that
+//!   borrows straight from the image bytes. [`AnyReader`] dispatches on
+//!   the header version so v1 and v2 images open through one call.
 //! * [`diff`] — snapshot drift measurement: classify how answers change
 //!   between two releases of a database (the paper's §5.2 50-day
 //!   robustness argument, made testable).
@@ -32,11 +37,13 @@ pub mod diff;
 pub mod inmem;
 pub mod record;
 pub mod rgdb;
+pub mod rgdb2;
 pub mod synth;
 
 pub use compact::{CompactRecord, IdRemap, LocationInterner};
 pub use inmem::InMemoryDb;
 pub use record::{Granularity, LocationRecord};
+pub use rgdb2::{AnyReader, Rgdb2Reader};
 pub use synth::{build_vendor, SignalWorld, VendorId, VendorProfile};
 
 use std::net::Ipv4Addr;
@@ -63,6 +70,24 @@ pub trait GeoDatabase {
         self.lookup(ip)
             .map(|rec| CompactRecord::from_record(&rec, interner))
     }
+
+    /// Look up a batch of addresses on the compact path.
+    ///
+    /// The answer vector is element-for-element identical to calling
+    /// [`GeoDatabase::lookup_compact`] once per address in order —
+    /// including interner id assignment — so callers may batch freely
+    /// without changing results. Backends override this to exploit
+    /// access locality (sorted range/trie walks, per-answer memoizing);
+    /// the default is the sequential loop.
+    fn lookup_batch(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        ips.iter()
+            .map(|ip| self.lookup_compact(*ip, interner))
+            .collect()
+    }
 }
 
 impl<T: GeoDatabase + ?Sized> GeoDatabase for &T {
@@ -81,6 +106,14 @@ impl<T: GeoDatabase + ?Sized> GeoDatabase for &T {
     ) -> Option<CompactRecord> {
         (**self).lookup_compact(ip, interner)
     }
+
+    fn lookup_batch(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        (**self).lookup_batch(ips, interner)
+    }
 }
 
 impl<T: GeoDatabase + ?Sized> GeoDatabase for Box<T> {
@@ -98,5 +131,13 @@ impl<T: GeoDatabase + ?Sized> GeoDatabase for Box<T> {
         interner: &mut LocationInterner,
     ) -> Option<CompactRecord> {
         (**self).lookup_compact(ip, interner)
+    }
+
+    fn lookup_batch(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        (**self).lookup_batch(ips, interner)
     }
 }

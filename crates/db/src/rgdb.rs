@@ -39,12 +39,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
-const MAGIC: &[u8; 4] = b"RGDB";
+pub(crate) const MAGIC: &[u8; 4] = b"RGDB";
 const VERSION: u16 = 1;
-const NONE: u32 = u32::MAX;
-const HEADER_LEN: usize = 28;
+pub(crate) const NONE: u32 = u32::MAX;
+pub(crate) const HEADER_LEN: usize = 28;
 
 /// Image region a structural error is attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,10 @@ pub enum Section {
     Nodes,
     /// The deduplicated record data section.
     Data,
+    /// The fixed-width record array (v2 images).
+    Records,
+    /// The interned string table (v2 images).
+    Strings,
 }
 
 impl Section {
@@ -67,6 +71,8 @@ impl Section {
             Section::Name => "name",
             Section::Nodes => "nodes",
             Section::Data => "data",
+            Section::Records => "records",
+            Section::Strings => "strings",
         }
     }
 }
@@ -114,7 +120,7 @@ pub enum RgdbError {
 
 impl RgdbError {
     /// Build a [`RgdbError::Corrupt`] with full attribution.
-    fn corrupt(section: Section, offset: usize, expected: &'static str) -> RgdbError {
+    pub(crate) fn corrupt(section: Section, offset: usize, expected: &'static str) -> RgdbError {
         RgdbError::Corrupt(CorruptContext {
             section,
             offset,
@@ -145,7 +151,7 @@ impl fmt::Display for RgdbError {
 
 impl std::error::Error for RgdbError {}
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for b in bytes {
         h ^= u64::from(*b);
@@ -158,13 +164,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// `usize` on the 32/64-bit targets this crate supports; the check makes
 /// the conversion explicit rather than silently lossy.
 #[inline]
-fn ix(i: u32) -> usize {
+pub(crate) fn ix(i: u32) -> usize {
     usize::try_from(i).expect("u32 image offset fits in usize")
 }
 
 /// Quantize a coordinate component to integer micro-degrees.
 #[allow(clippy::cast_possible_truncation)] // bounded below; see waiver
-fn micro_deg(deg: f64) -> i32 {
+pub(crate) fn micro_deg(deg: f64) -> i32 {
     let scaled = (deg * 1e6).round();
     // Coordinate invariants bound |deg| by 180, so the scaled value stays
     // far inside i32 range and the cast below cannot truncate.
@@ -206,7 +212,7 @@ fn encode_record(rec: &LocationRecord, out: &mut BytesMut) {
 
 /// Write a length-prefixed string field, truncating at the format's
 /// 255-byte cap.
-fn put_str255(out: &mut BytesMut, bytes: &[u8]) {
+pub(crate) fn put_str255(out: &mut BytesMut, bytes: &[u8]) {
     let take = bytes.len().min(255);
     let len = u8::try_from(take).expect("length capped at 255");
     out.put_u8(len);
@@ -340,29 +346,7 @@ where
         trie.insert(prefix, offset);
     }
 
-    // Flatten the trie into the node section. The arena in PrefixTrie is
-    // not directly accessible, so rebuild: walk prefixes and re-insert
-    // into a local arena with identical semantics.
-    let mut nodes: Vec<[u32; 3]> = vec![[NONE, NONE, NONE]];
-    trie.walk(|prefix, offset| {
-        let mut node = 0usize;
-        let addr = prefix.network_u32();
-        for depth in 0..prefix.len() {
-            let bit = usize::from((addr >> (31 - u32::from(depth))) & 1 == 1);
-            let next = node_link(&nodes, node, bit);
-            let next = if next == NONE {
-                let idx =
-                    u32::try_from(nodes.len()).expect("RGDB node section exceeds u32 link space");
-                nodes.push([NONE, NONE, NONE]);
-                set_node_link(&mut nodes, node, bit, idx);
-                idx
-            } else {
-                next
-            };
-            node = ix(next);
-        }
-        set_node_link(&mut nodes, node, 2, *offset);
-    });
+    let nodes = flatten_trie(&trie);
 
     let name_bytes = name.as_bytes();
     let mut payload = BytesMut::with_capacity(name_bytes.len() + nodes.len() * 12 + data.len());
@@ -385,6 +369,37 @@ where
     out.put_u64_le(checksum);
     out.put_slice(&payload);
     out.freeze()
+}
+
+/// Flatten a prefix trie into the serialized node-arena layout shared by
+/// the v1 and v2 writers: `[left, right, data]` triples with
+/// [`NONE`] for absent links, root at index 0. The arena in
+/// [`PrefixTrie`] is not directly accessible, so rebuild: walk prefixes
+/// and re-insert into a local arena with identical semantics. The
+/// payload `u32` is opaque here — v1 stores data-section byte offsets,
+/// v2 stores record indices.
+pub(crate) fn flatten_trie(trie: &PrefixTrie<u32>) -> Vec<[u32; 3]> {
+    let mut nodes: Vec<[u32; 3]> = vec![[NONE, NONE, NONE]];
+    trie.walk(|prefix, payload| {
+        let mut node = 0usize;
+        let addr = prefix.network_u32();
+        for depth in 0..prefix.len() {
+            let bit = usize::from((addr >> (31 - u32::from(depth))) & 1 == 1);
+            let next = node_link(&nodes, node, bit);
+            let next = if next == NONE {
+                let idx =
+                    u32::try_from(nodes.len()).expect("RGDB node section exceeds u32 link space");
+                nodes.push([NONE, NONE, NONE]);
+                set_node_link(&mut nodes, node, bit, idx);
+                idx
+            } else {
+                next
+            };
+            node = ix(next);
+        }
+        set_node_link(&mut nodes, node, 2, *payload);
+    });
+    nodes
 }
 
 /// Read one writer-arena link. Every `node`/`slot` pair here comes from
@@ -410,13 +425,14 @@ fn set_node_link(nodes: &mut [[u32; 3]], node: usize, slot: usize, value: u32) {
 
 /// Zero-copy reader over an RGDB image.
 ///
-/// The data section is parsed lazily, once per distinct offset:
-/// decoded records land in an interior decode-once cache, so a reader
-/// serving millions of lookups performs roughly
-/// [`RgdbReader::record_count`] parses over its lifetime. Parsing runs
-/// *outside* the cache lock; two threads racing a cold offset may both
-/// parse it, and one winner is cached. Single-threaded use parses each
-/// offset exactly once.
+/// The data section is parsed lazily, **exactly once per distinct
+/// offset**: each offset owns a once-initialized slot, so a reader
+/// serving millions of lookups performs exactly
+/// [`RgdbReader::decoded_offsets`] parses over its lifetime — under any
+/// number of threads. Parsing runs *outside* the cache lock (the lock
+/// only hands out slots); threads racing a cold offset serialize on
+/// that offset's slot alone, and the losers are served the winner's
+/// record like any cache hit.
 pub struct RgdbReader {
     image: Bytes,
     name: String,
@@ -425,8 +441,10 @@ pub struct RgdbReader {
     data_start: usize,
     data_len: usize,
     record_count: u32,
-    /// Decode-once index: data-section offset → decoded record.
-    decoded: Mutex<HashMap<u32, LocationRecord>>,
+    /// Decode-once index: data-section offset → once-initialized decode
+    /// slot. The `Arc` lets the probing guard drop before the slot
+    /// initializes, keeping the parse outside the map lock.
+    decoded: Mutex<HashMap<u32, Arc<OnceLock<Result<LocationRecord, RgdbError>>>>>,
     parses: AtomicU64,
     cache_hits: AtomicU64,
 }
@@ -555,32 +573,9 @@ impl RgdbReader {
         Ok(self.deepest_match(ip)?.map(|(_, len)| len))
     }
 
-    /// Run `f` against the decoded record at data offset `off`, parsing
-    /// the data section once per distinct offset: subsequent calls
-    /// borrow the cached record. Failed parses are not cached, so
-    /// corruption keeps surfacing as an error.
-    ///
-    /// Decoding happens *outside* the cache lock (RG011: parsing
-    /// untrusted bytes under the mutex would serialize every reader on
-    /// the slowest cold miss). Two threads racing the same cold offset
-    /// may both parse; `entry().or_insert` keeps one winner.
-    fn with_decoded<R>(
-        &self,
-        off: u32,
-        f: impl FnOnce(&LocationRecord) -> R,
-    ) -> Result<R, RgdbError> {
-        // Fast path: short-lived guard for the cache probe only.
-        {
-            let cache = match self.decoded.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            if let Some(rec) = cache.get(&off) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                routergeo_obs::counter("resolve.rgdb_decode_cached").incr();
-                return Ok(f(rec));
-            }
-        }
+    /// Slice out and parse the record at data offset `off` — the one
+    /// place `decode_record` is reached from lookups.
+    fn decode_at(&self, off: u32) -> Result<LocationRecord, RgdbError> {
         let at = ix(off);
         let abs = self.data_start + at;
         if at >= self.data_len {
@@ -596,15 +591,67 @@ impl RgdbReader {
             .ok_or_else(|| {
                 RgdbError::corrupt(Section::Data, abs, "record bytes within image bounds")
             })?;
-        let rec = decode_record(slice, abs)?;
-        self.parses.fetch_add(1, Ordering::Relaxed);
-        routergeo_obs::counter("resolve.rgdb_decode_parses").incr();
-        let mut cache = match self.decoded.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
+        decode_record(slice, abs)
+    }
+
+    /// Run `f` against the decoded record at data offset `off`, parsing
+    /// the data section **exactly once per distinct offset** — under any
+    /// number of threads: every call after the first borrows the cached
+    /// outcome. Failed parses are cached too, so a corrupt offset is
+    /// parsed once and keeps surfacing the same error.
+    ///
+    /// The map lock only hands out the per-offset slot (RG011: parsing
+    /// untrusted bytes under the mutex would serialize every reader on
+    /// the slowest cold miss). Decoding runs inside the slot's
+    /// once-initializer, so threads racing the same cold offset
+    /// serialize on that slot alone and exactly one of them parses.
+    fn with_decoded<R>(
+        &self,
+        off: u32,
+        f: impl FnOnce(&LocationRecord) -> R,
+    ) -> Result<R, RgdbError> {
+        // Short-lived guard: fetch or create this offset's slot.
+        let slot = {
+            let mut cache = match self.decoded.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            Arc::clone(cache.entry(off).or_default())
         };
-        let rec = cache.entry(off).or_insert(rec);
-        Ok(f(rec))
+        if let Some(outcome) = slot.get() {
+            // Fast path: already published.
+            return match outcome {
+                Ok(rec) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    routergeo_obs::counter("resolve.rgdb_decode_cached").incr();
+                    Ok(f(rec))
+                }
+                Err(e) => Err(e.clone()),
+            };
+        }
+        let mut parsed_here = false;
+        let outcome = slot.get_or_init(|| {
+            // xtask-allow: RG011 `slot` is the per-offset Arc<OnceLock>, not the map guard — the mutex was released at the fetch block's end
+            let result = self.decode_at(off);
+            if result.is_ok() {
+                parsed_here = true;
+                self.parses.fetch_add(1, Ordering::Relaxed);
+                routergeo_obs::counter("resolve.rgdb_decode_parses").incr();
+            }
+            result
+        });
+        match outcome {
+            Ok(rec) => {
+                if !parsed_here {
+                    // Lost the initialization race: served the winner's
+                    // record, a cache hit like any other.
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    routergeo_obs::counter("resolve.rgdb_decode_cached").incr();
+                }
+                Ok(f(rec))
+            }
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// Longest-prefix-match lookup returning a parse error on corruption.
@@ -615,17 +662,23 @@ impl RgdbReader {
         }
     }
 
-    /// Distinct data offsets decoded so far — the decode-once cache size.
+    /// Distinct data offsets successfully decoded so far — the
+    /// decode-once cache size (offsets whose parse failed are excluded).
     pub fn decoded_offsets(&self) -> usize {
-        match self.decoded.lock() {
-            Ok(guard) => guard.len(),
-            Err(poisoned) => poisoned.into_inner().len(),
-        }
+        let cache = match self.decoded.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        cache
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Ok(_))))
+            .count()
     }
 
-    /// Total `decode_record` parses performed. Equals
-    /// [`RgdbReader::decoded_offsets`] unless a parse failed (failures
-    /// are never cached), and never exceeds the distinct offsets served.
+    /// Total successful `decode_record` parses performed. **Exactly
+    /// equals** [`RgdbReader::decoded_offsets`] at every quiescent
+    /// point, no matter how many threads raced cold offsets: the
+    /// per-offset once-slot guarantees one parse per distinct offset.
     pub fn decode_parses(&self) -> u64 {
         self.parses.load(Ordering::Relaxed)
     }
@@ -865,6 +918,42 @@ mod tests {
         }
         assert_eq!(db.decode_parses(), 1);
         assert_eq!(db.decoded_offsets(), 1);
+    }
+
+    #[test]
+    fn cold_cache_parses_each_offset_exactly_once_across_threads() {
+        // Many threads hammer the same three *cold* offsets at once. The
+        // per-offset once-slot must keep the parse count at exactly one
+        // per distinct offset — the racing losers are cache hits.
+        for round in 0..8 {
+            let db = build();
+            let ips: Vec<Ipv4Addr> = ["6.0.0.200", "31.0.1.7", "31.0.99.1"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect();
+            let threads = 8;
+            let per_thread = 64;
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let db = &db;
+                    let ips = &ips;
+                    scope.spawn(move || {
+                        let mut interner = LocationInterner::new();
+                        for i in 0..per_thread {
+                            // Interleave so every thread starts on a
+                            // different offset, maximizing collisions.
+                            for ip in ips.iter().cycle().skip(t + i).take(ips.len()) {
+                                assert!(db.lookup_compact(*ip, &mut interner).is_some());
+                            }
+                        }
+                    });
+                }
+            });
+            let total = u64::try_from(threads * per_thread * ips.len()).unwrap();
+            assert_eq!(db.decode_parses(), 3, "round {round}");
+            assert_eq!(db.decoded_offsets(), 3, "round {round}");
+            assert_eq!(db.decode_cache_hits(), total - 3, "round {round}");
+        }
     }
 
     #[test]

@@ -1,0 +1,1019 @@
+//! RGDB v2 — the flat, zero-copy revision of the RGDB format.
+//!
+//! v1 keeps records as variable-length byte strings, so every lookup
+//! funnels through a decode cache behind a mutex. v2 moves all the
+//! variable-length data into an interned string table and makes every
+//! other section fixed-width, so a fully validated image answers
+//! lookups by pure pointer arithmetic over `&[u8]`: **no parse after
+//! open, no decode cache, no locks**. Lookups borrow region/city bytes
+//! straight from the image into a [`CompactRecord`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header (28 bytes):
+//!   0   magic        b"RGDB"
+//!   4   version      u16      (2)
+//!   6   name_len     u16      database display name length
+//!   8   node_count   u32      number of trie nodes
+//!   12  record_count u32      number of deduplicated records
+//!   16  strings_len  u32      byte length of the string table
+//!   20  checksum     u64      FNV-1a64 over name + nodes + records + strings
+//! name:    name_len bytes of UTF-8
+//! nodes:   node_count × 12 bytes: left u32, right u32, record u32
+//!          (0xFFFF_FFFF = none; `record` is an *index* into the record
+//!          array, not a byte offset)
+//! records: record_count × 20 bytes, fixed-width:
+//!   0   flags       u8   (bit0 country, bit1 region, bit2 city, bit3 coord)
+//!   1   granularity u8
+//!   2   country     2 ASCII bytes        (zeroed when absent)
+//!   4   region_off  u32 into strings     (0xFFFF_FFFF when absent)
+//!   8   city_off    u32 into strings     (0xFFFF_FFFF when absent)
+//!   12  lat         i32 micro-degrees    (zero when absent)
+//!   16  lon         i32 micro-degrees    (zero when absent)
+//! strings: deduplicated `len u8 + bytes` entries, strings_len total
+//! ```
+//!
+//! The encoding is **canonical**: unknown flag bits, non-zeroed absent
+//! fields, out-of-range offsets, bad UTF-8, or out-of-range coordinates
+//! are all rejected at [`Rgdb2Reader::open`], which walks every node
+//! and record once. After that single validation sweep the reader is
+//! immutable shared state: `&Rgdb2Reader` is freely usable from any
+//! number of threads with zero coordination.
+//!
+//! [`AnyReader`] dispatches on the header version so callers open v1
+//! and v2 images through one entry point and hot-swap between them.
+
+use crate::compact::{CompactRecord, FnvBuildHasher, LocationInterner};
+use crate::record::{Granularity, LocationRecord};
+use crate::rgdb::{
+    flatten_trie, fnv1a, ix, micro_deg, put_str255, RgdbError, RgdbReader, Section, HEADER_LEN,
+    MAGIC, NONE,
+};
+use crate::GeoDatabase;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use routergeo_geo::{Coordinate, CountryCode};
+use routergeo_net::{Prefix, PrefixTrie};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+const VERSION2: u16 = 2;
+/// Fixed byte width of one record in the record array.
+const RECORD_WIDTH: usize = 20;
+/// Byte width of one trie node (shared with v1).
+const NODE_WIDTH: usize = 12;
+
+// ---- writer -----------------------------------------------------------------
+
+/// Intern `s` into the string table (len-prefixed, 255-byte cap shared
+/// with v1), returning its byte offset. Deduplicates on the truncated
+/// bytes so equal post-cap strings share one entry.
+fn intern_string(strings: &mut BytesMut, seen: &mut HashMap<Vec<u8>, u32>, s: &str) -> u32 {
+    let take = s.len().min(255);
+    let key = s.as_bytes().get(..take).unwrap_or(s.as_bytes()).to_vec();
+    if let Some(&off) = seen.get(&key) {
+        return off;
+    }
+    let off = u32::try_from(strings.len()).expect("RGDB v2 string table exceeds u32 offset space");
+    put_str255(strings, s.as_bytes());
+    seen.insert(key, off);
+    off
+}
+
+/// Encode one record into its fixed 20-byte form, interning strings.
+fn encode_record2(
+    rec: &LocationRecord,
+    strings: &mut BytesMut,
+    seen: &mut HashMap<Vec<u8>, u32>,
+) -> [u8; RECORD_WIDTH] {
+    let mut flags = 0u8;
+    if rec.country.is_some() {
+        flags |= 1;
+    }
+    if rec.region.is_some() {
+        flags |= 2;
+    }
+    if rec.city.is_some() {
+        flags |= 4;
+    }
+    if rec.coord.is_some() {
+        flags |= 8;
+    }
+    let mut out = BytesMut::with_capacity(RECORD_WIDTH);
+    out.put_u8(flags);
+    out.put_u8(rec.granularity.id());
+    match rec.country {
+        Some(cc) => out.put_slice(&cc.bytes()),
+        None => out.put_slice(&[0, 0]),
+    }
+    match &rec.region {
+        Some(s) => out.put_u32_le(intern_string(strings, seen, s)),
+        None => out.put_u32_le(NONE),
+    }
+    match &rec.city {
+        Some(s) => out.put_u32_le(intern_string(strings, seen, s)),
+        None => out.put_u32_le(NONE),
+    }
+    match rec.coord {
+        Some(c) => {
+            out.put_i32_le(micro_deg(c.lat()));
+            out.put_i32_le(micro_deg(c.lon()));
+        }
+        None => {
+            out.put_i32_le(0);
+            out.put_i32_le(0);
+        }
+    }
+    let bytes: [u8; RECORD_WIDTH] = out
+        .as_ref()
+        .try_into()
+        .expect("v2 record encoding is exactly RECORD_WIDTH bytes");
+    bytes
+}
+
+/// Serialize `(prefix, record)` entries into an RGDB **v2** image.
+///
+/// Records are deduplicated by their fixed-width encoding and strings
+/// by content, so the same `(prefix, record)` input produces the same
+/// answers as [`rgdb::write`] — the v1↔v2 differential suite holds the
+/// two writers to exact `lookup_compact` agreement.
+pub fn write<'a, I>(name: &str, entries: I) -> Bytes
+where
+    I: IntoIterator<Item = (Prefix, &'a LocationRecord)>,
+{
+    let mut strings = BytesMut::new();
+    let mut seen_strings: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut records = BytesMut::new();
+    let mut seen_records: HashMap<[u8; RECORD_WIDTH], u32> = HashMap::new();
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    let mut record_count = 0u32;
+    for (prefix, rec) in entries {
+        let encoded = encode_record2(rec, &mut strings, &mut seen_strings);
+        let index = *seen_records.entry(encoded).or_insert_with(|| {
+            let idx = record_count;
+            record_count = record_count
+                .checked_add(1)
+                .expect("RGDB v2 record count exceeds u32");
+            records.put_slice(&encoded);
+            idx
+        });
+        trie.insert(prefix, index);
+    }
+    let nodes = flatten_trie(&trie);
+
+    let name_bytes = name.as_bytes();
+    let mut payload = BytesMut::with_capacity(
+        name_bytes.len() + nodes.len() * NODE_WIDTH + records.len() + strings.len(),
+    );
+    payload.put_slice(name_bytes);
+    for n in &nodes {
+        payload.put_u32_le(n[0]);
+        payload.put_u32_le(n[1]);
+        payload.put_u32_le(n[2]);
+    }
+    payload.put_slice(&records);
+    payload.put_slice(&strings);
+    let checksum = fnv1a(&payload);
+
+    let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION2);
+    out.put_u16_le(u16::try_from(name_bytes.len()).expect("database name exceeds u16 length"));
+    out.put_u32_le(u32::try_from(nodes.len()).expect("node count exceeds u32"));
+    out.put_u32_le(record_count);
+    out.put_u32_le(u32::try_from(strings.len()).expect("string table length exceeds u32"));
+    out.put_u64_le(checksum);
+    out.put_slice(&payload);
+    out.freeze()
+}
+
+// ---- reader -----------------------------------------------------------------
+
+/// One record's fields, with strings still as table offsets — the
+/// borrow-free intermediate both lookup paths build from.
+#[derive(Clone, Copy)]
+struct RawRecord {
+    granularity: Granularity,
+    country: Option<CountryCode>,
+    region_off: Option<u32>,
+    city_off: Option<u32>,
+    coord: Option<Coordinate>,
+}
+
+/// Zero-copy, lock-free reader over a validated RGDB v2 image.
+///
+/// [`Rgdb2Reader::open`] walks every node and record once; after that,
+/// lookups are pure pointer arithmetic over the image bytes — no decode
+/// cache, no mutex, no per-lookup allocation on the compact path.
+/// Region/city strings are borrowed from the image and interned at the
+/// call site, never copied into reader-owned state.
+pub struct Rgdb2Reader {
+    image: Bytes,
+    name: String,
+    nodes_start: usize,
+    node_count: u32,
+    records_start: usize,
+    record_count: u32,
+    strings_start: usize,
+    strings_len: usize,
+}
+
+impl std::fmt::Debug for Rgdb2Reader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rgdb2Reader")
+            .field("name", &self.name)
+            .field("node_count", &self.node_count)
+            .field("record_count", &self.record_count)
+            .field("strings_len", &self.strings_len)
+            .field("image_len", &self.image.len())
+            .finish()
+    }
+}
+
+impl Rgdb2Reader {
+    /// Validate and open a v2 image. All structural validation happens
+    /// here — node links, record indices, flag canonicality, string
+    /// offsets/UTF-8, coordinate ranges — so lookups never parse.
+    pub fn open(image: Bytes) -> Result<Rgdb2Reader, RgdbError> {
+        let mut h = image.get(..HEADER_LEN).ok_or(RgdbError::Truncated)?;
+        let mut magic = [0u8; 4];
+        h.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(RgdbError::BadMagic);
+        }
+        let version = h.get_u16_le();
+        if version != VERSION2 {
+            return Err(RgdbError::BadVersion(version));
+        }
+        let name_len = usize::from(h.get_u16_le());
+        let node_count = h.get_u32_le();
+        let record_count = h.get_u32_le();
+        let strings_len = ix(h.get_u32_le());
+        let checksum = h.get_u64_le();
+
+        let nodes_start = HEADER_LEN + name_len;
+        let records_start = nodes_start + ix(node_count) * NODE_WIDTH;
+        let strings_start = records_start + ix(record_count) * RECORD_WIDTH;
+        let expected_total = strings_start + strings_len;
+        if image.len() != expected_total {
+            return Err(RgdbError::Truncated);
+        }
+        let payload = image.get(HEADER_LEN..).ok_or(RgdbError::Truncated)?;
+        if fnv1a(payload) != checksum {
+            return Err(RgdbError::ChecksumMismatch);
+        }
+        if node_count == 0 {
+            // Byte 8 is the node_count field in the fixed header.
+            return Err(RgdbError::corrupt(
+                Section::Header,
+                8,
+                "nonzero node count (trie needs a root)",
+            ));
+        }
+        let name_bytes = image
+            .get(HEADER_LEN..nodes_start)
+            .ok_or(RgdbError::Truncated)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| RgdbError::corrupt(Section::Name, HEADER_LEN, "UTF-8 database name"))?
+            .to_string();
+        let reader = Rgdb2Reader {
+            image,
+            name,
+            nodes_start,
+            node_count,
+            records_start,
+            record_count,
+            strings_start,
+            strings_len,
+        };
+        reader.validate()?;
+        Ok(reader)
+    }
+
+    /// The open-time validation sweep: every node link and every record
+    /// field is checked once so the lookup path never can fail
+    /// structurally on a reader that opened.
+    fn validate(&self) -> Result<(), RgdbError> {
+        for idx in 0..self.node_count {
+            let (left, right, record) = self.node(idx)?;
+            let at = self.nodes_start + ix(idx) * NODE_WIDTH;
+            for link in [left, right] {
+                if link != NONE && link >= self.node_count {
+                    return Err(RgdbError::corrupt(
+                        Section::Nodes,
+                        at,
+                        "node link within node_count",
+                    ));
+                }
+            }
+            if record != NONE && record >= self.record_count {
+                return Err(RgdbError::corrupt(
+                    Section::Nodes,
+                    at,
+                    "record index within record_count",
+                ));
+            }
+        }
+        for idx in 0..self.record_count {
+            let raw = self.raw_record(idx)?;
+            // Resolve both string offsets so lookup-time borrows are
+            // known in-bounds, valid UTF-8.
+            for off in [raw.region_off, raw.city_off].into_iter().flatten() {
+                self.str_at(off)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Database display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of deduplicated records in the record array.
+    pub fn record_count(&self) -> u32 {
+        self.record_count
+    }
+
+    /// Total image size in bytes.
+    pub fn image_len(&self) -> usize {
+        self.image.len()
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> Result<(u32, u32, u32), RgdbError> {
+        let at = self.nodes_start + ix(idx) * NODE_WIDTH;
+        if idx >= self.node_count {
+            return Err(RgdbError::corrupt(
+                Section::Nodes,
+                at,
+                "node link within node_count",
+            ));
+        }
+        let mut b = self
+            .image
+            .get(at..at + NODE_WIDTH)
+            .ok_or_else(|| RgdbError::corrupt(Section::Nodes, at, "12-byte node in bounds"))?;
+        Ok((b.get_u32_le(), b.get_u32_le(), b.get_u32_le()))
+    }
+
+    /// Read and canonically validate the fixed-width record at `idx`.
+    #[inline]
+    fn raw_record(&self, idx: u32) -> Result<RawRecord, RgdbError> {
+        let at = self.records_start + ix(idx) * RECORD_WIDTH;
+        if idx >= self.record_count {
+            return Err(RgdbError::corrupt(
+                Section::Records,
+                at,
+                "record index within record_count",
+            ));
+        }
+        let mut b = self
+            .image
+            .get(at..at + RECORD_WIDTH)
+            .ok_or_else(|| RgdbError::corrupt(Section::Records, at, "20-byte record in bounds"))?;
+        let flags = b.get_u8();
+        if flags & 0xF0 != 0 {
+            return Err(RgdbError::corrupt(
+                Section::Records,
+                at,
+                "known record flag bits",
+            ));
+        }
+        let gran = Granularity::from_id(b.get_u8())
+            .ok_or_else(|| RgdbError::corrupt(Section::Records, at + 1, "known granularity id"))?;
+        let ca = b.get_u8();
+        let cb = b.get_u8();
+        let country = if flags & 1 != 0 {
+            Some(CountryCode::new(ca, cb).ok_or_else(|| {
+                RgdbError::corrupt(Section::Records, at + 2, "ASCII country code")
+            })?)
+        } else {
+            if (ca, cb) != (0, 0) {
+                return Err(RgdbError::corrupt(
+                    Section::Records,
+                    at + 2,
+                    "zeroed absent country field",
+                ));
+            }
+            None
+        };
+        let region_off = b.get_u32_le();
+        let region_off = if flags & 2 != 0 {
+            if region_off == NONE {
+                return Err(RgdbError::corrupt(
+                    Section::Records,
+                    at + 4,
+                    "present region offset",
+                ));
+            }
+            Some(region_off)
+        } else {
+            if region_off != NONE {
+                return Err(RgdbError::corrupt(
+                    Section::Records,
+                    at + 4,
+                    "NONE absent region offset",
+                ));
+            }
+            None
+        };
+        let city_off = b.get_u32_le();
+        let city_off = if flags & 4 != 0 {
+            if city_off == NONE {
+                return Err(RgdbError::corrupt(
+                    Section::Records,
+                    at + 8,
+                    "present city offset",
+                ));
+            }
+            Some(city_off)
+        } else {
+            if city_off != NONE {
+                return Err(RgdbError::corrupt(
+                    Section::Records,
+                    at + 8,
+                    "NONE absent city offset",
+                ));
+            }
+            None
+        };
+        let lat = b.get_i32_le();
+        let lon = b.get_i32_le();
+        let coord = if flags & 8 != 0 {
+            Some(
+                Coordinate::new(f64::from(lat) / 1e6, f64::from(lon) / 1e6).map_err(|_| {
+                    RgdbError::corrupt(Section::Records, at + 12, "coordinate within ±90/±180")
+                })?,
+            )
+        } else {
+            if (lat, lon) != (0, 0) {
+                return Err(RgdbError::corrupt(
+                    Section::Records,
+                    at + 12,
+                    "zeroed absent coordinate field",
+                ));
+            }
+            None
+        };
+        Ok(RawRecord {
+            granularity: gran,
+            country,
+            region_off,
+            city_off,
+            coord,
+        })
+    }
+
+    /// Borrow the string at table offset `off` straight from the image.
+    #[inline]
+    fn str_at(&self, off: u32) -> Result<&str, RgdbError> {
+        let at = ix(off);
+        let abs = self.strings_start + at;
+        if at >= self.strings_len {
+            return Err(RgdbError::corrupt(
+                Section::Strings,
+                abs,
+                "string offset within string table",
+            ));
+        }
+        let len = usize::from(*self.image.get(abs).ok_or_else(|| {
+            RgdbError::corrupt(Section::Strings, abs, "string length byte in bounds")
+        })?);
+        if at + 1 + len > self.strings_len {
+            return Err(RgdbError::corrupt(
+                Section::Strings,
+                abs + 1,
+                "string bytes within string table",
+            ));
+        }
+        let bytes = self.image.get(abs + 1..abs + 1 + len).ok_or_else(|| {
+            RgdbError::corrupt(Section::Strings, abs + 1, "string bytes in bounds")
+        })?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| RgdbError::corrupt(Section::Strings, abs + 1, "UTF-8 string bytes"))
+    }
+
+    /// Walk the trie MSB-first and return the deepest record index on
+    /// the path together with its depth — the longest-prefix match.
+    fn deepest_match(&self, ip: Ipv4Addr) -> Result<Option<(u32, u8)>, RgdbError> {
+        let addr = u32::from(ip);
+        let mut node = 0u32;
+        let mut best: Option<(u32, u8)> = None;
+        for depth in 0..=32u32 {
+            let (left, right, record) = self.node(node)?;
+            if record != NONE {
+                best = Some((record, u8::try_from(depth).expect("trie depth <= 32")));
+            }
+            if depth == 32 {
+                break;
+            }
+            let bit = (addr >> (31 - depth)) & 1;
+            let next = if bit == 0 { left } else { right };
+            if next == NONE {
+                break;
+            }
+            node = next;
+        }
+        Ok(best)
+    }
+
+    /// Prefix length of the longest match for `ip`. `None` when no
+    /// prefix on the walk carries a record — same contract as
+    /// [`RgdbReader::match_len`].
+    pub fn match_len(&self, ip: Ipv4Addr) -> Result<Option<u8>, RgdbError> {
+        Ok(self.deepest_match(ip)?.map(|(_, len)| len))
+    }
+
+    /// Build the compact answer for record `idx`, borrowing strings
+    /// from the image into the interner.
+    fn record_compact(
+        &self,
+        idx: u32,
+        interner: &mut LocationInterner,
+    ) -> Result<CompactRecord, RgdbError> {
+        let raw = self.raw_record(idx)?;
+        let region_id = match raw.region_off {
+            Some(off) => Some(interner.intern(self.str_at(off)?)),
+            None => None,
+        };
+        let city_id = match raw.city_off {
+            Some(off) => Some(interner.intern(self.str_at(off)?)),
+            None => None,
+        };
+        Ok(CompactRecord {
+            country: raw.country,
+            region_id,
+            city_id,
+            coord: raw.coord,
+            granularity: raw.granularity,
+        })
+    }
+
+    /// Build the owning answer for record `idx`.
+    fn record_owned(&self, idx: u32) -> Result<LocationRecord, RgdbError> {
+        let raw = self.raw_record(idx)?;
+        let region = match raw.region_off {
+            Some(off) => Some(self.str_at(off)?.to_string()),
+            None => None,
+        };
+        let city = match raw.city_off {
+            Some(off) => Some(self.str_at(off)?.to_string()),
+            None => None,
+        };
+        Ok(LocationRecord {
+            country: raw.country,
+            region,
+            city,
+            coord: raw.coord,
+            granularity: raw.granularity,
+        })
+    }
+
+    /// Longest-prefix-match lookup returning a structural error on
+    /// latent corruption (unreachable on an image that opened — the
+    /// validation sweep covered every node and record).
+    pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
+        match self.deepest_match(ip)? {
+            None => Ok(None),
+            Some((idx, _)) => self.record_owned(idx).map(Some),
+        }
+    }
+
+    /// Batched compact lookup: resolve the trie walks in sorted address
+    /// order (adjacent addresses share upper trie levels, so the node
+    /// array is read near-sequentially), then intern answers in the
+    /// *original* order with one compact conversion per distinct
+    /// record. Identical output to the per-address loop.
+    fn batch_compact(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        let mut order: Vec<(u32, usize)> = ips
+            .iter()
+            .enumerate()
+            .map(|(pos, ip)| (u32::from(*ip), pos))
+            .collect();
+        order.sort_unstable();
+        // Pass 1 (sorted): trie walks only — no interner traffic.
+        let mut located: Vec<Option<u32>> = vec![None; ips.len()];
+        let mut last: Option<(u32, Option<u32>)> = None;
+        for (addr, pos) in order {
+            let idx = match last {
+                // Duplicate addresses collapse to one walk.
+                Some((prev, hit)) if prev == addr => hit,
+                _ => {
+                    let hit = self
+                        .deepest_match(Ipv4Addr::from(addr))
+                        .ok()
+                        .flatten()
+                        .map(|(idx, _)| idx);
+                    last = Some((addr, hit));
+                    hit
+                }
+            };
+            if let Some(slot) = located.get_mut(pos) {
+                *slot = idx;
+            }
+        }
+        // Pass 2 (original order): compact each distinct record once so
+        // interner id assignment matches the sequential loop. FNV keeps
+        // the per-address memo probe to a few instructions.
+        let mut memo: HashMap<u32, CompactRecord, FnvBuildHasher> = HashMap::default();
+        located
+            .into_iter()
+            .map(|slot| {
+                let idx = slot?;
+                if let Some(hit) = memo.get(&idx) {
+                    return Some(*hit);
+                }
+                let compact = self.record_compact(idx, interner).ok()?;
+                memo.insert(idx, compact);
+                Some(compact)
+            })
+            .collect()
+    }
+}
+
+impl GeoDatabase for Rgdb2Reader {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
+        // Images validated at open; treat latent corruption as a miss.
+        self.try_lookup(ip).ok().flatten()
+    }
+
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        let (idx, _) = self.deepest_match(ip).ok().flatten()?;
+        self.record_compact(idx, interner).ok()
+    }
+
+    fn lookup_batch(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        self.batch_compact(ips, interner)
+    }
+}
+
+// ---- version dispatch -------------------------------------------------------
+
+/// A reader over either RGDB format, dispatched on the header version
+/// at open. This is the type serving and tooling paths hold so v1 and
+/// v2 images are interchangeable — hot-swapping a daemon from a v1 to a
+/// v2 image is one [`AnyReader::open`] away.
+pub enum AnyReader {
+    /// A v1 image behind the decode-once cache reader.
+    V1(RgdbReader),
+    /// A v2 image behind the zero-copy flat reader.
+    V2(Rgdb2Reader),
+}
+
+impl AnyReader {
+    /// Open an image of either version: magic is checked first, then
+    /// the version field picks the reader, which performs its own full
+    /// validation.
+    pub fn open(image: Bytes) -> Result<AnyReader, RgdbError> {
+        let header = image.get(..6).ok_or(RgdbError::Truncated)?;
+        if header.get(..4) != Some(MAGIC.as_slice()) {
+            return Err(RgdbError::BadMagic);
+        }
+        let mut v = header.get(4..6).ok_or(RgdbError::Truncated)?;
+        match v.get_u16_le() {
+            1 => RgdbReader::open(image).map(AnyReader::V1),
+            2 => Rgdb2Reader::open(image).map(AnyReader::V2),
+            other => Err(RgdbError::BadVersion(other)),
+        }
+    }
+
+    /// Format version of the opened image (1 or 2).
+    pub fn version(&self) -> u16 {
+        match self {
+            AnyReader::V1(_) => 1,
+            AnyReader::V2(_) => VERSION2,
+        }
+    }
+
+    /// Database display name.
+    pub fn name(&self) -> &str {
+        match self {
+            AnyReader::V1(r) => GeoDatabase::name(r),
+            AnyReader::V2(r) => r.name(),
+        }
+    }
+
+    /// Number of deduplicated records.
+    pub fn record_count(&self) -> u32 {
+        match self {
+            AnyReader::V1(r) => r.record_count(),
+            AnyReader::V2(r) => r.record_count(),
+        }
+    }
+
+    /// Total image size in bytes.
+    pub fn image_len(&self) -> usize {
+        match self {
+            AnyReader::V1(r) => r.image_len(),
+            AnyReader::V2(r) => r.image_len(),
+        }
+    }
+
+    /// Prefix length of the longest match for `ip`.
+    pub fn match_len(&self, ip: Ipv4Addr) -> Result<Option<u8>, RgdbError> {
+        match self {
+            AnyReader::V1(r) => r.match_len(ip),
+            AnyReader::V2(r) => r.match_len(ip),
+        }
+    }
+
+    /// Longest-prefix-match lookup returning a parse error on
+    /// corruption.
+    pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
+        match self {
+            AnyReader::V1(r) => r.try_lookup(ip),
+            AnyReader::V2(r) => r.try_lookup(ip),
+        }
+    }
+}
+
+impl GeoDatabase for AnyReader {
+    fn name(&self) -> &str {
+        AnyReader::name(self)
+    }
+
+    fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
+        match self {
+            AnyReader::V1(r) => r.lookup(ip),
+            AnyReader::V2(r) => r.lookup(ip),
+        }
+    }
+
+    fn lookup_compact(
+        &self,
+        ip: Ipv4Addr,
+        interner: &mut LocationInterner,
+    ) -> Option<CompactRecord> {
+        match self {
+            AnyReader::V1(r) => r.lookup_compact(ip, interner),
+            AnyReader::V2(r) => r.lookup_compact(ip, interner),
+        }
+    }
+
+    fn lookup_batch(
+        &self,
+        ips: &[Ipv4Addr],
+        interner: &mut LocationInterner,
+    ) -> Vec<Option<CompactRecord>> {
+        match self {
+            AnyReader::V1(r) => r.lookup_batch(ips, interner),
+            AnyReader::V2(r) => r.lookup_batch(ips, interner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rgdb;
+
+    fn sample_records() -> Vec<(Prefix, LocationRecord)> {
+        let city = LocationRecord {
+            country: Some("US".parse().unwrap()),
+            region: Some("USA Region 1".into()),
+            city: Some("Springfield".into()),
+            coord: Some(Coordinate::new(39.8, -89.6).unwrap()),
+            granularity: Granularity::SubBlock,
+        };
+        let country = LocationRecord::country_level("DE".parse().unwrap(), Granularity::Aggregate);
+        let centroid = LocationRecord {
+            country: Some("FR".parse().unwrap()),
+            region: None,
+            city: None,
+            coord: Some(Coordinate::new(46.2, 2.2).unwrap()),
+            granularity: Granularity::Block24,
+        };
+        let empty_city = LocationRecord {
+            country: Some("JP".parse().unwrap()),
+            region: Some(String::new()),
+            city: Some(String::new()),
+            coord: None,
+            granularity: Granularity::Block24,
+        };
+        vec![
+            ("6.0.0.0/24".parse().unwrap(), city),
+            ("31.0.0.0/16".parse().unwrap(), country),
+            ("31.0.1.0/24".parse().unwrap(), centroid),
+            ("77.1.0.0/24".parse().unwrap(), empty_city),
+        ]
+    }
+
+    fn build() -> Rgdb2Reader {
+        let recs = sample_records();
+        let image = write("Test-DB", recs.iter().map(|(p, r)| (*p, r)));
+        Rgdb2Reader::open(image).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_lookups() {
+        let db = build();
+        assert_eq!(db.name(), "Test-DB");
+        let r = db.lookup("6.0.0.200".parse().unwrap()).unwrap();
+        assert_eq!(r.city.as_deref(), Some("Springfield"));
+        assert_eq!(r.granularity, Granularity::SubBlock);
+        let c = r.coord.unwrap();
+        assert!((c.lat() - 39.8).abs() < 1e-5);
+        // Longest-prefix: /24 centroid inside the /16 country record.
+        let r = db.lookup("31.0.1.7".parse().unwrap()).unwrap();
+        assert!(r.coord.is_some() && r.city.is_none());
+        let r = db.lookup("31.0.99.1".parse().unwrap()).unwrap();
+        assert_eq!(r.country.unwrap().as_str(), "DE");
+        assert!(db.lookup("99.0.0.1".parse().unwrap()).is_none());
+        // v2 represents Some("") distinct from None.
+        let r = db.lookup("77.1.0.9".parse().unwrap()).unwrap();
+        assert_eq!(r.region.as_deref(), Some(""));
+        assert_eq!(r.city.as_deref(), Some(""));
+    }
+
+    #[test]
+    fn answers_and_match_len_agree_with_v1() {
+        let recs = sample_records();
+        let v1 = RgdbReader::open(rgdb::write("pair", recs.iter().map(|(p, r)| (*p, r)))).unwrap();
+        let v2 = build();
+        let mut i1 = LocationInterner::new();
+        let mut i2 = LocationInterner::new();
+        for ip in [
+            "6.0.0.0",
+            "6.0.0.255",
+            "31.0.0.0",
+            "31.0.1.255",
+            "31.0.99.1",
+            "77.1.0.1",
+            "99.0.0.1",
+            "0.0.0.0",
+            "255.255.255.255",
+        ] {
+            let ip: Ipv4Addr = ip.parse().unwrap();
+            assert_eq!(v1.try_lookup(ip).unwrap(), v2.try_lookup(ip).unwrap());
+            assert_eq!(v1.match_len(ip).unwrap(), v2.match_len(ip).unwrap());
+            assert_eq!(
+                v1.lookup_compact(ip, &mut i1),
+                v2.lookup_compact(ip, &mut i2)
+            );
+        }
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn batched_lookups_match_sequential() {
+        let db = build();
+        let ips: Vec<Ipv4Addr> = [
+            "31.0.1.7",
+            "6.0.0.200",
+            "99.0.0.1",
+            "6.0.0.200",
+            "77.1.0.3",
+            "31.0.99.1",
+            "6.0.0.1",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let mut seq_interner = LocationInterner::new();
+        let seq: Vec<_> = ips
+            .iter()
+            .map(|ip| db.lookup_compact(*ip, &mut seq_interner))
+            .collect();
+        let mut batch_interner = LocationInterner::new();
+        let batch = db.lookup_batch(&ips, &mut batch_interner);
+        assert_eq!(seq, batch);
+        assert_eq!(seq_interner, batch_interner);
+        assert!(db.lookup_batch(&[], &mut batch_interner).is_empty());
+    }
+
+    #[test]
+    fn records_and_strings_are_deduplicated() {
+        let rec = LocationRecord {
+            country: Some("US".parse().unwrap()),
+            region: Some("Illinois".into()),
+            city: Some("Illinois".into()),
+            coord: None,
+            granularity: Granularity::Block24,
+        };
+        let entries: Vec<(Prefix, LocationRecord)> = (0..100)
+            .map(|i| {
+                let p: Prefix = format!("6.0.{i}.0/24").parse().unwrap();
+                (p, rec.clone())
+            })
+            .collect();
+        let image = write("dedup", entries.iter().map(|(p, r)| (*p, r)));
+        let db = Rgdb2Reader::open(image).unwrap();
+        assert_eq!(db.record_count(), 1);
+        // One record, one interned string ("Illinois" shared by region
+        // and city): 20 record bytes + 1 len byte + 8 string bytes.
+        assert_eq!(db.strings_len, 9);
+    }
+
+    #[test]
+    fn detects_truncation_and_header_corruption() {
+        let recs = sample_records();
+        let image = write("t", recs.iter().map(|(p, r)| (*p, r)));
+        for cut in [0, 3, HEADER_LEN - 1, image.len() - 1] {
+            assert!(
+                Rgdb2Reader::open(image.slice(..cut)).is_err(),
+                "cut at {cut} not detected"
+            );
+        }
+        let mut bytes = image.to_vec();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        assert!(matches!(
+            Rgdb2Reader::open(Bytes::from(bytes)),
+            Err(RgdbError::ChecksumMismatch)
+        ));
+        let mut bytes = image.to_vec();
+        bytes[4] = 0x07;
+        assert!(matches!(
+            Rgdb2Reader::open(Bytes::from(bytes)),
+            Err(RgdbError::BadVersion(7))
+        ));
+    }
+
+    /// Corrupt one payload byte and re-fix the checksum so the
+    /// structural validation sweep is what fires.
+    fn corrupt_at(image: &Bytes, at: usize, value: u8) -> Result<Rgdb2Reader, RgdbError> {
+        let mut bytes = image.to_vec();
+        bytes[at] = value;
+        let sum = fnv1a(&bytes[HEADER_LEN..]).to_le_bytes();
+        bytes[20..28].copy_from_slice(&sum);
+        Rgdb2Reader::open(Bytes::from(bytes))
+    }
+
+    #[test]
+    fn open_rejects_noncanonical_records_with_context() {
+        let recs = sample_records();
+        let image = write("x", recs.iter().map(|(p, r)| (*p, r)));
+        let db = Rgdb2Reader::open(image.clone()).unwrap();
+        let rec0 = db.records_start;
+        // Unknown flag bit.
+        let err = corrupt_at(&image, rec0, 0xFF).unwrap_err();
+        assert_eq!(err.context().unwrap().section, Section::Records);
+        // Unknown granularity.
+        let err = corrupt_at(&image, rec0 + 1, 9).unwrap_err();
+        assert_eq!(err.context().unwrap().expected, "known granularity id");
+        // Record 0 in the sample set has all four flags set; point its
+        // region offset past the string table.
+        let err = corrupt_at(&image, rec0 + 4, 0xEE).unwrap_err();
+        assert_eq!(err.context().unwrap().section, Section::Strings);
+        // Bad node link: root's record index field.
+        let node0 = db.nodes_start;
+        let err = corrupt_at(&image, node0 + 8, 0x77).unwrap_err();
+        assert_eq!(err.context().unwrap().section, Section::Nodes);
+    }
+
+    #[test]
+    fn empty_database_and_default_route() {
+        let image = write("empty", std::iter::empty());
+        let db = Rgdb2Reader::open(image).unwrap();
+        assert!(db.lookup("1.2.3.4".parse().unwrap()).is_none());
+        assert_eq!(db.record_count(), 0);
+
+        let rec = LocationRecord::country_level("US".parse().unwrap(), Granularity::Aggregate);
+        let entries = [(Prefix::default_route(), rec)];
+        let image = write("all", entries.iter().map(|(p, r)| (*p, r)));
+        let db = Rgdb2Reader::open(image).unwrap();
+        assert!(db.lookup("255.255.255.255".parse().unwrap()).is_some());
+        assert!(db.lookup("0.0.0.0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn any_reader_dispatches_on_version() {
+        let recs = sample_records();
+        let v1_image = rgdb::write("Any-DB", recs.iter().map(|(p, r)| (*p, r)));
+        let v2_image = write("Any-DB", recs.iter().map(|(p, r)| (*p, r)));
+        let v1 = AnyReader::open(v1_image).unwrap();
+        let v2 = AnyReader::open(v2_image).unwrap();
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v1.name(), "Any-DB");
+        assert_eq!(v2.name(), "Any-DB");
+        let ip: Ipv4Addr = "6.0.0.200".parse().unwrap();
+        assert_eq!(v1.try_lookup(ip).unwrap(), v2.try_lookup(ip).unwrap());
+        assert_eq!(v1.match_len(ip).unwrap(), v2.match_len(ip).unwrap());
+        assert!(matches!(
+            AnyReader::open(Bytes::from(b"XGDB\x01\x00rest".to_vec())),
+            Err(RgdbError::BadMagic)
+        ));
+        assert!(matches!(
+            AnyReader::open(Bytes::from(b"RGDB\x09\x00rest".to_vec())),
+            Err(RgdbError::BadVersion(9))
+        ));
+    }
+}

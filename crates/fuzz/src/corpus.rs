@@ -17,7 +17,7 @@
 use crate::rng::FuzzRng;
 use bytes::Bytes;
 use routergeo_db::record::{Granularity, LocationRecord};
-use routergeo_db::rgdb;
+use routergeo_db::{rgdb, rgdb2};
 use routergeo_geo::{Coordinate, CountryCode};
 use routergeo_net::Prefix;
 use std::net::Ipv4Addr;
@@ -63,6 +63,35 @@ impl Scale {
     }
 }
 
+/// Which RGDB wire format a fuzzed image is serialized in. Both
+/// writers consume the same `(prefix, record)` sets, so every corpus
+/// entry exists in both formats and the harness fuzzes each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageFormat {
+    /// The v1 pointer-chasing layout (`rgdb::write`).
+    V1,
+    /// The v2 flat zero-copy layout (`rgdb2::write`).
+    V2,
+}
+
+impl ImageFormat {
+    /// Both formats, v1 first (reporting and spec order).
+    pub const ALL: [ImageFormat; 2] = [ImageFormat::V1, ImageFormat::V2];
+
+    /// Stable lower-case label (used in specs and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            ImageFormat::V1 => "v1",
+            ImageFormat::V2 => "v2",
+        }
+    }
+
+    /// Inverse of [`ImageFormat::label`].
+    pub fn parse(s: &str) -> Option<ImageFormat> {
+        ImageFormat::ALL.into_iter().find(|f| f.label() == s)
+    }
+}
+
 /// One synthesized record set plus its provenance.
 #[derive(Debug, Clone)]
 pub struct CorpusEntry {
@@ -75,13 +104,29 @@ pub struct CorpusEntry {
 }
 
 impl CorpusEntry {
-    /// Serialize this entry into a valid RGDB image via the production
-    /// writer.
+    /// Serialize this entry into a valid RGDB v1 image via the
+    /// production writer.
     pub fn image(&self) -> Bytes {
         rgdb::write(
             &format!("fuzz-{}-{}", self.scale.label(), self.seed),
             self.entries.iter().map(|(p, r)| (*p, r)),
         )
+    }
+
+    /// Serialize this entry into a valid RGDB v2 (flat) image.
+    pub fn image_v2(&self) -> Bytes {
+        rgdb2::write(
+            &format!("fuzz-{}-{}", self.scale.label(), self.seed),
+            self.entries.iter().map(|(p, r)| (*p, r)),
+        )
+    }
+
+    /// Serialize in either format.
+    pub fn image_as(&self, format: ImageFormat) -> Bytes {
+        match format {
+            ImageFormat::V1 => self.image(),
+            ImageFormat::V2 => self.image_v2(),
+        }
     }
 }
 
@@ -189,13 +234,15 @@ fn synth_record(rng: &mut FuzzRng) -> LocationRecord {
 }
 
 /// ASCII name of varying length: mostly short, occasionally a single
-/// character or close to the format's 255-byte cap (never over it — the
-/// writer truncates at 255 — and never empty: CSV renders `Some("")`
-/// as an empty field, which parses back as `None`, so the empty string
-/// is not representable in all three differential backends).
+/// character, the empty string, or close to the format's 255-byte cap
+/// (never over it — the writer truncates at 255). `Some("")` is a
+/// legal present-but-empty name everywhere: the binary formats carry
+/// it as a set flag with length 0 and CSV as a quoted-empty cell, so
+/// the differential backends all round-trip it.
 fn synth_string(rng: &mut FuzzRng, kind: &str) -> String {
     match rng.below(10) {
         0 => "X".to_string(),
+        2 => String::new(),
         1 => {
             let n = usize::try_from(rng.range(200, 255)).unwrap_or(200);
             let mut s = String::with_capacity(n);
@@ -240,11 +287,30 @@ mod tests {
     }
 
     #[test]
-    fn images_open_cleanly() {
+    fn images_open_cleanly_in_both_formats() {
         for scale in Scale::ALL {
             let e = build_entry(11, scale);
-            let img = e.image();
-            assert!(routergeo_db::rgdb::RgdbReader::open(img).is_ok());
+            assert!(routergeo_db::rgdb::RgdbReader::open(e.image()).is_ok());
+            assert!(routergeo_db::rgdb2::Rgdb2Reader::open(e.image_v2()).is_ok());
+            for format in ImageFormat::ALL {
+                assert!(routergeo_db::rgdb2::AnyReader::open(e.image_as(format)).is_ok());
+            }
         }
+    }
+
+    #[test]
+    fn corpus_strings_cover_the_empty_present_shape() {
+        // The differential pillar is only as strong as the corpus: the
+        // `Some("")` shape (fixed in CsvDb this cycle) must actually
+        // occur across the seeds the harness replays.
+        let mut empties = 0usize;
+        for seed in 1..=8u64 {
+            for (_, record) in build_entry(seed, Scale::Tenth).entries {
+                if record.region.as_deref() == Some("") || record.city.as_deref() == Some("") {
+                    empties += 1;
+                }
+            }
+        }
+        assert!(empties > 0, "no empty-present strings in 8 tenth entries");
     }
 }

@@ -1,17 +1,20 @@
-//! Pillar 3: differential lookups across the three database backends.
+//! Pillar 3: differential lookups across the four database backends.
 //!
 //! For every corpus entry, the same `(prefix, record)` set is loaded
-//! three ways — the RGDB binary trie, a flat [`InMemoryDb`] range map,
-//! and a CSV round-trip through `csvdb::write`/`csvdb::parse` — and
-//! all three must answer [`GeoDatabase::lookup_compact`] identically
-//! over a seeded address sweep. One [`LocationInterner`] is shared by
-//! the three backends so equal strings intern to equal ids and
-//! [`CompactRecord`]s compare directly.
+//! four ways — the RGDB v1 binary trie, the flat RGDB v2 image, a flat
+//! [`InMemoryDb`] range map, and a CSV round-trip through
+//! `csvdb::write`/`csvdb::parse` — and all four must answer
+//! [`GeoDatabase::lookup_compact`] identically over a seeded address
+//! sweep; the two binary readers must additionally agree on
+//! `match_len`. One [`LocationInterner`] is shared by the backends so
+//! equal strings intern to equal ids and [`CompactRecord`]s compare
+//! directly.
 //!
-//! The corpus is constructed to be exactly representable in all three
-//! formats (disjoint prefixes, micro-degree coordinates, non-empty
-//! strings — see [`crate::corpus`]), so any disagreement is a backend
-//! defect, not a corpus artifact.
+//! The corpus is constructed to be exactly representable in all four
+//! formats (disjoint prefixes, micro-degree coordinates, strings at or
+//! under the 255-byte cap — `Some("")` included, which every backend
+//! now round-trips — see [`crate::corpus`]), so any disagreement is a
+//! backend defect, not a corpus artifact.
 
 use crate::corpus::{build_entry, Scale};
 use crate::rgdb_fuzz::CORPUS_SEEDS;
@@ -20,6 +23,7 @@ use crate::FuzzConfig;
 use routergeo_db::csvdb;
 use routergeo_db::inmem::InMemoryDbBuilder;
 use routergeo_db::rgdb::RgdbReader;
+use routergeo_db::rgdb2::Rgdb2Reader;
 use routergeo_db::{CompactRecord, GeoDatabase, LocationInterner};
 use std::net::Ipv4Addr;
 
@@ -30,7 +34,7 @@ pub struct DiffScaleOutcome {
     pub scale: Scale,
     /// Corpus entries compared.
     pub entries: u64,
-    /// Addresses swept across all entries (each checked three ways).
+    /// Addresses swept across all entries (each checked four ways).
     pub addresses: u64,
     /// One line per disagreement (empty on a healthy run).
     pub mismatches: Vec<String>,
@@ -68,6 +72,10 @@ fn sweep_entry(seed: u64, scale: Scale, diff_addrs: u64, root: u64) -> (u64, Vec
         Ok(r) => r,
         Err(e) => return (0, vec![spec(&format!("rgdb image failed to open: {e}"))]),
     };
+    let rgdb2 = match Rgdb2Reader::open(entry.image_v2()) {
+        Ok(r) => r,
+        Err(e) => return (0, vec![spec(&format!("rgdb2 image failed to open: {e}"))]),
+    };
     let mut builder = InMemoryDbBuilder::new("mem");
     for (prefix, record) in &entry.entries {
         builder.push_prefix(*prefix, record.clone());
@@ -92,16 +100,25 @@ fn sweep_entry(seed: u64, scale: Scale, diff_addrs: u64, root: u64) -> (u64, Vec
                  mismatches: &mut Vec<String>,
                  addresses: &mut u64| {
         let a = rgdb.lookup_compact(ip, interner);
+        let a2 = rgdb2.lookup_compact(ip, interner);
         let b = inmem.lookup_compact(ip, interner);
         let c = csv.lookup_compact(ip, interner);
         *addresses += 1;
-        if a != b || b != c {
+        if a != a2 || a != b || b != c {
             mismatches.push(spec(&format!(
-                "addr={ip}: rgdb[{}] mem[{}] csv[{}]",
+                "addr={ip}: rgdb[{}] rgdb2[{}] mem[{}] csv[{}]",
                 render(a),
+                render(a2),
                 render(b),
                 render(c)
             )));
+        }
+        // The two binary tries must also agree on how deep the match
+        // was — the LPM semantics, not just the final answer.
+        let d1 = rgdb.match_len(ip);
+        let d2 = rgdb2.match_len(ip);
+        if d1 != d2 {
+            mismatches.push(spec(&format!("addr={ip}: match_len v1={d1:?} v2={d2:?}")));
         }
     };
 

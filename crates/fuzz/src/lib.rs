@@ -2,14 +2,15 @@
 //! testing for the two surfaces that consume untrusted bytes:
 //!
 //! 1. **RGDB images** ([`rgdb_fuzz`]) — grammar-aware mutations of
-//!    valid images ([`corpus`] + [`mutate`]); the reader must reject
-//!    with an attributed [`routergeo_db::rgdb::RgdbError`], never
-//!    panic, and never loop.
+//!    valid images in both wire formats ([`corpus`] + [`mutate`]); the
+//!    reader must reject with an attributed
+//!    [`routergeo_db::rgdb::RgdbError`], never panic, and never loop.
 //! 2. **The whois wire protocol** ([`proto_fuzz`]) — adversarial byte
 //!    streams against both `BulkClient` and `WhoisServer`; per-address
 //!    error attribution must survive and workers must shed, not wedge.
-//! 3. **Differential lookups** ([`diff`]) — the RGDB trie, `CsvDb`,
-//!    and `InMemoryDb` built from the same records must agree exactly.
+//! 3. **Differential lookups** ([`diff`]) — the RGDB v1 trie, the flat
+//!    v2 image, `CsvDb`, and `InMemoryDb` built from the same records
+//!    must agree exactly (and the two binary formats on match depth).
 //!
 //! There is no coverage feedback and no OS-level fuzzer here — just
 //! seeded replayable trials, which is what a dependency-free CI gate
@@ -29,7 +30,7 @@ pub mod report;
 pub mod rgdb_fuzz;
 pub mod rng;
 
-pub use corpus::{build_entry, CorpusEntry, Scale};
+pub use corpus::{build_entry, CorpusEntry, ImageFormat, Scale};
 pub use mutate::MutationClass;
 pub use report::FuzzReport;
 pub use rng::FuzzRng;

@@ -9,11 +9,15 @@
 //! class deliberately skips the re-fix: length/checksum rejection is a
 //! path worth fuzzing too.
 //!
-//! Layout facts used here mirror `crates/db/src/rgdb.rs`:
-//! 28-byte header (`magic u32 | version u16 | name_len u16 |
-//! node_count u32 | record_count u32 | data_len u32 | checksum u64`),
-//! then name, then `node_count × 12` bytes of nodes, then the data
-//! section.
+//! Layout facts used here mirror `crates/db/src/rgdb.rs` and
+//! `rgdb2.rs`: both formats share the 28-byte header (`magic u32 |
+//! version u16 | name_len u16 | node_count u32 | record_count u32 |
+//! len u32 | checksum u64`), then name, then `node_count × 12` bytes
+//! of nodes. What follows differs: v1's header `len` field is its
+//! variable-length data section, while v2 lays out `record_count × 20`
+//! fixed-width records and then a string table whose length the `len`
+//! field holds. [`geometry`] dispatches on the version field so every
+//! mutator targets the real payload region of either format.
 
 use crate::rng::FuzzRng;
 
@@ -133,9 +137,20 @@ struct Geometry {
 }
 
 fn geometry(bytes: &[u8]) -> Geometry {
+    let version = u16_at(bytes, 4);
     let name_len = usize::from(u16_at(bytes, 6));
     let node_count = usize::try_from(u32_at(bytes, 8)).unwrap_or(0);
-    let data_len = usize::try_from(u32_at(bytes, 16)).unwrap_or(0);
+    let data_len = if version == 2 {
+        // v2: fixed-width records then the string table; the header's
+        // length field at 16 covers only the strings.
+        let records = usize::try_from(u32_at(bytes, 12))
+            .unwrap_or(0)
+            .saturating_mul(20);
+        let strings = usize::try_from(u32_at(bytes, 16)).unwrap_or(0);
+        records.saturating_add(strings)
+    } else {
+        usize::try_from(u32_at(bytes, 16)).unwrap_or(0)
+    };
     let nodes_start = HEADER_LEN + name_len;
     let nodes_len = node_count.saturating_mul(12);
     Geometry {
@@ -298,6 +313,29 @@ mod tests {
             }
         }
         assert!(deep > 0);
+    }
+
+    #[test]
+    fn v2_geometry_reaches_the_record_and_string_sections() {
+        // The same refix property must hold for the flat format: a
+        // record bit-flip on a v2 image gets past the checksum gate and
+        // is judged by the canonical-encoding validation instead.
+        let image = build_entry(5, Scale::Small).image_v2();
+        let mut rejected_structurally = 0;
+        for t in 0..50u64 {
+            let mut rng = FuzzRng::new(t);
+            let mutated = apply(MutationClass::RecordBitFlip, &image, &mut rng);
+            match routergeo_db::rgdb2::Rgdb2Reader::open(bytes::Bytes::from(mutated)) {
+                Err(routergeo_db::rgdb::RgdbError::ChecksumMismatch) => {
+                    panic!("v2 mutation died at the checksum gate")
+                }
+                Err(_) => rejected_structurally += 1,
+                Ok(_) => {}
+            }
+        }
+        // Canonical-encoding validation makes most record flips fatal
+        // at open; if none were, the mutator missed the record section.
+        assert!(rejected_structurally > 0);
     }
 
     #[test]

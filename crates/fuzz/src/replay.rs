@@ -1,23 +1,26 @@
 //! Regression-corpus replay: one-line specs that pin past findings.
 //!
-//! A spec line names the four coordinates of a mutation trial:
+//! A spec line names the coordinates of a mutation trial:
 //!
 //! ```text
 //! seed=1 scale=tiny class=node-link-corrupt trial=7
+//! seed=1 scale=tiny class=node-link-corrupt trial=7 format=v2
 //! ```
 //!
 //! Because a trial is a pure function of those coordinates (see
 //! [`crate::rgdb_fuzz::trial_seed`]), the spec regenerates the exact
-//! mutant bytes — no binary blobs to check in. `crates/fuzz/corpus/`
-//! holds `.case` files of such lines (plus `#` comments), replayed by
-//! `cargo test` so a defect fixed once stays fixed.
+//! mutant bytes — no binary blobs to check in. The `format` key is
+//! optional and defaults to `v1`, so every pre-v2 spec line keeps its
+//! historical meaning. `crates/fuzz/corpus/` holds `.case` files of
+//! such lines (plus `#` comments), replayed by `cargo test` so a
+//! defect fixed once stays fixed.
 
-use crate::corpus::{build_entry, Scale};
+use crate::corpus::{build_entry, ImageFormat, Scale};
 use crate::mutate::{self, MutationClass};
 use crate::rgdb_fuzz::{execute_trial, trial_seed, TrialOutcome};
 use crate::rng::FuzzRng;
 
-/// The four coordinates of one mutation trial.
+/// The coordinates of one mutation trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplayCase {
     /// Corpus seed.
@@ -28,6 +31,9 @@ pub struct ReplayCase {
     pub class: MutationClass,
     /// Trial index within the class.
     pub trial: u64,
+    /// Wire format the corpus entry was serialized in (`v1` unless the
+    /// spec says otherwise).
+    pub format: ImageFormat,
 }
 
 /// Parse one spec line. Blank lines and `#` comments yield `Ok(None)`;
@@ -41,6 +47,7 @@ pub fn parse_spec(line: &str) -> Result<Option<ReplayCase>, String> {
     let mut scale = None;
     let mut class = None;
     let mut trial = None;
+    let mut format = None;
     for word in line.split_whitespace() {
         let (key, value) = word
             .split_once('=')
@@ -68,6 +75,10 @@ pub fn parse_spec(line: &str) -> Result<Option<ReplayCase>, String> {
                         .map_err(|_| format!("bad trial {value:?}"))?,
                 );
             }
+            "format" => {
+                format =
+                    Some(ImageFormat::parse(value).ok_or_else(|| format!("bad format {value:?}"))?);
+            }
             other => return Err(format!("unknown key {other:?}")),
         }
     }
@@ -77,6 +88,7 @@ pub fn parse_spec(line: &str) -> Result<Option<ReplayCase>, String> {
             scale,
             class,
             trial,
+            format: format.unwrap_or(ImageFormat::V1),
         })),
         _ => Err(format!("incomplete spec {line:?}")),
     }
@@ -85,8 +97,8 @@ pub fn parse_spec(line: &str) -> Result<Option<ReplayCase>, String> {
 /// Re-execute one case: regenerate the corpus image, re-apply the
 /// mutation, and hold the reader to the no-panic/attribution promises.
 pub fn replay(case: &ReplayCase) -> Result<(), String> {
-    let image = build_entry(case.seed, case.scale).image();
-    let ts = trial_seed(case.seed, case.scale, case.class, case.trial);
+    let image = build_entry(case.seed, case.scale).image_as(case.format);
+    let ts = trial_seed(case.seed, case.scale, case.class, case.trial, case.format);
     let mut rng = FuzzRng::new(ts);
     let mutated = mutate::apply(case.class, &image, &mut rng);
     match execute_trial(mutated, case.scale, ts ^ 0xA5A5) {
@@ -123,6 +135,7 @@ mod tests {
             scale: Scale::Small,
             class: MutationClass::SectionSplice,
             trial: 3,
+            format: ImageFormat::V1,
         };
         let line = format!(
             "seed={} scale={} class={} trial={}",
@@ -132,29 +145,39 @@ mod tests {
             case.trial
         );
         assert_eq!(parse_spec(&line), Ok(Some(case)));
+        let v2 = ReplayCase {
+            format: ImageFormat::V2,
+            ..case
+        };
+        assert_eq!(parse_spec(&format!("{line} format=v2")), Ok(Some(v2)));
         assert_eq!(parse_spec("# comment"), Ok(None));
         assert_eq!(parse_spec("   "), Ok(None));
         assert!(parse_spec("seed=1 scale=tiny").is_err());
         assert!(parse_spec("seed=x scale=tiny class=truncate trial=0").is_err());
+        assert!(parse_spec("seed=1 scale=tiny class=truncate trial=0 format=v9").is_err());
     }
 
     #[test]
-    fn replaying_a_fresh_case_passes() {
-        let case = ReplayCase {
-            seed: 1,
-            scale: Scale::Tiny,
-            class: MutationClass::HeaderFieldFlip,
-            trial: 0,
-        };
-        assert_eq!(replay(&case), Ok(()));
+    fn replaying_a_fresh_case_passes_in_both_formats() {
+        for format in ImageFormat::ALL {
+            let case = ReplayCase {
+                seed: 1,
+                scale: Scale::Tiny,
+                class: MutationClass::HeaderFieldFlip,
+                trial: 0,
+                format,
+            };
+            assert_eq!(replay(&case), Ok(()), "{}", format.label());
+        }
     }
 
     #[test]
     fn corpus_text_is_replayed_line_by_line() {
-        let text = "# two cases\n\
+        let text = "# three cases\n\
                     seed=1 scale=tiny class=truncate trial=0\n\
                     \n\
-                    seed=2 scale=small class=record-bit-flip trial=1\n";
-        assert_eq!(replay_corpus_text(text), Ok(2));
+                    seed=2 scale=small class=record-bit-flip trial=1\n\
+                    seed=2 scale=small class=record-bit-flip trial=1 format=v2\n";
+        assert_eq!(replay_corpus_text(text), Ok(3));
     }
 }

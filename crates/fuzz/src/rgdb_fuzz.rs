@@ -2,22 +2,26 @@
 //!
 //! Every trial mutates a valid corpus image with one typed
 //! [`MutationClass`] production and feeds the result to
-//! [`RgdbReader::open`] plus an address sweep. The reader is held to
+//! [`AnyReader::open`] plus an address sweep. The reader is held to
 //! three promises: it never panics, every structural rejection is
 //! attributed (a [`RgdbError::Corrupt`] carries its section and
 //! offset), and it never loops (the trie walk is depth-bounded in the
 //! reader itself, so a wedge would surface as a harness timeout).
 //!
-//! A trial is a pure function of `(corpus_seed, scale, class, trial)`
-//! — see [`trial_seed`] — which is what lets a violation collapse to
-//! the one-line spec format replayed by [`crate::replay`].
+//! A trial is a pure function of `(corpus_seed, scale, class, trial,
+//! format)` — see [`trial_seed`] — which is what lets a violation
+//! collapse to the one-line spec format replayed by [`crate::replay`].
+//! Both wire formats are fuzzed: each corpus entry is serialized as a
+//! v1 and a v2 image, and the mutant goes through `AnyReader::open` so
+//! the version dispatch itself is under fire too.
 
-use crate::corpus::{build_entry, Scale};
+use crate::corpus::{build_entry, ImageFormat, Scale};
 use crate::mutate::{self, MutationClass};
 use crate::rng::FuzzRng;
 use crate::FuzzConfig;
 use bytes::Bytes;
-use routergeo_db::rgdb::{RgdbError, RgdbReader};
+use routergeo_db::rgdb::RgdbError;
+use routergeo_db::rgdb2::AnyReader;
 use std::net::Ipv4Addr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -28,11 +32,27 @@ const SWEEP_ADDRS: u64 = 32;
 pub const CORPUS_SEEDS: [u64; 2] = [1, 2];
 
 /// Derive the deterministic seed for one mutation trial. Pure in all
-/// four coordinates so `crates/fuzz/corpus/` spec lines can re-create
-/// the exact mutant bytes.
-pub fn trial_seed(corpus_seed: u64, scale: Scale, class: MutationClass, trial: u64) -> u64 {
+/// five coordinates so `crates/fuzz/corpus/` spec lines can re-create
+/// the exact mutant bytes. The v1 format chains no extra bytes, so
+/// every pre-v2 spec line regenerates its exact historical mutant.
+pub fn trial_seed(
+    corpus_seed: u64,
+    scale: Scale,
+    class: MutationClass,
+    trial: u64,
+    format: ImageFormat,
+) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for b in scale.label().bytes().chain(class.label().bytes()) {
+    let format_bytes: &[u8] = match format {
+        ImageFormat::V1 => b"",
+        ImageFormat::V2 => b"v2",
+    };
+    for b in scale
+        .label()
+        .bytes()
+        .chain(class.label().bytes())
+        .chain(format_bytes.iter().copied())
+    {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
@@ -76,7 +96,7 @@ fn attributed(e: &RgdbError) -> bool {
 /// reportable outcome instead of tearing down the harness.
 pub fn execute_trial(mutated: Vec<u8>, scale: Scale, sweep_seed: u64) -> TrialOutcome {
     let result = catch_unwind(AssertUnwindSafe(move || {
-        match RgdbReader::open(Bytes::from(mutated)) {
+        match AnyReader::open(Bytes::from(mutated)) {
             Err(e) => {
                 if attributed(&e) {
                     TrialOutcome::Rejected
@@ -137,15 +157,23 @@ pub struct RgdbOutcome {
     pub classes: Vec<ClassOutcome>,
 }
 
-/// Run the pillar: every class against every corpus image,
-/// `trials_per_class` times each.
+/// Run the pillar: every class against every corpus image — each
+/// `(seed, scale)` entry in both wire formats — `trials_per_class`
+/// times each.
 pub fn run(config: &FuzzConfig) -> RgdbOutcome {
-    let corpus: Vec<(u64, Scale, Bytes)> = CORPUS_SEEDS
+    let corpus: Vec<(u64, Scale, ImageFormat, Bytes)> = CORPUS_SEEDS
         .iter()
         .flat_map(|&seed| {
-            Scale::ALL
-                .into_iter()
-                .map(move |scale| (seed, scale, build_entry(seed, scale).image()))
+            Scale::ALL.into_iter().flat_map(move |scale| {
+                ImageFormat::ALL.into_iter().map(move |format| {
+                    (
+                        seed,
+                        scale,
+                        format,
+                        build_entry(seed, scale).image_as(format),
+                    )
+                })
+            })
         })
         .collect();
 
@@ -160,16 +188,22 @@ pub fn run(config: &FuzzConfig) -> RgdbOutcome {
             panics: 0,
             violations: Vec::new(),
         };
-        for (seed, scale, image) in &corpus {
+        for (seed, scale, format, image) in &corpus {
             for trial in 0..config.trials_per_class {
+                // v1 specs keep the historical four-key shape so the
+                // checked-in regression corpus stays replayable as-is.
                 let spec = || {
+                    let suffix = match format {
+                        ImageFormat::V1 => String::new(),
+                        ImageFormat::V2 => format!(" format={}", format.label()),
+                    };
                     format!(
-                        "seed={seed} scale={} class={} trial={trial}",
+                        "seed={seed} scale={} class={} trial={trial}{suffix}",
                         scale.label(),
                         class.label()
                     )
                 };
-                let ts = trial_seed(*seed, *scale, class, trial);
+                let ts = trial_seed(*seed, *scale, class, trial, *format);
                 let mut rng = FuzzRng::new(ts);
                 let mutated = mutate::apply(class, image, &mut rng);
                 out.trials += 1;
@@ -221,10 +255,27 @@ mod tests {
 
     #[test]
     fn trial_seeds_separate_coordinates() {
-        let a = trial_seed(1, Scale::Tiny, MutationClass::Truncate, 0);
-        let b = trial_seed(1, Scale::Tiny, MutationClass::Truncate, 1);
-        let c = trial_seed(1, Scale::Small, MutationClass::Truncate, 0);
-        let d = trial_seed(2, Scale::Tiny, MutationClass::Truncate, 0);
-        assert!(a != b && a != c && a != d);
+        let a = trial_seed(1, Scale::Tiny, MutationClass::Truncate, 0, ImageFormat::V1);
+        let b = trial_seed(1, Scale::Tiny, MutationClass::Truncate, 1, ImageFormat::V1);
+        let c = trial_seed(1, Scale::Small, MutationClass::Truncate, 0, ImageFormat::V1);
+        let d = trial_seed(2, Scale::Tiny, MutationClass::Truncate, 0, ImageFormat::V1);
+        let e = trial_seed(1, Scale::Tiny, MutationClass::Truncate, 0, ImageFormat::V2);
+        assert!(a != b && a != c && a != d && a != e);
+    }
+
+    #[test]
+    fn both_formats_are_fuzzed() {
+        let config = FuzzConfig {
+            seed: 1,
+            trials_per_class: 1,
+            proto_runs: 1,
+            diff_addrs: 8,
+        };
+        let outcome = run(&config);
+        // seeds × scales × formats.
+        assert_eq!(
+            outcome.entries,
+            (CORPUS_SEEDS.len() * Scale::ALL.len() * ImageFormat::ALL.len()) as u64
+        );
     }
 }

@@ -151,6 +151,77 @@ impl<V> RangeMap<V> {
         (needle <= e.end).then_some(&e.value)
     }
 
+    /// Locate the entry index containing each needle of a batch.
+    ///
+    /// Equivalent to calling [`RangeMap::lookup`] per address but
+    /// cache-friendly: needles are visited in ascending address order
+    /// while a single monotone cursor advances over the sorted entries,
+    /// so a batch of `k` lookups costs `O(k + n)` sequential reads —
+    /// plus an `O(k log k)` position sort only when the input is not
+    /// already ascending (resolver pipelines feed sorted interface
+    /// sets, which skip it entirely). The returned vector is in the
+    /// *original* needle order; each element is `Some(i)` with
+    /// `self.value_at(i)` the matching value, or `None` on a miss.
+    pub fn locate_batch(&self, ips: &[Ipv4Addr]) -> Vec<Option<usize>> {
+        if ips.is_sorted() {
+            // Sorted fast path: sweep in place, no position indirection
+            // and no sort. `Ipv4Addr` orders like its big-endian u32.
+            let mut out = Vec::with_capacity(ips.len());
+            let mut cursor = 0usize;
+            for ip in ips {
+                out.push(self.sweep_to(u32::from(*ip), &mut cursor));
+            }
+            return out;
+        }
+        if u32::try_from(ips.len()).is_err() {
+            // Positions would not fit the packed 8-byte sort key; split
+            // the (pathologically large) batch and stitch the halves.
+            let mid = ips.len() / 2;
+            let mut out = self.locate_batch(&ips[..mid]);
+            out.extend(self.locate_batch(&ips[mid..]));
+            return out;
+        }
+        // 8-byte (address, position) keys: half the memory traffic of a
+        // (u32, usize) pair, which is where the sort spends its time.
+        let mut order: Vec<(u32, u32)> = ips
+            .iter()
+            .enumerate()
+            .map(|(pos, ip)| (u32::from(*ip), u32::try_from(pos).unwrap_or(u32::MAX)))
+            .collect();
+        order.sort_unstable();
+        let mut out = vec![None; ips.len()];
+        let mut cursor = 0usize;
+        for (needle, pos) in order {
+            let pos = usize::try_from(pos).unwrap_or(usize::MAX);
+            let hit = self.sweep_to(needle, &mut cursor);
+            if let Some(slot) = out.get_mut(pos) {
+                *slot = hit;
+            }
+        }
+        out
+    }
+
+    /// One step of the monotone batch sweep: advance `cursor` past every
+    /// entry starting at or before `needle` (needles arrive ascending,
+    /// so the cursor never moves backward) and report the index of the
+    /// entry containing `needle`, if any.
+    fn sweep_to(&self, needle: u32, cursor: &mut usize) -> Option<usize> {
+        while self.entries.get(*cursor).is_some_and(|e| e.start <= needle) {
+            *cursor += 1;
+        }
+        let idx = cursor.checked_sub(1)?;
+        self.entries
+            .get(idx)
+            .is_some_and(|e| needle <= e.end)
+            .then_some(idx)
+    }
+
+    /// Value stored at entry index `idx` (as returned by
+    /// [`RangeMap::locate_batch`]).
+    pub fn value_at(&self, idx: usize) -> Option<&V> {
+        self.entries.get(idx).map(|e| &e.value)
+    }
+
     /// Iterate `(start, end, &value)` in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Addr, Ipv4Addr, &V)> {
         self.entries
@@ -227,6 +298,47 @@ mod tests {
         let m = b.build().unwrap();
         assert_eq!(m.address_count(), 256);
         assert_eq!(m.lookup(ip("192.0.2.200")), Some(&7));
+    }
+
+    #[test]
+    fn locate_batch_agrees_with_pointwise_lookup() {
+        let mut b = RangeMapBuilder::new();
+        b.push(ip("10.0.0.0"), ip("10.0.0.255"), "a");
+        b.push(ip("10.0.2.0"), ip("10.0.2.255"), "b");
+        b.push(ip("200.1.0.0"), ip("200.1.255.255"), "c");
+        let m = b.build().unwrap();
+        // Unsorted, duplicated, hit-and-miss needles.
+        let needles: Vec<Ipv4Addr> = [
+            "200.1.44.3",
+            "10.0.0.0",
+            "10.0.1.7",
+            "10.0.2.255",
+            "10.0.0.0",
+            "0.0.0.0",
+            "255.255.255.255",
+            "10.0.0.255",
+        ]
+        .iter()
+        .map(|s| ip(s))
+        .collect();
+        let located = m.locate_batch(&needles);
+        assert_eq!(located.len(), needles.len());
+        for (got, needle) in located.iter().zip(&needles) {
+            let via_batch = got.and_then(|i| m.value_at(i));
+            assert_eq!(via_batch, m.lookup(*needle), "needle {needle}");
+        }
+    }
+
+    #[test]
+    fn locate_batch_on_empty_map_and_empty_batch() {
+        let m: RangeMap<u8> = RangeMap::empty();
+        assert_eq!(m.locate_batch(&[ip("1.2.3.4")]), vec![None]);
+        let mut b = RangeMapBuilder::new();
+        b.push(ip("10.0.0.0"), ip("10.0.0.255"), 1);
+        let m = b.build().unwrap();
+        assert!(m.locate_batch(&[]).is_empty());
+        assert_eq!(m.value_at(0), Some(&1));
+        assert_eq!(m.value_at(1), None);
     }
 
     #[test]

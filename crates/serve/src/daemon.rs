@@ -19,8 +19,8 @@
 
 use crate::protocol::{self, ProtoError, Request, Response};
 use bytes::Bytes;
-use routergeo_db::rgdb::{RgdbError, RgdbReader};
-use routergeo_db::GeoDatabase as _;
+use routergeo_db::rgdb::RgdbError;
+use routergeo_db::rgdb2::AnyReader;
 use std::fmt;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,7 +64,7 @@ impl Default for ServeConfig {
 /// monotonically increasing id responses carry.
 pub struct Generation {
     id: u32,
-    reader: RgdbReader,
+    reader: AnyReader,
 }
 
 impl Generation {
@@ -73,8 +73,8 @@ impl Generation {
         self.id
     }
 
-    /// The underlying validated reader.
-    pub fn reader(&self) -> &RgdbReader {
+    /// The underlying validated reader (either format version).
+    pub fn reader(&self) -> &AnyReader {
         &self.reader
     }
 }
@@ -214,7 +214,7 @@ impl ServeDaemon {
     /// Validate `image`, bind `127.0.0.1:0`, and start the accept loop
     /// plus `config.workers` connection workers.
     pub fn spawn_with(image: Bytes, config: ServeConfig) -> Result<ServeDaemon, ServeError> {
-        let reader = RgdbReader::open(image)?;
+        let reader = AnyReader::open(image)?;
         let generation = Arc::new(Generation { id: 1, reader });
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -292,7 +292,7 @@ impl ServeDaemon {
     /// bounded polling until no in-flight request still pins the old
     /// generation.
     pub fn hot_swap(&self, image: Bytes) -> Result<SwapReport, ServeError> {
-        let reader = RgdbReader::open(image)?;
+        let reader = AnyReader::open(image)?;
         let id = self.shared.next_gen.fetch_add(1, Ordering::SeqCst);
         let fresh = Arc::new(Generation { id, reader });
         let mut guard = match self.shared.current.write() {

@@ -23,7 +23,7 @@
 use crate::corpus::Corpus;
 use crate::daemon::{ServeConfig, ServeDaemon, ServeError};
 use crate::protocol::{self, ProtoError, Request, Response, MAX_FRAME};
-use routergeo_db::rgdb::RgdbReader;
+use routergeo_db::rgdb2::AnyReader;
 use routergeo_faultnet::{ChaosProxy, Fault, FaultPlan, TestClock};
 use routergeo_pool::splitmix64;
 use std::io::Write as _;
@@ -499,7 +499,7 @@ pub fn run_wall_phase(
     let served_us = timer.elapsed_us().max(1);
     let served_per_sec = (batches * depth).saturating_mul(1_000_000) / served_us;
 
-    let reader = RgdbReader::open(image)?;
+    let reader = AnyReader::open(image)?;
     let timer = routergeo_obs::stopwatch();
     let mut checksum = 0u64;
     for j in 0..batches * depth {

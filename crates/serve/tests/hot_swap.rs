@@ -96,3 +96,48 @@ fn responses_are_internally_consistent_during_the_flip() {
     assert_eq!(stats.shed, 0, "queue depth 32 must absorb one prober");
     drop(daemon);
 }
+
+#[test]
+fn v2_images_hot_swap_over_v1_generations_and_back() {
+    // The generation slot is format-agnostic: a daemon booted on a v1
+    // image must accept a v2 image mid-flight (and vice versa), with
+    // identical hit/miss behavior and generation-tagged payloads.
+    let corpus = Corpus::new(64);
+    let daemon = ServeDaemon::spawn_with(corpus.image(1), ServeConfig::default())
+        .expect("daemon spawns on a v1 image");
+    let mut client = ServeClient::connect(daemon.addr()).expect("client connects");
+
+    let probe = |client: &mut ServeClient, expect_gen: u32| {
+        for k in [0usize, 3, 17, 63] {
+            match client.request(&Request::Lookup(corpus.hit_addr(k))) {
+                Ok(Response::Hit { generation, record }) => {
+                    assert_eq!(generation, expect_gen);
+                    let city = record.city.as_deref().unwrap_or("");
+                    assert!(
+                        Corpus::city_matches(expect_gen, city),
+                        "generation {expect_gen} served city {city:?}"
+                    );
+                }
+                other => panic!("hit address must hit on generation {expect_gen}, got {other:?}"),
+            }
+        }
+    };
+    probe(&mut client, 1);
+
+    // v1 -> v2: the daemon opens the flat image and serves from it.
+    let report = daemon.hot_swap(corpus.image_v2(2)).expect("v2 swap");
+    assert_eq!(report.old_generation, 1);
+    assert_eq!(report.new_generation, 2);
+    assert!(report.drained);
+    probe(&mut client, 2);
+
+    // v2 -> v1: swapping back off the flat format works the same way.
+    let report = daemon.hot_swap(corpus.image(3)).expect("v1 swap");
+    assert_eq!(report.new_generation, 3);
+    probe(&mut client, 3);
+
+    let stats = daemon.stats();
+    assert_eq!(stats.swaps, 2);
+    assert_eq!(stats.errors, 0);
+    drop(daemon);
+}

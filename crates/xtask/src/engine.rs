@@ -45,11 +45,12 @@ const RG008_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/timing.rs"];
 
 /// Files whose values flow through the `net::trie` / `db::rgdb` lookup
 /// paths; RG003 (checked numeric conversions) applies only here.
-const RG003_FILES: [&str; 4] = [
+const RG003_FILES: [&str; 5] = [
     "crates/net/src/trie.rs",
     "crates/net/src/rangemap.rs",
     "crates/net/src/prefix.rs",
     "crates/db/src/rgdb.rs",
+    "crates/db/src/rgdb2.rs",
 ];
 
 /// Crates whose public functions must carry doc comments (RG005).
@@ -65,10 +66,12 @@ const RG009_FILES: [&str; 3] = [
 ];
 
 /// The reader/trie lookup paths that parse or index untrusted database
-/// bytes; RG010 (no unchecked indexing) applies only here — the
-/// pre-gate for the v2 pointer-arithmetic `mmap` reader.
-const RG010_FILES: [&str; 3] = [
+/// bytes; RG010 (no unchecked indexing) applies only here — including
+/// the v2 flat reader, which is pointer-arithmetic-heavy by design and
+/// therefore must stay on checked `get`/`ok_or` access.
+const RG010_FILES: [&str; 4] = [
     "crates/db/src/rgdb.rs",
+    "crates/db/src/rgdb2.rs",
     "crates/net/src/trie.rs",
     "crates/net/src/prefix.rs",
 ];
@@ -482,6 +485,11 @@ mod tests {
 
         let db = rules_for("crates/db/src/rgdb.rs").expect("in scope");
         assert!(db.rg003 && db.rg005);
+        let db2 = rules_for("crates/db/src/rgdb2.rs").expect("in scope");
+        assert!(
+            db2.rg003 && db2.rg005,
+            "the v2 reader converts untrusted numerics and is a db API"
+        );
 
         let core = rules_for("crates/core/src/accuracy.rs").expect("in scope");
         assert!(core.rg005 && !core.rg003);
@@ -537,6 +545,11 @@ mod tests {
     fn scope_rule_classification_by_path() {
         let rgdb = rules_for("crates/db/src/rgdb.rs").expect("in scope");
         assert!(rgdb.rg010 && rgdb.rg011 && rgdb.rg012);
+        let rgdb2 = rules_for("crates/db/src/rgdb2.rs").expect("in scope");
+        assert!(
+            rgdb2.rg010 && rgdb2.rg011 && rgdb2.rg012,
+            "the pointer-arithmetic v2 reader must stay on checked access"
+        );
         let trie = rules_for("crates/net/src/trie.rs").expect("in scope");
         assert!(trie.rg010);
         let prefix = rules_for("crates/net/src/prefix.rs").expect("in scope");

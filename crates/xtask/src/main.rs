@@ -29,7 +29,12 @@ commands:\n  \
                         run the serve loadgen (virtual-time sim, hot swap under load,\n  \
                         abuse, wall-clock ratio gates) and write the deterministic\n  \
                         report to target/ci-artifacts/serve_ci.json (default budget\n  \
-                        8000 ms)\n";
+                        8000 ms)\n  \
+  resolve-check [--budget-ms N]\n  \
+                        run the paper-scale resolve smoke (four synthetic vendor RGDB v2\n  \
+                        images, 1.5 M batched lookups through ResolvedView) and write\n  \
+                        the report to target/ci-artifacts/resolve_ci.json; non-zero exit\n  \
+                        when the resolve stage exceeds the budget (default 45000 ms)\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -121,6 +126,28 @@ fn main() -> ExitCode {
                 }
             }
             run_serve_check(&root, budget_ms)
+        }
+        Some("resolve-check") => {
+            let mut budget_ms: u64 = 45_000;
+            let mut rest = args[1..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--budget-ms" => match rest.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => budget_ms = v,
+                        None => {
+                            eprintln!(
+                                "xtask resolve-check: --budget-ms needs a millisecond count\n\n{USAGE}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    bad => {
+                        eprintln!("xtask resolve-check: unknown flag `{bad}`\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_resolve_check(&root, budget_ms)
         }
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
@@ -440,9 +467,9 @@ fn run_fuzz(budget_ms: u64, as_json: bool) -> ExitCode {
     }
 }
 
-/// The loadgen seed pinned for CI: the report is a pure function of
+/// The seed pinned for the CI serve/resolve gates: each report is a pure function of
 /// `(budget, seed)`, so the artifact diffs cleanly between runs.
-const SERVE_CHECK_SEED: &str = "20170301";
+const CI_SEED: &str = "20170301";
 
 fn run_serve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
     let art_dir = root.join("target").join("ci-artifacts");
@@ -480,7 +507,7 @@ fn run_serve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
             "--budget-ms",
         ])
         .arg(budget_ms.to_string())
-        .args(["--seed", SERVE_CHECK_SEED, "--json"])
+        .args(["--seed", CI_SEED, "--json"])
         .stdout(out_file)
         .status();
     match status {
@@ -497,6 +524,71 @@ fn run_serve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
         }
         Err(err) => {
             eprintln!("xtask serve-check: cannot run loadgen: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The resolve smoke gate: the paper-scale batched-lookup workload
+/// (four synthetic vendor databases as RGDB v2 images, 1.5 M interface
+/// addresses through `ResolvedView`) under a wall budget on the resolve
+/// stage alone. Synthesis and probes are a pure function of the pinned
+/// seed, so everything in the artifact except the wall-clock fields is
+/// byte-stable.
+fn run_resolve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
+    let art_dir = root.join("target").join("ci-artifacts");
+    if let Err(err) = std::fs::create_dir_all(&art_dir) {
+        eprintln!(
+            "xtask resolve-check: cannot create {}: {err}",
+            art_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let artifact = art_dir.join("resolve_ci.json");
+    let out_file = match std::fs::File::create(&artifact) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!(
+                "xtask resolve-check: cannot create {}: {err}",
+                artifact.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("xtask resolve-check: paper-scale resolve smoke (budget {budget_ms} ms, release)…");
+    let status = std::process::Command::new("cargo")
+        .current_dir(root)
+        .env("ROUTERGEO_SCALE", "paper")
+        .env("ROUTERGEO_SEED", CI_SEED)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "routergeo-bench",
+            "--bin",
+            "resolve_smoke",
+            "--",
+            "--budget-ms",
+        ])
+        .arg(budget_ms.to_string())
+        .stdout(out_file)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            eprintln!("xtask resolve-check: wrote {}", artifact.display());
+            ExitCode::SUCCESS
+        }
+        Ok(s) => {
+            eprintln!(
+                "xtask resolve-check: resolve_smoke exited with {s} (report at {})",
+                artifact.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask resolve-check: cannot run resolve_smoke: {err}");
             ExitCode::FAILURE
         }
     }
