@@ -1,15 +1,17 @@
-//! Paper-scale resolve smoke gate: batched v2 lookups under a wall
+//! Paper-scale resolve smoke gate: batched v2.1 lookups under a wall
 //! budget.
 //!
 //! The paper's core workload is millions of IP→location lookups across
 //! four vendor databases (§5). This binary reproduces that shape in
-//! isolation: it synthesizes four vendor-style databases as RGDB v2
-//! images, opens them zero-copy, and resolves a full interface address
-//! set through `ResolvedView::build_with` — the same batched
-//! `lookup_batch` path the analyses use. It prints one JSON report to
-//! stdout (CI redirects it into `target/ci-artifacts/`) and, when
-//! `--budget-ms` is given, exits non-zero if the resolve stage alone
-//! exceeded the budget.
+//! isolation: it synthesizes four vendor-style databases as RGDB v2.1
+//! images (stride-16 root table + level-order nodes), opens them
+//! zero-copy, and resolves a full interface address set through
+//! `ResolvedView::build_with` — the same batched `lookup_batch` path
+//! the analyses use. It prints one JSON report to stdout (CI redirects
+//! it into `target/ci-artifacts/`) and, when `--budget-ms` is given,
+//! exits non-zero if the resolve stage alone exceeded the budget. The
+//! report carries `lookup_ns_per_addr` so `cargo xtask resolve-check`
+//! can ratio-gate per-lookup cost against the blessed baseline.
 //!
 //! ```text
 //! usage: resolve_smoke [--budget-ms N]
@@ -170,16 +172,16 @@ fn main() {
     let rows: usize = vendor_sets.iter().map(Vec::len).sum();
     clock.finish(&mut stages, rows + ips.len());
 
-    let clock = StageClock::start("write_v2");
+    let clock = StageClock::start("write_v21");
     let images: Vec<bytes::Bytes> = vendor_sets
         .iter()
         .zip(VENDORS)
-        .map(|(rows, name)| rgdb2::write(name, rows.iter().map(|(p, r)| (*p, r))))
+        .map(|(rows, name)| rgdb2::write_v21(name, rows.iter().map(|(p, r)| (*p, r))))
         .collect();
     let image_bytes: usize = images.iter().map(bytes::Bytes::len).sum();
     clock.finish(&mut stages, image_bytes);
 
-    let clock = StageClock::start("open_v2");
+    let clock = StageClock::start("open_v21");
     let readers: Vec<Rgdb2Reader> = images
         .into_iter()
         .map(|img| Rgdb2Reader::open(img).expect("the writer's own image validates"))
@@ -198,6 +200,13 @@ fn main() {
         .find(|s| s.stage == "resolve")
         .map_or(0.0, |s| s.wall_ms);
     let within = budget_ms.is_none_or(|b| resolve_ms <= b as f64);
+    let lookups = view.len() * view.db_count();
+    #[allow(clippy::cast_precision_loss)] // lookup counts sit far below 2^52
+    let lookup_ns_per_addr = if lookups == 0 {
+        0.0
+    } else {
+        resolve_ms * 1e6 / lookups as f64
+    };
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -217,6 +226,9 @@ fn main() {
     out.push_str(&format!("  \"hits\": {hits},\n"));
     out.push_str(&format!("  \"interned\": {},\n", view.interner().len()));
     out.push_str(&format!("  \"resolve_wall_ms\": {resolve_ms:.3},\n"));
+    out.push_str(&format!(
+        "  \"lookup_ns_per_addr\": {lookup_ns_per_addr:.3},\n"
+    ));
     out.push_str(&format!(
         "  \"budget_ms\": {},\n",
         budget_ms.map_or("null".to_string(), |b| b.to_string())

@@ -271,15 +271,32 @@ impl Lab {
             .iter()
             .enumerate()
             .map(|(ix, db)| {
-                let entries: Vec<(Prefix, &routergeo_db::LocationRecord)> = db
-                    .iter()
-                    .flat_map(|(start, end, rec)| {
-                        Prefix::cover_range(start, end)
-                            .into_iter()
-                            .map(move |p| (p, rec))
-                    })
-                    .collect();
-                routergeo_db::rgdb::write(&format!("vendor-{ix}"), entries)
+                routergeo_db::rgdb::write(&format!("vendor-{ix}"), Lab::vendor_entries(db))
+            })
+            .collect()
+    }
+
+    /// [`Lab::vendor_images`] in the v2.1 cache-locality format (root
+    /// table + level-order nodes) — same prefixes and payloads, so a
+    /// daemon can hot-swap freely between the two encodings of a
+    /// vendor.
+    pub fn vendor_images_v21(&self) -> Vec<bytes::Bytes> {
+        self.dbs
+            .iter()
+            .enumerate()
+            .map(|(ix, db)| {
+                routergeo_db::rgdb2::write_v21(&format!("vendor-{ix}"), Lab::vendor_entries(db))
+            })
+            .collect()
+    }
+
+    /// The covering-prefix rows a vendor database serializes to.
+    fn vendor_entries(db: &InMemoryDb) -> Vec<(Prefix, &routergeo_db::LocationRecord)> {
+        db.iter()
+            .flat_map(|(start, end, rec)| {
+                Prefix::cover_range(start, end)
+                    .into_iter()
+                    .map(move |p| (p, rec))
             })
             .collect()
     }

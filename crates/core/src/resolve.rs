@@ -21,8 +21,12 @@ use std::net::Ipv4Addr;
 /// Addresses per shard for the parallel resolvers and evaluators in
 /// this crate. Lookups draw no randomness, so the shard seed is
 /// irrelevant; the size is fixed (never thread-derived) to keep merge
-/// order stable.
-pub(crate) const LOOKUP_SHARD_SIZE: usize = 4096;
+/// order stable. Sized so the batched readers amortize their
+/// per-chunk work (sort, dense memo tables) over many addresses —
+/// each distinct record decodes once per shard, so bigger shards mean
+/// strictly fewer decodes — while still splitting paper-scale inputs
+/// into ~90 shards, plenty of parallelism for any realistic pool.
+pub(crate) const LOOKUP_SHARD_SIZE: usize = 16384;
 
 /// Columnar resolve-once answers: `column(db)[i]` is database `db`'s
 /// compact answer for the `i`-th input address.
@@ -221,6 +225,81 @@ mod tests {
         for (d, db) in dbs.iter().enumerate() {
             for (i, ip) in ips.iter().enumerate() {
                 let expanded = view.record(d, i).map(|c| c.to_record(view.interner()));
+                assert_eq!(expanded, db.lookup(*ip), "db {d} ip {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn v21_views_are_identical_across_threads_and_image_sources() {
+        // The multi-threaded resolve default rests on this: a view
+        // built over v2.1 root-table readers — the batched frontier
+        // walk, not the per-address loop — must be byte-identical at
+        // 1, 2, and 8 threads, and a file-backed image must answer
+        // exactly like the heap-backed bytes it was written from.
+        use routergeo_db::rgdb2::{self, Rgdb2Reader};
+        use routergeo_db::FileImage;
+        use routergeo_net::Prefix;
+
+        let sources = [striped_db("a", 120, 1), striped_db("b", 120, 3)];
+        let images: Vec<_> = sources
+            .iter()
+            .map(|db| {
+                let entries: Vec<_> = db
+                    .iter()
+                    .flat_map(|(start, end, rec)| {
+                        Prefix::cover_range(start, end)
+                            .into_iter()
+                            .map(move |p| (p, rec))
+                    })
+                    .collect();
+                rgdb2::write_v21(db.name(), entries)
+            })
+            .collect();
+        let heap: Vec<Rgdb2Reader> = images
+            .iter()
+            .map(|img| Rgdb2Reader::open(img.clone()).unwrap())
+            .collect();
+        assert!(heap.iter().all(Rgdb2Reader::has_root_table));
+
+        let dir = std::env::temp_dir();
+        let paths: Vec<_> = (0..images.len())
+            .map(|ix| {
+                dir.join(format!(
+                    "routergeo-resolve-det-{}-{ix}.rgdb",
+                    std::process::id()
+                ))
+            })
+            .collect();
+        for (path, img) in paths.iter().zip(&images) {
+            std::fs::write(path, img).unwrap();
+        }
+        let file_backed: Vec<Rgdb2Reader> = paths
+            .iter()
+            .map(|p| Rgdb2Reader::open(FileImage::load(p).unwrap().into_bytes()).unwrap())
+            .collect();
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
+
+        let ips = sample_ips(10_000);
+        let serial = ResolvedView::build_with(&heap, &ips, &Pool::new(1));
+        for threads in [2, 8] {
+            let parallel = ResolvedView::build_with(&heap, &ips, &Pool::new(threads));
+            assert_eq!(
+                serial, parallel,
+                "v2.1 view differs between 1 and {threads} threads"
+            );
+        }
+        let from_disk = ResolvedView::build_with(&file_backed, &ips, &Pool::new(2));
+        assert_eq!(
+            serial, from_disk,
+            "file-backed v2.1 images must answer exactly like the heap bytes"
+        );
+        // And the batched path must agree with the in-memory source dbs.
+        for (d, db) in sources.iter().enumerate() {
+            for (i, ip) in ips.iter().enumerate().step_by(97) {
+                let expanded = serial.record(d, i).map(|c| c.to_record(serial.interner()));
                 assert_eq!(expanded, db.lookup(*ip), "db {d} ip {ip}");
             }
         }

@@ -118,6 +118,14 @@ impl LocationInterner {
         self.refs
     }
 
+    /// Record one reference that resolved through a caller-side id
+    /// cache instead of [`LocationInterner::intern`]. Keeps the
+    /// `resolve.interner_refs` metric meaning "references", not "hash
+    /// probes", when readers memoize string-offset → id mappings.
+    pub fn count_ref(&mut self) {
+        self.refs += 1;
+    }
+
     /// Absorb every symbol of `local` into `self` (in `local` id order)
     /// and return the remap from `local` ids to `self` ids. Used to
     /// merge shard-local interners deterministically.

@@ -14,11 +14,15 @@
 //!   binary search trie over address bits plus a deduplicated data
 //!   section, with a checksummed header; reader works directly over
 //!   [`bytes::Bytes`].
-//! * [`rgdb2`] — **RGDB v2**, the flat zero-copy revision: fixed-width
-//!   trie nodes and records plus a deduplicated string table, fully
-//!   validated at open so lookups are lock-free pointer arithmetic that
-//!   borrows straight from the image bytes. [`AnyReader`] dispatches on
-//!   the header version so v1 and v2 images open through one call.
+//! * [`rgdb2`] — **RGDB v2 / v2.1**, the flat zero-copy revisions:
+//!   fixed-width trie nodes and records plus a deduplicated string
+//!   table, fully validated at open so lookups are lock-free pointer
+//!   arithmetic that borrows straight from the image bytes. v2.1 adds a
+//!   stride-16 root table and level-order node placement for cache
+//!   locality. [`AnyReader`] dispatches on the header version so v1,
+//!   v2, and v2.1 images open through one call.
+//! * [`image`] — [`FileImage`], the file-backed image loader: one
+//!   allocation, positioned reads, attributed I/O errors.
 //! * [`diff`] — snapshot drift measurement: classify how answers change
 //!   between two releases of a database (the paper's §5.2 50-day
 //!   robustness argument, made testable).
@@ -34,6 +38,7 @@
 pub mod compact;
 pub mod csvdb;
 pub mod diff;
+pub mod image;
 pub mod inmem;
 pub mod record;
 pub mod rgdb;
@@ -41,6 +46,7 @@ pub mod rgdb2;
 pub mod synth;
 
 pub use compact::{CompactRecord, IdRemap, LocationInterner};
+pub use image::FileImage;
 pub use inmem::InMemoryDb;
 pub use record::{Granularity, LocationRecord};
 pub use rgdb2::{AnyReader, Rgdb2Reader};

@@ -61,6 +61,8 @@ pub enum Section {
     Records,
     /// The interned string table (v2 images).
     Strings,
+    /// The stride-16 root table (v2.1 images).
+    RootTable,
 }
 
 impl Section {
@@ -73,6 +75,7 @@ impl Section {
             Section::Data => "data",
             Section::Records => "records",
             Section::Strings => "strings",
+            Section::RootTable => "root-table",
         }
     }
 }
@@ -116,6 +119,18 @@ pub enum RgdbError {
     /// Structural corruption (out-of-range offsets, bad UTF-8, …),
     /// attributed to a section and absolute offset.
     Corrupt(CorruptContext),
+    /// I/O failure loading an image from disk, attributed to the file
+    /// path and the operation that failed. Carries the OS error
+    /// category rather than the full `std::io::Error` so the error type
+    /// stays `Clone + Eq` for the differential and replay harnesses.
+    Io {
+        /// Path of the image file.
+        path: String,
+        /// Operation that failed (`"open"`, `"metadata"`, `"read"`).
+        op: &'static str,
+        /// OS error category.
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl RgdbError {
@@ -145,6 +160,9 @@ impl fmt::Display for RgdbError {
             RgdbError::BadVersion(v) => write!(f, "unsupported RGDB version {v}"),
             RgdbError::ChecksumMismatch => f.write_str("RGDB checksum mismatch"),
             RgdbError::Corrupt(ctx) => write!(f, "corrupt RGDB image: {ctx}"),
+            RgdbError::Io { path, op, kind } => {
+                write!(f, "RGDB image I/O failure: {op} `{path}`: {kind}")
+            }
         }
     }
 }

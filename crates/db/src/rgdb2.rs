@@ -34,17 +34,44 @@
 //! strings: deduplicated `len u8 + bytes` entries, strings_len total
 //! ```
 //!
+//! ## v2.1 — the cache-locality revision
+//!
+//! v2.1 (header version 3, [`write_v21`]) keeps the node/record/string
+//! encodings bit-for-bit and adds two layout guarantees aimed at memory
+//! latency on the lookup path:
+//!
+//! - **Stride-16 root table.** A fixed 65 536 × 8-byte section between
+//!   the name and the nodes, indexed by an address's top sixteen bits.
+//!   Each entry is `record u32 | node u32`: the deepest record on the
+//!   trie walk through depth 16, and the depth-16 subtrie root when the
+//!   walk reaches one (`0xFFFF_FFFF` = none on either side). The common
+//!   case replaces up to 16 dependent node hops with one indexed load.
+//! - **Level-order node placement.** The remaining trie nodes are laid
+//!   out breadth-first: node 0 is the root and, scanning nodes in index
+//!   order, the non-`NONE` child links are exactly 1, 2, 3, … so each
+//!   trie level is one contiguous index range. The batched lookup walks
+//!   a sorted frontier level by level, touching the node array in
+//!   near-sequential order instead of chasing one pointer per address.
+//!
+//! Both additions are **pure acceleration**: the full trie is retained,
+//! so every v2 walk (including [`Rgdb2Reader::match_len`]) still works,
+//! and answers are identical between the two layouts.
+//!
 //! The encoding is **canonical**: unknown flag bits, non-zeroed absent
 //! fields, out-of-range offsets, bad UTF-8, or out-of-range coordinates
 //! are all rejected at [`Rgdb2Reader::open`], which walks every node
-//! and record once. After that single validation sweep the reader is
-//! immutable shared state: `&Rgdb2Reader` is freely usable from any
-//! number of threads with zero coordination.
+//! and record once. On v2.1 images the same sweep checks the level-order
+//! placement invariant and re-derives the entire root table from the
+//! nodes, rejecting any entry that disagrees — a root table can never
+//! change an answer, only speed it up. After that single validation
+//! sweep the reader is immutable shared state: `&Rgdb2Reader` is freely
+//! usable from any number of threads with zero coordination.
 //!
-//! [`AnyReader`] dispatches on the header version so callers open v1
-//! and v2 images through one entry point and hot-swap between them.
+//! [`AnyReader`] dispatches on the header version so callers open v1,
+//! v2, and v2.1 images through one entry point and hot-swap between
+//! them.
 
-use crate::compact::{CompactRecord, FnvBuildHasher, LocationInterner};
+use crate::compact::{CompactRecord, LocationInterner};
 use crate::record::{Granularity, LocationRecord};
 use crate::rgdb::{
     flatten_trie, fnv1a, ix, micro_deg, put_str255, RgdbError, RgdbReader, Section, HEADER_LEN,
@@ -58,10 +85,16 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 const VERSION2: u16 = 2;
+/// On-disk header version of the v2.1 layout revision.
+const VERSION21: u16 = 3;
 /// Fixed byte width of one record in the record array.
 const RECORD_WIDTH: usize = 20;
 /// Byte width of one trie node (shared with v1).
 const NODE_WIDTH: usize = 12;
+/// Byte width of one stride-16 root-table entry: `record u32 | node u32`.
+const ROOT_ENTRY_WIDTH: usize = 8;
+/// Total byte length of the v2.1 root table: one entry per /16.
+pub(crate) const ROOT_TABLE_BYTES: usize = (1 << 16) * ROOT_ENTRY_WIDTH;
 
 // ---- writer -----------------------------------------------------------------
 
@@ -131,13 +164,16 @@ fn encode_record2(
     bytes
 }
 
-/// Serialize `(prefix, record)` entries into an RGDB **v2** image.
-///
-/// Records are deduplicated by their fixed-width encoding and strings
-/// by content, so the same `(prefix, record)` input produces the same
-/// answers as [`rgdb::write`] — the v1↔v2 differential suite holds the
-/// two writers to exact `lookup_compact` agreement.
-pub fn write<'a, I>(name: &str, entries: I) -> Bytes
+/// Deduplicated record/string tables plus the record-index trie — the
+/// shared front half of the v2 and v2.1 writers.
+struct WriterTables {
+    strings: BytesMut,
+    records: BytesMut,
+    record_count: u32,
+    trie: PrefixTrie<u32>,
+}
+
+fn build_tables<'a, I>(entries: I) -> WriterTables
 where
     I: IntoIterator<Item = (Prefix, &'a LocationRecord)>,
 {
@@ -159,25 +195,147 @@ where
         });
         trie.insert(prefix, index);
     }
-    let nodes = flatten_trie(&trie);
+    WriterTables {
+        strings,
+        records,
+        record_count,
+        trie,
+    }
+}
 
+/// Renumber the flattened trie into level order (BFS from the root):
+/// node 0 stays the root, its children come next, then the
+/// grandchildren, and so on. Scanning nodes in index order, the
+/// non-`NONE` child links are then exactly 1, 2, 3, … — the placement
+/// invariant the v2.1 validator pins, and what lets the frontier batch
+/// walk read each trie level as one forward index range.
+fn bfs_nodes(trie: &PrefixTrie<u32>) -> Vec<[u32; 3]> {
+    let arena = flatten_trie(trie);
+    // Visit order doubles as the new→old index table.
+    let mut order: Vec<usize> = Vec::with_capacity(arena.len());
+    let mut new_of: Vec<u32> = vec![NONE; arena.len()];
+    order.push(0);
+    if let Some(slot) = new_of.get_mut(0) {
+        *slot = 0;
+    }
+    let mut head = 0usize;
+    while head < order.len() {
+        let old = *order.get(head).expect("head < order.len()");
+        head += 1;
+        let node = *arena.get(old).expect("flattened links stay in bounds");
+        for link in [node[0], node[1]] {
+            if link != NONE {
+                let renumbered = u32::try_from(order.len()).expect("node count exceeds u32");
+                if let Some(slot) = new_of.get_mut(ix(link)) {
+                    *slot = renumbered;
+                }
+                order.push(ix(link));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), arena.len(), "trie arena fully reachable");
+    order
+        .iter()
+        .map(|&old| {
+            let n = *arena.get(old).expect("visited nodes are in bounds");
+            let remap = |link: u32| {
+                if link == NONE {
+                    NONE
+                } else {
+                    *new_of
+                        .get(ix(link))
+                        .expect("flattened links stay in bounds")
+                }
+            };
+            [remap(n[0]), remap(n[1]), n[2]]
+        })
+        .collect()
+}
+
+/// Copy `count` consecutive `(record, node)` root entries starting at
+/// `/16` index `base`.
+fn fill_entries(table: &mut [u8], base: u32, count: u32, record: u32, node: u32) {
+    let rec = record.to_le_bytes();
+    let nod = node.to_le_bytes();
+    for hi in base..base.saturating_add(count) {
+        let at = ix(hi) * ROOT_ENTRY_WIDTH;
+        if let Some(slot) = table.get_mut(at..at + 4) {
+            slot.copy_from_slice(&rec);
+        }
+        if let Some(slot) = table.get_mut(at + 4..at + ROOT_ENTRY_WIDTH) {
+            slot.copy_from_slice(&nod);
+        }
+    }
+}
+
+/// Materialize the full canonical stride-16 root table from a node
+/// source: depth-first over the top sixteen trie levels, filling every
+/// `/16` span the trie does not reach with the deepest record seen on
+/// its path (and `NONE` for the subtrie). Shared by the writer and the
+/// open-time validator so "canonical root table" has exactly one
+/// definition in the codebase.
+fn build_root_table<F>(node_at: &mut F) -> Result<Vec<u8>, RgdbError>
+where
+    F: FnMut(u32) -> Result<(u32, u32, u32), RgdbError>,
+{
+    let mut table = vec![0u8; ROOT_TABLE_BYTES];
+    // (node, depth, first /16 index under this node, best record so far)
+    let mut stack: Vec<(u32, u32, u32, u32)> = vec![(0, 0, 0, NONE)];
+    while let Some((node, depth, base, mut best)) = stack.pop() {
+        let (left, right, record) = node_at(node)?;
+        if record != NONE {
+            best = record;
+        }
+        if depth == 16 {
+            fill_entries(&mut table, base, 1, best, node);
+            continue;
+        }
+        let half = 1u32 << (16 - depth - 1);
+        for (bit, child) in [(0u32, left), (1u32, right)] {
+            let child_base = base + bit * half;
+            if child == NONE {
+                fill_entries(&mut table, child_base, half, best, NONE);
+            } else {
+                stack.push((child, depth + 1, child_base, best));
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Assemble the final image: header, name, optional root table, nodes,
+/// records, strings, with the checksum covering everything after the
+/// header.
+fn assemble(
+    version: u16,
+    name: &str,
+    root: Option<&[u8]>,
+    nodes: &[[u32; 3]],
+    records: &[u8],
+    strings: &[u8],
+    record_count: u32,
+) -> Bytes {
     let name_bytes = name.as_bytes();
+    let root_len = root.map_or(0, <[u8]>::len);
     let mut payload = BytesMut::with_capacity(
-        name_bytes.len() + nodes.len() * NODE_WIDTH + records.len() + strings.len(),
+        name_bytes.len() + root_len + nodes.len() * NODE_WIDTH + records.len() + strings.len(),
     );
     payload.put_slice(name_bytes);
-    for n in &nodes {
+    if let Some(root) = root {
+        payload.put_slice(root);
+    }
+    for n in nodes {
         payload.put_u32_le(n[0]);
         payload.put_u32_le(n[1]);
         payload.put_u32_le(n[2]);
     }
-    payload.put_slice(&records);
-    payload.put_slice(&strings);
+    payload.put_slice(records);
+    payload.put_slice(strings);
     let checksum = fnv1a(&payload);
 
     let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
     out.put_slice(MAGIC);
-    out.put_u16_le(VERSION2);
+    out.put_u16_le(version);
     out.put_u16_le(u16::try_from(name_bytes.len()).expect("database name exceeds u16 length"));
     out.put_u32_le(u32::try_from(nodes.len()).expect("node count exceeds u32"));
     out.put_u32_le(record_count);
@@ -185,6 +343,57 @@ where
     out.put_u64_le(checksum);
     out.put_slice(&payload);
     out.freeze()
+}
+
+/// Serialize `(prefix, record)` entries into an RGDB **v2** image.
+///
+/// Records are deduplicated by their fixed-width encoding and strings
+/// by content, so the same `(prefix, record)` input produces the same
+/// answers as [`rgdb::write`] — the v1↔v2 differential suite holds the
+/// two writers to exact `lookup_compact` agreement.
+pub fn write<'a, I>(name: &str, entries: I) -> Bytes
+where
+    I: IntoIterator<Item = (Prefix, &'a LocationRecord)>,
+{
+    let t = build_tables(entries);
+    let nodes = flatten_trie(&t.trie);
+    assemble(
+        VERSION2,
+        name,
+        None,
+        &nodes,
+        &t.records,
+        &t.strings,
+        t.record_count,
+    )
+}
+
+/// Serialize `(prefix, record)` entries into an RGDB **v2.1** image:
+/// identical record/string encodings, plus the stride-16 root table and
+/// level-order node placement described in the module docs. Answers are
+/// identical to [`write`]; only the memory-access pattern changes.
+pub fn write_v21<'a, I>(name: &str, entries: I) -> Bytes
+where
+    I: IntoIterator<Item = (Prefix, &'a LocationRecord)>,
+{
+    let t = build_tables(entries);
+    let nodes = bfs_nodes(&t.trie);
+    let root = build_root_table(&mut |idx: u32| {
+        let n = nodes
+            .get(ix(idx))
+            .expect("writer node links stay in bounds");
+        Ok((n[0], n[1], n[2]))
+    })
+    .expect("writer-side root-table derivation cannot fail");
+    assemble(
+        VERSION21,
+        name,
+        Some(&root),
+        &nodes,
+        &t.records,
+        &t.strings,
+        t.record_count,
+    )
 }
 
 // ---- reader -----------------------------------------------------------------
@@ -210,6 +419,10 @@ struct RawRecord {
 pub struct Rgdb2Reader {
     image: Bytes,
     name: String,
+    /// Whether the image carries a stride-16 root table (v2.1).
+    has_root: bool,
+    /// Absolute start of the root table (equals `nodes_start` on v2).
+    root_start: usize,
     nodes_start: usize,
     node_count: u32,
     records_start: usize,
@@ -222,6 +435,7 @@ impl std::fmt::Debug for Rgdb2Reader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Rgdb2Reader")
             .field("name", &self.name)
+            .field("root_table", &self.has_root)
             .field("node_count", &self.node_count)
             .field("record_count", &self.record_count)
             .field("strings_len", &self.strings_len)
@@ -231,9 +445,10 @@ impl std::fmt::Debug for Rgdb2Reader {
 }
 
 impl Rgdb2Reader {
-    /// Validate and open a v2 image. All structural validation happens
-    /// here — node links, record indices, flag canonicality, string
-    /// offsets/UTF-8, coordinate ranges — so lookups never parse.
+    /// Validate and open a v2 or v2.1 image. All structural validation
+    /// happens here — node links, record indices, flag canonicality,
+    /// string offsets/UTF-8, coordinate ranges, and (v2.1) level-order
+    /// placement plus root-table canonicality — so lookups never parse.
     pub fn open(image: Bytes) -> Result<Rgdb2Reader, RgdbError> {
         let mut h = image.get(..HEADER_LEN).ok_or(RgdbError::Truncated)?;
         let mut magic = [0u8; 4];
@@ -242,16 +457,18 @@ impl Rgdb2Reader {
             return Err(RgdbError::BadMagic);
         }
         let version = h.get_u16_le();
-        if version != VERSION2 {
+        if version != VERSION2 && version != VERSION21 {
             return Err(RgdbError::BadVersion(version));
         }
+        let has_root = version == VERSION21;
         let name_len = usize::from(h.get_u16_le());
         let node_count = h.get_u32_le();
         let record_count = h.get_u32_le();
         let strings_len = ix(h.get_u32_le());
         let checksum = h.get_u64_le();
 
-        let nodes_start = HEADER_LEN + name_len;
+        let root_start = HEADER_LEN + name_len;
+        let nodes_start = root_start + if has_root { ROOT_TABLE_BYTES } else { 0 };
         let records_start = nodes_start + ix(node_count) * NODE_WIDTH;
         let strings_start = records_start + ix(record_count) * RECORD_WIDTH;
         let expected_total = strings_start + strings_len;
@@ -271,7 +488,7 @@ impl Rgdb2Reader {
             ));
         }
         let name_bytes = image
-            .get(HEADER_LEN..nodes_start)
+            .get(HEADER_LEN..root_start)
             .ok_or(RgdbError::Truncated)?;
         let name = std::str::from_utf8(name_bytes)
             .map_err(|_| RgdbError::corrupt(Section::Name, HEADER_LEN, "UTF-8 database name"))?
@@ -279,6 +496,8 @@ impl Rgdb2Reader {
         let reader = Rgdb2Reader {
             image,
             name,
+            has_root,
+            root_start,
             nodes_start,
             node_count,
             records_start,
@@ -292,18 +511,38 @@ impl Rgdb2Reader {
 
     /// The open-time validation sweep: every node link and every record
     /// field is checked once so the lookup path never can fail
-    /// structurally on a reader that opened.
+    /// structurally on a reader that opened. v2.1 images additionally
+    /// prove the level-order placement invariant and the root table's
+    /// canonicality here, so the fast paths below can trust both.
     fn validate(&self) -> Result<(), RgdbError> {
+        // Running child counter for the v2.1 level-order invariant:
+        // scanning nodes in index order, the non-NONE child links must
+        // be exactly 1, 2, 3, … (the BFS numbering). One O(n) pass also
+        // proves every node is reachable exactly once from the root —
+        // acyclicity included — which the frontier batch walk relies on.
+        let mut next_child = 1u32;
         for idx in 0..self.node_count {
             let (left, right, record) = self.node(idx)?;
             let at = self.nodes_start + ix(idx) * NODE_WIDTH;
             for link in [left, right] {
-                if link != NONE && link >= self.node_count {
-                    return Err(RgdbError::corrupt(
-                        Section::Nodes,
-                        at,
-                        "node link within node_count",
-                    ));
+                if link != NONE {
+                    if link >= self.node_count {
+                        return Err(RgdbError::corrupt(
+                            Section::Nodes,
+                            at,
+                            "node link within node_count",
+                        ));
+                    }
+                    if self.has_root {
+                        if link != next_child {
+                            return Err(RgdbError::corrupt(
+                                Section::Nodes,
+                                at,
+                                "level-order child placement",
+                            ));
+                        }
+                        next_child = next_child.wrapping_add(1);
+                    }
                 }
             }
             if record != NONE && record >= self.record_count {
@@ -314,12 +553,41 @@ impl Rgdb2Reader {
                 ));
             }
         }
+        if self.has_root && next_child != self.node_count {
+            return Err(RgdbError::corrupt(
+                Section::Nodes,
+                self.nodes_start,
+                "every node placed in level order",
+            ));
+        }
         for idx in 0..self.record_count {
             let raw = self.raw_record(idx)?;
             // Resolve both string offsets so lookup-time borrows are
             // known in-bounds, valid UTF-8.
             for off in [raw.region_off, raw.city_off].into_iter().flatten() {
                 self.str_at(off)?;
+            }
+        }
+        if self.has_root {
+            // Re-derive the whole table from the (now validated) node
+            // array and require byte equality: the root table is pure
+            // acceleration and must never be able to change an answer.
+            let expected = build_root_table(&mut |idx| self.node(idx))?;
+            let stored = self
+                .image
+                .get(self.root_start..self.root_start + ROOT_TABLE_BYTES)
+                .ok_or(RgdbError::Truncated)?;
+            if stored != expected.as_slice() {
+                let byte = stored
+                    .iter()
+                    .zip(&expected)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                return Err(RgdbError::corrupt(
+                    Section::RootTable,
+                    self.root_start + (byte / ROOT_ENTRY_WIDTH) * ROOT_ENTRY_WIDTH,
+                    "canonical stride-16 root entry",
+                ));
             }
         }
         Ok(())
@@ -338,6 +606,20 @@ impl Rgdb2Reader {
     /// Total image size in bytes.
     pub fn image_len(&self) -> usize {
         self.image.len()
+    }
+
+    /// On-disk header version of the opened image (2 or 3).
+    pub fn version(&self) -> u16 {
+        if self.has_root {
+            VERSION21
+        } else {
+            VERSION2
+        }
+    }
+
+    /// Whether this image carries the v2.1 stride-16 root table.
+    pub fn has_root_table(&self) -> bool {
+        self.has_root
     }
 
     #[inline]
@@ -494,8 +776,55 @@ impl Rgdb2Reader {
             .map_err(|_| RgdbError::corrupt(Section::Strings, abs + 1, "UTF-8 string bytes"))
     }
 
+    /// Read root-table entry `hi` (an address's top sixteen bits):
+    /// `(record, node)`, either side possibly `NONE`.
+    #[inline]
+    fn root_entry(&self, hi: u32) -> Result<(u32, u32), RgdbError> {
+        let at = self.root_start + ix(hi) * ROOT_ENTRY_WIDTH;
+        let mut b = self.image.get(at..at + ROOT_ENTRY_WIDTH).ok_or_else(|| {
+            RgdbError::corrupt(Section::RootTable, at, "8-byte root entry in bounds")
+        })?;
+        Ok((b.get_u32_le(), b.get_u32_le()))
+    }
+
+    /// Resolve `addr` to its longest-prefix record index. On a v2.1
+    /// image the stride-16 root table replaces the first sixteen
+    /// dependent node hops with one indexed load; the remaining walk
+    /// (if any) starts at the depth-16 subtrie root. v2 images take the
+    /// classic bitwise walk from the root.
+    #[inline]
+    fn locate(&self, addr: u32) -> Result<Option<u32>, RgdbError> {
+        if !self.has_root {
+            return Ok(self
+                .deepest_match(Ipv4Addr::from(addr))?
+                .map(|(idx, _)| idx));
+        }
+        let (mut best, mut node) = self.root_entry(addr >> 16)?;
+        if node != NONE {
+            for depth in 16..=32u32 {
+                let (left, right, record) = self.node(node)?;
+                if record != NONE {
+                    best = record;
+                }
+                if depth == 32 {
+                    break;
+                }
+                let bit = (addr >> (31 - depth)) & 1;
+                let next = if bit == 0 { left } else { right };
+                if next == NONE {
+                    break;
+                }
+                node = next;
+            }
+        }
+        Ok((best != NONE).then_some(best))
+    }
+
     /// Walk the trie MSB-first and return the deepest record index on
     /// the path together with its depth — the longest-prefix match.
+    /// Works on both layouts (v2.1 keeps the full trie); the root-table
+    /// fast path in [`Rgdb2Reader::locate`] is preferred when the match
+    /// depth is not needed.
     fn deepest_match(&self, ip: Ipv4Addr) -> Result<Option<(u32, u8)>, RgdbError> {
         let addr = u32::from(ip);
         let mut node = 0u32;
@@ -523,6 +852,46 @@ impl Rgdb2Reader {
     /// [`RgdbReader::match_len`].
     pub fn match_len(&self, ip: Ipv4Addr) -> Result<Option<u8>, RgdbError> {
         Ok(self.deepest_match(ip)?.map(|(_, len)| len))
+    }
+
+    /// Decode the record at `idx` trusting the open-time validation
+    /// sweep: canonicality violations cannot occur on an image that
+    /// opened, so this path drops their checks — staying memory-safe
+    /// through checked slicing — and returns `None` only on latent
+    /// corruption, which the callers degrade to a miss exactly like
+    /// the validating path does.
+    #[inline]
+    fn raw_record_lean(&self, idx: u32) -> Option<RawRecord> {
+        if idx >= self.record_count {
+            return None;
+        }
+        let at = self.records_start + ix(idx) * RECORD_WIDTH;
+        let mut b = self.image.get(at..at + RECORD_WIDTH)?;
+        let flags = b.get_u8();
+        let gran = Granularity::from_id(b.get_u8())?;
+        let ca = b.get_u8();
+        let cb = b.get_u8();
+        let country = if flags & 1 != 0 {
+            Some(CountryCode::new(ca, cb)?)
+        } else {
+            None
+        };
+        let region_off = b.get_u32_le();
+        let city_off = b.get_u32_le();
+        let lat = b.get_i32_le();
+        let lon = b.get_i32_le();
+        let coord = if flags & 8 != 0 {
+            Some(Coordinate::new(f64::from(lat) / 1e6, f64::from(lon) / 1e6).ok()?)
+        } else {
+            None
+        };
+        Some(RawRecord {
+            granularity: gran,
+            country,
+            region_off: (flags & 2 != 0).then_some(region_off),
+            city_off: (flags & 4 != 0).then_some(city_off),
+            coord,
+        })
     }
 
     /// Build the compact answer for record `idx`, borrowing strings
@@ -574,63 +943,206 @@ impl Rgdb2Reader {
     /// latent corruption (unreachable on an image that opened — the
     /// validation sweep covered every node and record).
     pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
-        match self.deepest_match(ip)? {
+        match self.locate(u32::from(ip))? {
             None => Ok(None),
-            Some((idx, _)) => self.record_owned(idx).map(Some),
+            Some(idx) => self.record_owned(idx).map(Some),
         }
     }
 
-    /// Batched compact lookup: resolve the trie walks in sorted address
-    /// order (adjacent addresses share upper trie levels, so the node
-    /// array is read near-sequentially), then intern answers in the
-    /// *original* order with one compact conversion per distinct
-    /// record. Identical output to the per-address loop.
+    /// Batched compact lookup — the v2.1 hot path. Addresses are sorted
+    /// and duplicates collapsed; every unique address's walk is seeded
+    /// in one pass (from the root table on v2.1, from the trie root on
+    /// v2), and the live walks then advance **level by level across the
+    /// whole batch** (a breadth-first frontier, retired in place as
+    /// walks bottom out). Because v2.1 places nodes in level order,
+    /// each sweep over the sorted frontier reads a monotonically
+    /// increasing node range — near-sequential memory traffic instead
+    /// of one dependent pointer chase per address. Answers are interned
+    /// in the *original* order with one compact conversion per distinct
+    /// record, so output and interner ids are identical to the
+    /// per-address loop.
     fn batch_compact(
         &self,
         ips: &[Ipv4Addr],
         interner: &mut LocationInterner,
     ) -> Vec<Option<CompactRecord>> {
-        let mut order: Vec<(u32, usize)> = ips
+        // Sort keys packed as `addr << 32 | pos`: one u64 compare-and-
+        // swap instead of a 16-byte tuple, and `pos` rides along for the
+        // scatter. Shard sizes keep `pos` far below 2^32.
+        let mut order: Vec<u64> = ips
             .iter()
             .enumerate()
-            .map(|(pos, ip)| (u32::from(*ip), pos))
+            .map(|(pos, ip)| (u64::from(u32::from(*ip)) << 32) | pos as u64) // xtask-allow: RG003 usize→u64 is widening on every supported target
             .collect();
         order.sort_unstable();
-        // Pass 1 (sorted): trie walks only — no interner traffic.
-        let mut located: Vec<Option<u32>> = vec![None; ips.len()];
-        let mut last: Option<(u32, Option<u32>)> = None;
-        for (addr, pos) in order {
-            let idx = match last {
-                // Duplicate addresses collapse to one walk.
-                Some((prev, hit)) if prev == addr => hit,
-                _ => {
-                    let hit = self
-                        .deepest_match(Ipv4Addr::from(addr))
-                        .ok()
-                        .flatten()
-                        .map(|(idx, _)| idx);
-                    last = Some((addr, hit));
-                    hit
+        // Unique ascending addresses; duplicates collapse to one walk.
+        let mut uniq: Vec<u32> = Vec::with_capacity(order.len());
+        for packed in &order {
+            let addr = u32::try_from(packed >> 32).expect("upper half is an address");
+            if uniq.last() != Some(&addr) {
+                uniq.push(addr);
+            }
+        }
+        // The whole node array as one slice: its length *is* the bounds
+        // check, so the per-level loop below never consults node_count
+        // or re-derives section offsets.
+        let nodes: &[u8] = self
+            .image
+            .get(self.nodes_start..self.nodes_start + ix(self.node_count) * NODE_WIDTH)
+            .unwrap_or(&[]);
+        // Pass 1 (sorted): seed one walk per unique address. Each live
+        // walk carries `(node, slot, rest, best)` — `rest` is the
+        // address with consumed bits shifted off (next branch bit is the
+        // MSB) and `best` the deepest record so far, written back to
+        // `best[slot]` only when the walk retires.
+        let mut best: Vec<u32> = vec![NONE; uniq.len()];
+        let mut frontier: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(uniq.len());
+        let mut depth: u32 = if self.has_root { 16 } else { 0 };
+        if self.has_root {
+            // The root table as one slice, like `nodes` above: sorted
+            // unique addresses read its entries in ascending order.
+            let root: &[u8] = self
+                .image
+                .get(self.root_start..self.root_start + ROOT_TABLE_BYTES)
+                .unwrap_or(&[]);
+            for (slot, addr) in uniq.iter().enumerate() {
+                let slot32 = u32::try_from(slot).expect("unique u32 addresses fit a u32 slot");
+                let at = ix(addr >> 16) * ROOT_ENTRY_WIDTH;
+                if let Some(mut e) = root.get(at..at + ROOT_ENTRY_WIDTH) {
+                    let record = e.get_u32_le();
+                    let node = e.get_u32_le();
+                    if node != NONE {
+                        frontier.push((node, slot32, addr << 16, record));
+                    } else if record != NONE {
+                        if let Some(b) = best.get_mut(slot) {
+                            *b = record;
+                        }
+                    }
                 }
-            };
+            }
+        } else {
+            frontier.extend(uniq.iter().enumerate().map(|(slot, addr)| {
+                (
+                    0u32,
+                    u32::try_from(slot).expect("unique u32 addresses fit a u32 slot"),
+                    *addr,
+                    NONE,
+                )
+            }));
+        }
+        // Advance the whole frontier one trie level at a time, keeping
+        // survivors compacted at the front in sorted order.
+        while !frontier.is_empty() && depth <= 32 {
+            let mut keep = 0usize;
+            for i in 0..frontier.len() {
+                let (node, slot32, rest, mut walk_best) =
+                    *frontier.get(i).expect("i < frontier.len()");
+                let at = ix(node) * NODE_WIDTH;
+                let Some(mut b) = nodes.get(at..at + NODE_WIDTH) else {
+                    // Unreachable on a validated image; a latent read
+                    // failure degrades to a miss, matching the
+                    // per-address path.
+                    if let Some(slot) = best.get_mut(ix(slot32)) {
+                        *slot = NONE;
+                    }
+                    continue;
+                };
+                let left = b.get_u32_le();
+                let right = b.get_u32_le();
+                let record = b.get_u32_le();
+                if record != NONE {
+                    walk_best = record;
+                }
+                if depth < 32 {
+                    let next = if rest & 0x8000_0000 == 0 { left } else { right };
+                    if next != NONE {
+                        if let Some(f) = frontier.get_mut(keep) {
+                            *f = (next, slot32, rest << 1, walk_best);
+                        }
+                        keep += 1;
+                        continue;
+                    }
+                }
+                if let Some(slot) = best.get_mut(ix(slot32)) {
+                    *slot = walk_best;
+                }
+            }
+            frontier.truncate(keep);
+            depth += 1;
+        }
+        // Scatter the per-unique-address answers back to input order.
+        let mut located: Vec<Option<u32>> = vec![None; ips.len()];
+        let mut cursor = 0usize;
+        let mut prev: Option<u32> = None;
+        for packed in order {
+            let addr = u32::try_from(packed >> 32).expect("upper half is an address");
+            let pos = ix(u32::try_from(packed & 0xFFFF_FFFF).expect("lower half is a position"));
+            if prev.is_some() && prev != Some(addr) {
+                cursor += 1;
+            }
+            prev = Some(addr);
+            let rec = best.get(cursor).copied().unwrap_or(NONE);
             if let Some(slot) = located.get_mut(pos) {
-                *slot = idx;
+                *slot = (rec != NONE).then_some(rec);
             }
         }
         // Pass 2 (original order): compact each distinct record once so
-        // interner id assignment matches the sequential loop. FNV keeps
-        // the per-address memo probe to a few instructions.
-        let mut memo: HashMap<u32, CompactRecord, FnvBuildHasher> = HashMap::default();
+        // interner id assignment matches the sequential loop. The memo
+        // is a dense array over record indices — one indexed load per
+        // address, no hashing — with the decoded records packed into a
+        // side vector so the dense slots stay 4 bytes each.
+        let mut memo_slot: Vec<u32> = vec![NONE; ix(self.record_count)];
+        let mut memo_val: Vec<CompactRecord> = Vec::new();
+        // Dense string-offset → interner-id cache: the writer dedups
+        // the string table, so distinct offsets are few and every
+        // repeat skips the interner's hash probe. First-seen intern
+        // order is untouched — the cache only short-circuits repeats.
+        let mut sym: Vec<u32> = vec![NONE; self.strings_len];
+        let mut intern_off = |off: u32, interner: &mut LocationInterner| -> Option<u32> {
+            match sym.get(ix(off)).copied() {
+                Some(s) if s != NONE => {
+                    interner.count_ref();
+                    Some(s)
+                }
+                _ => {
+                    let id = interner.intern(self.str_at(off).ok()?);
+                    if let Some(s) = sym.get_mut(ix(off)) {
+                        *s = id;
+                    }
+                    Some(id)
+                }
+            }
+        };
         located
             .into_iter()
             .map(|slot| {
                 let idx = slot?;
-                if let Some(hit) = memo.get(&idx) {
-                    return Some(*hit);
+                match memo_slot.get(ix(idx)).copied() {
+                    Some(s) if s != NONE => memo_val.get(ix(s)).copied(),
+                    _ => {
+                        let raw = self.raw_record_lean(idx)?;
+                        let region_id = match raw.region_off {
+                            Some(off) => Some(intern_off(off, interner)?),
+                            None => None,
+                        };
+                        let city_id = match raw.city_off {
+                            Some(off) => Some(intern_off(off, interner)?),
+                            None => None,
+                        };
+                        let compact = CompactRecord {
+                            country: raw.country,
+                            region_id,
+                            city_id,
+                            coord: raw.coord,
+                            granularity: raw.granularity,
+                        };
+                        if let Some(s) = memo_slot.get_mut(ix(idx)) {
+                            *s = u32::try_from(memo_val.len()).expect("distinct records fit a u32");
+                            memo_val.push(compact);
+                        }
+                        Some(compact)
+                    }
                 }
-                let compact = self.record_compact(idx, interner).ok()?;
-                memo.insert(idx, compact);
-                Some(compact)
             })
             .collect()
     }
@@ -651,7 +1163,7 @@ impl GeoDatabase for Rgdb2Reader {
         ip: Ipv4Addr,
         interner: &mut LocationInterner,
     ) -> Option<CompactRecord> {
-        let (idx, _) = self.deepest_match(ip).ok().flatten()?;
+        let idx = self.locate(u32::from(ip)).ok().flatten()?;
         self.record_compact(idx, interner).ok()
     }
 
@@ -675,11 +1187,14 @@ pub enum AnyReader {
     V1(RgdbReader),
     /// A v2 image behind the zero-copy flat reader.
     V2(Rgdb2Reader),
+    /// A v2.1 image (stride-16 root table + level-order nodes) behind
+    /// the same zero-copy reader in root-table mode.
+    V21(Rgdb2Reader),
 }
 
 impl AnyReader {
-    /// Open an image of either version: magic is checked first, then
-    /// the version field picks the reader, which performs its own full
+    /// Open an image of any version: magic is checked first, then the
+    /// version field picks the reader, which performs its own full
     /// validation.
     pub fn open(image: Bytes) -> Result<AnyReader, RgdbError> {
         let header = image.get(..6).ok_or(RgdbError::Truncated)?;
@@ -690,15 +1205,17 @@ impl AnyReader {
         match v.get_u16_le() {
             1 => RgdbReader::open(image).map(AnyReader::V1),
             2 => Rgdb2Reader::open(image).map(AnyReader::V2),
+            3 => Rgdb2Reader::open(image).map(AnyReader::V21),
             other => Err(RgdbError::BadVersion(other)),
         }
     }
 
-    /// Format version of the opened image (1 or 2).
+    /// Format version of the opened image (1, 2, or 3 for v2.1).
     pub fn version(&self) -> u16 {
         match self {
             AnyReader::V1(_) => 1,
             AnyReader::V2(_) => VERSION2,
+            AnyReader::V21(_) => VERSION21,
         }
     }
 
@@ -706,7 +1223,7 @@ impl AnyReader {
     pub fn name(&self) -> &str {
         match self {
             AnyReader::V1(r) => GeoDatabase::name(r),
-            AnyReader::V2(r) => r.name(),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.name(),
         }
     }
 
@@ -714,7 +1231,7 @@ impl AnyReader {
     pub fn record_count(&self) -> u32 {
         match self {
             AnyReader::V1(r) => r.record_count(),
-            AnyReader::V2(r) => r.record_count(),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.record_count(),
         }
     }
 
@@ -722,7 +1239,7 @@ impl AnyReader {
     pub fn image_len(&self) -> usize {
         match self {
             AnyReader::V1(r) => r.image_len(),
-            AnyReader::V2(r) => r.image_len(),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.image_len(),
         }
     }
 
@@ -730,7 +1247,7 @@ impl AnyReader {
     pub fn match_len(&self, ip: Ipv4Addr) -> Result<Option<u8>, RgdbError> {
         match self {
             AnyReader::V1(r) => r.match_len(ip),
-            AnyReader::V2(r) => r.match_len(ip),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.match_len(ip),
         }
     }
 
@@ -739,7 +1256,7 @@ impl AnyReader {
     pub fn try_lookup(&self, ip: Ipv4Addr) -> Result<Option<LocationRecord>, RgdbError> {
         match self {
             AnyReader::V1(r) => r.try_lookup(ip),
-            AnyReader::V2(r) => r.try_lookup(ip),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.try_lookup(ip),
         }
     }
 }
@@ -752,7 +1269,7 @@ impl GeoDatabase for AnyReader {
     fn lookup(&self, ip: Ipv4Addr) -> Option<LocationRecord> {
         match self {
             AnyReader::V1(r) => r.lookup(ip),
-            AnyReader::V2(r) => r.lookup(ip),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.lookup(ip),
         }
     }
 
@@ -763,7 +1280,7 @@ impl GeoDatabase for AnyReader {
     ) -> Option<CompactRecord> {
         match self {
             AnyReader::V1(r) => r.lookup_compact(ip, interner),
-            AnyReader::V2(r) => r.lookup_compact(ip, interner),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.lookup_compact(ip, interner),
         }
     }
 
@@ -774,7 +1291,7 @@ impl GeoDatabase for AnyReader {
     ) -> Vec<Option<CompactRecord>> {
         match self {
             AnyReader::V1(r) => r.lookup_batch(ips, interner),
-            AnyReader::V2(r) => r.lookup_batch(ips, interner),
+            AnyReader::V2(r) | AnyReader::V21(r) => r.lookup_batch(ips, interner),
         }
     }
 }
@@ -821,9 +1338,58 @@ mod tests {
         Rgdb2Reader::open(image).unwrap()
     }
 
+    fn build21() -> Rgdb2Reader {
+        let recs = sample_records();
+        let image = write_v21("Test-DB", recs.iter().map(|(p, r)| (*p, r)));
+        Rgdb2Reader::open(image).unwrap()
+    }
+
+    /// Prefixes shallower than, at, and deeper than the /16 root-table
+    /// stride, so every entry shape (terminal record, subtrie handoff,
+    /// empty) and every seeding path is exercised.
+    fn stride_records() -> Vec<(Prefix, LocationRecord)> {
+        let mk = |cc: &str, city: &str| LocationRecord {
+            country: Some(cc.parse().unwrap()),
+            region: None,
+            city: Some(city.into()),
+            coord: None,
+            granularity: Granularity::Block24,
+        };
+        vec![
+            ("8.0.0.0/6".parse().unwrap(), mk("US", "shallow-6")),
+            ("12.32.0.0/11".parse().unwrap(), mk("CA", "shallow-11")),
+            ("12.34.0.0/16".parse().unwrap(), mk("GB", "exact-16")),
+            ("12.34.128.0/17".parse().unwrap(), mk("DE", "deep-17")),
+            ("12.34.129.0/28".parse().unwrap(), mk("FR", "deep-28")),
+            ("200.1.2.240/32".parse().unwrap(), mk("JP", "host-32")),
+        ]
+    }
+
+    const STRIDE_PROBES: [&str; 14] = [
+        "8.0.0.1",
+        "11.255.255.255",
+        "12.32.0.5",
+        "12.63.255.254",
+        "12.34.0.1",
+        "12.34.127.255",
+        "12.34.128.1",
+        "12.34.129.7",
+        "12.34.129.15",
+        "12.34.129.16",
+        "200.1.2.240",
+        "200.1.2.241",
+        "1.2.3.4",
+        "255.255.255.255",
+    ];
+
     #[test]
     fn roundtrip_lookups() {
-        let db = build();
+        for db in [build(), build21()] {
+            roundtrip_lookups_on(&db);
+        }
+    }
+
+    fn roundtrip_lookups_on(db: &Rgdb2Reader) {
         assert_eq!(db.name(), "Test-DB");
         let r = db.lookup("6.0.0.200".parse().unwrap()).unwrap();
         assert_eq!(r.city.as_deref(), Some("Springfield"));
@@ -896,6 +1462,134 @@ mod tests {
         assert_eq!(seq, batch);
         assert_eq!(seq_interner, batch_interner);
         assert!(db.lookup_batch(&[], &mut batch_interner).is_empty());
+    }
+
+    #[test]
+    fn v21_agrees_with_v2_on_every_probe() {
+        for recs in [sample_records(), stride_records()] {
+            let v2 = Rgdb2Reader::open(write("pair", recs.iter().map(|(p, r)| (*p, r)))).unwrap();
+            let v21 =
+                Rgdb2Reader::open(write_v21("pair", recs.iter().map(|(p, r)| (*p, r)))).unwrap();
+            assert!(v21.has_root_table() && !v2.has_root_table());
+            assert_eq!(v21.version(), 3);
+            assert_eq!(v21.image_len(), v2.image_len() + ROOT_TABLE_BYTES);
+            let mut i2 = LocationInterner::new();
+            let mut i21 = LocationInterner::new();
+            for ip in STRIDE_PROBES.iter().chain(&["6.0.0.200", "31.0.1.7"]) {
+                let ip: Ipv4Addr = ip.parse().unwrap();
+                assert_eq!(
+                    v2.try_lookup(ip).unwrap(),
+                    v21.try_lookup(ip).unwrap(),
+                    "{ip}"
+                );
+                assert_eq!(
+                    v2.match_len(ip).unwrap(),
+                    v21.match_len(ip).unwrap(),
+                    "{ip}"
+                );
+                assert_eq!(
+                    v2.lookup_compact(ip, &mut i2),
+                    v21.lookup_compact(ip, &mut i21),
+                    "{ip}"
+                );
+            }
+            assert_eq!(i2, i21, "interner id assignment must not depend on layout");
+        }
+    }
+
+    #[test]
+    fn v21_batched_lookups_match_sequential() {
+        for recs in [sample_records(), stride_records()] {
+            let db = Rgdb2Reader::open(write_v21("b", recs.iter().map(|(p, r)| (*p, r)))).unwrap();
+            // Duplicates included, unsorted order.
+            let ips: Vec<Ipv4Addr> = STRIDE_PROBES
+                .iter()
+                .chain(STRIDE_PROBES.iter().rev())
+                .chain(&["6.0.0.200", "12.34.129.7", "12.34.129.7"])
+                .map(|s| s.parse().unwrap())
+                .collect();
+            let mut seq_interner = LocationInterner::new();
+            let seq: Vec<_> = ips
+                .iter()
+                .map(|ip| db.lookup_compact(*ip, &mut seq_interner))
+                .collect();
+            let mut batch_interner = LocationInterner::new();
+            let batch = db.lookup_batch(&ips, &mut batch_interner);
+            assert_eq!(seq, batch);
+            assert_eq!(seq_interner, batch_interner);
+            assert!(db.lookup_batch(&[], &mut batch_interner).is_empty());
+        }
+    }
+
+    #[test]
+    fn v21_empty_database_and_default_route() {
+        let image = write_v21("empty", std::iter::empty());
+        let db = Rgdb2Reader::open(image).unwrap();
+        assert!(db.lookup("1.2.3.4".parse().unwrap()).is_none());
+        assert_eq!(db.record_count(), 0);
+
+        let rec = LocationRecord::country_level("US".parse().unwrap(), Granularity::Aggregate);
+        let entries = [(Prefix::default_route(), rec)];
+        let image = write_v21("all", entries.iter().map(|(p, r)| (*p, r)));
+        let db = Rgdb2Reader::open(image).unwrap();
+        assert!(db.lookup("255.255.255.255".parse().unwrap()).is_some());
+        assert!(db.lookup("0.0.0.0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn v21_rejects_root_table_and_placement_corruption() {
+        let recs = stride_records();
+        let image = write_v21("x", recs.iter().map(|(p, r)| (*p, r)));
+        let db = Rgdb2Reader::open(image.clone()).unwrap();
+
+        // A flipped root-table entry fails the canonical re-derivation
+        // and is attributed to the root-table section.
+        let err = corrupt_at(&image, db.root_start, 0x00).unwrap_err();
+        assert_eq!(err.context().unwrap().section, Section::RootTable);
+        assert_eq!(
+            err.context().unwrap().expected,
+            "canonical stride-16 root entry"
+        );
+
+        // An in-range but misplaced child link breaks the level-order
+        // placement invariant.
+        let err = corrupt_at(&image, db.nodes_start, 2).unwrap_err();
+        assert_eq!(err.context().unwrap().section, Section::Nodes);
+
+        // Truncating inside the root table is caught by the layout
+        // length check.
+        assert!(matches!(
+            Rgdb2Reader::open(image.slice(..db.root_start + 100)),
+            Err(RgdbError::Truncated)
+        ));
+
+        // Relabeling a v2 image as v2.1 claims 512 KiB that is not
+        // there.
+        let v2 = write("x", recs.iter().map(|(p, r)| (*p, r)));
+        let mut bytes = v2.to_vec();
+        bytes[4] = 3;
+        assert!(matches!(
+            Rgdb2Reader::open(Bytes::from(bytes)),
+            Err(RgdbError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn v21_level_order_placement_holds_in_written_images() {
+        for recs in [sample_records(), stride_records()] {
+            let db = Rgdb2Reader::open(write_v21("lo", recs.iter().map(|(p, r)| (*p, r)))).unwrap();
+            let mut next = 1u32;
+            for idx in 0..db.node_count {
+                let (left, right, _) = db.node(idx).unwrap();
+                for link in [left, right] {
+                    if link != NONE {
+                        assert_eq!(link, next, "child of node {idx} out of level order");
+                        next += 1;
+                    }
+                }
+            }
+            assert_eq!(next, db.node_count, "every node placed");
+        }
     }
 
     #[test]
@@ -998,15 +1692,21 @@ mod tests {
         let recs = sample_records();
         let v1_image = rgdb::write("Any-DB", recs.iter().map(|(p, r)| (*p, r)));
         let v2_image = write("Any-DB", recs.iter().map(|(p, r)| (*p, r)));
+        let v21_image = write_v21("Any-DB", recs.iter().map(|(p, r)| (*p, r)));
         let v1 = AnyReader::open(v1_image).unwrap();
         let v2 = AnyReader::open(v2_image).unwrap();
+        let v21 = AnyReader::open(v21_image).unwrap();
         assert_eq!(v1.version(), 1);
         assert_eq!(v2.version(), 2);
+        assert_eq!(v21.version(), 3);
         assert_eq!(v1.name(), "Any-DB");
         assert_eq!(v2.name(), "Any-DB");
+        assert_eq!(v21.name(), "Any-DB");
         let ip: Ipv4Addr = "6.0.0.200".parse().unwrap();
         assert_eq!(v1.try_lookup(ip).unwrap(), v2.try_lookup(ip).unwrap());
         assert_eq!(v1.match_len(ip).unwrap(), v2.match_len(ip).unwrap());
+        assert_eq!(v2.try_lookup(ip).unwrap(), v21.try_lookup(ip).unwrap());
+        assert_eq!(v2.match_len(ip).unwrap(), v21.match_len(ip).unwrap());
         assert!(matches!(
             AnyReader::open(Bytes::from(b"XGDB\x01\x00rest".to_vec())),
             Err(RgdbError::BadMagic)

@@ -63,26 +63,30 @@ impl Scale {
     }
 }
 
-/// Which RGDB wire format a fuzzed image is serialized in. Both
+/// Which RGDB wire format a fuzzed image is serialized in. All
 /// writers consume the same `(prefix, record)` sets, so every corpus
-/// entry exists in both formats and the harness fuzzes each.
+/// entry exists in every format and the harness fuzzes each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ImageFormat {
     /// The v1 pointer-chasing layout (`rgdb::write`).
     V1,
     /// The v2 flat zero-copy layout (`rgdb2::write`).
     V2,
+    /// The v2.1 cache-locality layout: stride-16 root table +
+    /// level-order nodes (`rgdb2::write_v21`).
+    V21,
 }
 
 impl ImageFormat {
-    /// Both formats, v1 first (reporting and spec order).
-    pub const ALL: [ImageFormat; 2] = [ImageFormat::V1, ImageFormat::V2];
+    /// Every format, oldest first (reporting and spec order).
+    pub const ALL: [ImageFormat; 3] = [ImageFormat::V1, ImageFormat::V2, ImageFormat::V21];
 
     /// Stable lower-case label (used in specs and JSON).
     pub fn label(self) -> &'static str {
         match self {
             ImageFormat::V1 => "v1",
             ImageFormat::V2 => "v2",
+            ImageFormat::V21 => "v21",
         }
     }
 
@@ -121,11 +125,21 @@ impl CorpusEntry {
         )
     }
 
-    /// Serialize in either format.
+    /// Serialize this entry into a valid RGDB v2.1 image (root table +
+    /// level-order nodes).
+    pub fn image_v21(&self) -> Bytes {
+        rgdb2::write_v21(
+            &format!("fuzz-{}-{}", self.scale.label(), self.seed),
+            self.entries.iter().map(|(p, r)| (*p, r)),
+        )
+    }
+
+    /// Serialize in any format.
     pub fn image_as(&self, format: ImageFormat) -> Bytes {
         match format {
             ImageFormat::V1 => self.image(),
             ImageFormat::V2 => self.image_v2(),
+            ImageFormat::V21 => self.image_v21(),
         }
     }
 }

@@ -9,8 +9,9 @@
 //!    streams against both `BulkClient` and `WhoisServer`; per-address
 //!    error attribution must survive and workers must shed, not wedge.
 //! 3. **Differential lookups** ([`diff`]) — the RGDB v1 trie, the flat
-//!    v2 image, `CsvDb`, and `InMemoryDb` built from the same records
-//!    must agree exactly (and the two binary formats on match depth).
+//!    v2 image, the v2.1 root-table image (heap **and** file-backed),
+//!    `CsvDb`, and `InMemoryDb` built from the same records must agree
+//!    exactly (and the binary formats on match depth).
 //!
 //! There is no coverage feedback and no OS-level fuzzer here — just
 //! seeded replayable trials, which is what a dependency-free CI gate
@@ -59,11 +60,15 @@ impl FuzzConfig {
     /// never consulted, so `--budget-ms N` yields byte-identical
     /// reports on any machine. The constants were sized so the default
     /// CI budget (30 000 ms) finishes in well under half that on the
-    /// slowest builder we care about.
+    /// slowest builder we care about; the v2.1 additions (a third wire
+    /// format and three root-table mutation classes) multiplied the
+    /// per-trial units ×2.25, so `trials_per_class` was rescaled from
+    /// `budget / 250` to keep the total trial count — and the wall
+    /// clock — roughly where it was.
     pub fn from_budget(budget_ms: u64) -> FuzzConfig {
         FuzzConfig {
             seed: 0x9060_17C0_FFEE,
-            trials_per_class: (budget_ms / 250).clamp(8, 200),
+            trials_per_class: (budget_ms / 550).clamp(8, 96),
             proto_runs: (budget_ms / 6000).clamp(1, 5),
             diff_addrs: (budget_ms / 500).clamp(16, 128),
         }

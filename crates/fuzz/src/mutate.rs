@@ -10,14 +10,18 @@
 //! path worth fuzzing too.
 //!
 //! Layout facts used here mirror `crates/db/src/rgdb.rs` and
-//! `rgdb2.rs`: both formats share the 28-byte header (`magic u32 |
+//! `rgdb2.rs`: all formats share the 28-byte header (`magic u32 |
 //! version u16 | name_len u16 | node_count u32 | record_count u32 |
-//! len u32 | checksum u64`), then name, then `node_count × 12` bytes
-//! of nodes. What follows differs: v1's header `len` field is its
-//! variable-length data section, while v2 lays out `record_count × 20`
-//! fixed-width records and then a string table whose length the `len`
-//! field holds. [`geometry`] dispatches on the version field so every
-//! mutator targets the real payload region of either format.
+//! len u32 | checksum u64`), then name. What follows differs: v1 lays
+//! out `node_count × 12` bytes of nodes then its variable-length data
+//! section (the header `len` field); v2 the same nodes then
+//! `record_count × 20` fixed-width records and a string table whose
+//! length the `len` field holds; v2.1 (header version 3) inserts a
+//! 512 KiB stride-16 root table (65 536 × 8-byte `record u32 | node
+//! u32` entries) between the name and the nodes. [`geometry`]
+//! dispatches on the version field so every mutator targets the real
+//! payload region of any format, and the three root-table classes
+//! target the v2.1 section specifically.
 
 use crate::rng::FuzzRng;
 
@@ -46,17 +50,32 @@ pub enum MutationClass {
     /// Cut the image at an arbitrary point (checksum left stale on
     /// purpose: rejection-by-length/checksum is also a fuzzed path).
     Truncate,
+    /// Copy one v2.1 root-table range over another (length-preserving
+    /// splice confined to the root table), breaking entries away from
+    /// what the trie derives. No-op below version 3.
+    RootTableSplice,
+    /// Overwrite v2.1 root entries (`record u32 | node u32`) with
+    /// out-of-range indices, NONE-vs-valid flips, and random words.
+    /// No-op below version 3.
+    RootEntryOutOfRange,
+    /// Cut the image *inside* the v2.1 root table (checksum left stale
+    /// like [`MutationClass::Truncate`]) so the 512 KiB stride section
+    /// itself is what falls short.
+    StrideTruncate,
 }
 
 impl MutationClass {
     /// Every class, in reporting order.
-    pub const ALL: [MutationClass; 6] = [
+    pub const ALL: [MutationClass; 9] = [
         MutationClass::HeaderFieldFlip,
         MutationClass::SectionSplice,
         MutationClass::NodeLinkCorrupt,
         MutationClass::RecordBitFlip,
         MutationClass::StringLenOversize,
         MutationClass::Truncate,
+        MutationClass::RootTableSplice,
+        MutationClass::RootEntryOutOfRange,
+        MutationClass::StrideTruncate,
     ];
 
     /// Stable kebab-case label (used in replay specs and JSON).
@@ -68,6 +87,9 @@ impl MutationClass {
             MutationClass::RecordBitFlip => "record-bit-flip",
             MutationClass::StringLenOversize => "string-len-oversize",
             MutationClass::Truncate => "truncate",
+            MutationClass::RootTableSplice => "root-table-splice",
+            MutationClass::RootEntryOutOfRange => "root-entry-out-of-range",
+            MutationClass::StrideTruncate => "stride-truncate",
         }
     }
 
@@ -127,9 +149,14 @@ pub fn refix_checksum(bytes: &mut [u8]) {
     }
 }
 
+/// Size of the v2.1 stride-16 root table (65 536 × 8-byte entries).
+const ROOT_TABLE_BYTES: usize = (1 << 16) * 8;
+
 /// Section geometry as *claimed by the header* (which mutation may have
 /// already falsified — all uses stay bounds-checked).
 struct Geometry {
+    root_start: usize,
+    root_len: usize,
     nodes_start: usize,
     nodes_len: usize,
     data_start: usize,
@@ -140,9 +167,9 @@ fn geometry(bytes: &[u8]) -> Geometry {
     let version = u16_at(bytes, 4);
     let name_len = usize::from(u16_at(bytes, 6));
     let node_count = usize::try_from(u32_at(bytes, 8)).unwrap_or(0);
-    let data_len = if version == 2 {
-        // v2: fixed-width records then the string table; the header's
-        // length field at 16 covers only the strings.
+    let data_len = if version >= 2 {
+        // v2/v2.1: fixed-width records then the string table; the
+        // header's length field at 16 covers only the strings.
         let records = usize::try_from(u32_at(bytes, 12))
             .unwrap_or(0)
             .saturating_mul(20);
@@ -151,9 +178,15 @@ fn geometry(bytes: &[u8]) -> Geometry {
     } else {
         usize::try_from(u32_at(bytes, 16)).unwrap_or(0)
     };
-    let nodes_start = HEADER_LEN + name_len;
+    // v2.1 (version 3) inserts the stride-16 root table between the
+    // name and the nodes.
+    let root_start = HEADER_LEN + name_len;
+    let root_len = if version == 3 { ROOT_TABLE_BYTES } else { 0 };
+    let nodes_start = root_start + root_len;
     let nodes_len = node_count.saturating_mul(12);
     Geometry {
+        root_start,
+        root_len,
         nodes_start,
         nodes_len,
         data_start: nodes_start + nodes_len,
@@ -274,6 +307,71 @@ pub fn apply(class: MutationClass, image: &[u8], rng: &mut FuzzRng) -> Vec<u8> {
         MutationClass::Truncate => {
             let cut = usize::try_from(rng.below(out.len().saturating_add(1) as u64)).unwrap_or(0);
             out.truncate(cut);
+            // No checksum re-fix: stale-checksum rejection is the point.
+        }
+        MutationClass::RootTableSplice => {
+            let g = geometry(&out);
+            let end = out.len().min(g.root_start + g.root_len);
+            let span_total = end.saturating_sub(g.root_start);
+            if span_total >= 16 {
+                // Entry-aligned splice so whole (record, node) pairs
+                // move — the canonical-table check must catch it.
+                let entries = (span_total / 8) as u64;
+                let count = rng.range(1, (entries / 2).max(2));
+                let src =
+                    g.root_start + usize::try_from(rng.below(entries - count + 1)).unwrap_or(0) * 8;
+                let dst =
+                    g.root_start + usize::try_from(rng.below(entries - count + 1)).unwrap_or(0) * 8;
+                let len = usize::try_from(count).unwrap_or(1) * 8;
+                if src != dst {
+                    let chunk: Vec<u8> = out
+                        .get(src..src + len)
+                        .map(<[u8]>::to_vec)
+                        .unwrap_or_default();
+                    if let Some(slot) = out.get_mut(dst..dst + chunk.len()) {
+                        slot.copy_from_slice(&chunk);
+                    }
+                }
+            }
+            refix_checksum(&mut out);
+        }
+        MutationClass::RootEntryOutOfRange => {
+            let g = geometry(&out);
+            let end = out.len().min(g.root_start + g.root_len);
+            let entries = (end.saturating_sub(g.root_start) / 8) as u64;
+            if entries > 0 {
+                let node_count = (g.nodes_len / 12) as u64;
+                let hits = rng.range(1, 4);
+                for _ in 0..hits {
+                    let entry = usize::try_from(rng.below(entries)).unwrap_or(0);
+                    let half = usize::try_from(rng.below(2)).unwrap_or(0); // record | node
+                    let at = g.root_start + entry * 8 + half * 4;
+                    let value = match rng.below(6) {
+                        0 => u32::MAX - 1,                           // huge index
+                        1 => u32::try_from(node_count).unwrap_or(0), // first out-of-range node
+                        2 => 0,                                      // point everything at the root
+                        3 => u32::MAX, // NONE where the trie has a value
+                        4 => u32::try_from(entry).unwrap_or(0), // entry index as payload
+                        _ => u32::try_from(rng.next_u64() & 0xFFFF_FFFF).unwrap_or(1),
+                    };
+                    put_u32(&mut out, at, value);
+                }
+            }
+            refix_checksum(&mut out);
+        }
+        MutationClass::StrideTruncate => {
+            let g = geometry(&out);
+            if g.root_len > 0 {
+                // Cut inside the root table itself: the 512 KiB stride
+                // section is what falls short of the claimed layout.
+                let cut = g.root_start
+                    + usize::try_from(rng.below(g.root_len.saturating_add(1) as u64)).unwrap_or(0);
+                out.truncate(cut.min(out.len()));
+            } else {
+                // v1/v2 carry no root table; cut at the equivalent
+                // section boundary so the class stays total.
+                out.truncate(g.root_start.min(out.len()));
+            }
             // No checksum re-fix: stale-checksum rejection is the point.
         }
     }

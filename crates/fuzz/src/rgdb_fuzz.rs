@@ -46,6 +46,7 @@ pub fn trial_seed(
     let format_bytes: &[u8] = match format {
         ImageFormat::V1 => b"",
         ImageFormat::V2 => b"v2",
+        ImageFormat::V21 => b"v21",
     };
     for b in scale
         .label()
@@ -195,7 +196,7 @@ pub fn run(config: &FuzzConfig) -> RgdbOutcome {
                 let spec = || {
                     let suffix = match format {
                         ImageFormat::V1 => String::new(),
-                        ImageFormat::V2 => format!(" format={}", format.label()),
+                        _ => format!(" format={}", format.label()),
                     };
                     format!(
                         "seed={seed} scale={} class={} trial={trial}{suffix}",

@@ -26,6 +26,9 @@ fn open_as(
     match format {
         ImageFormat::V1 => Box::new(RgdbReader::open(entry.image()).expect("v1 image opens")),
         ImageFormat::V2 => Box::new(Rgdb2Reader::open(entry.image_v2()).expect("v2 image opens")),
+        ImageFormat::V21 => {
+            Box::new(Rgdb2Reader::open(entry.image_v21()).expect("v2.1 image opens"))
+        }
     }
 }
 

@@ -166,10 +166,21 @@ impl<V> RangeMap<V> {
         if ips.is_sorted() {
             // Sorted fast path: sweep in place, no position indirection
             // and no sort. `Ipv4Addr` orders like its big-endian u32.
+            // Duplicate adjacent needles collapse onto the previous
+            // answer — resolver batches repeat hot interfaces heavily,
+            // and a repeat can answer from the last (needle, hit) pair
+            // without touching the entry array at all.
             let mut out = Vec::with_capacity(ips.len());
             let mut cursor = 0usize;
+            let mut last: Option<(u32, Option<usize>)> = None;
             for ip in ips {
-                out.push(self.sweep_to(u32::from(*ip), &mut cursor));
+                let needle = u32::from(*ip);
+                let hit = match last {
+                    Some((prev, hit)) if prev == needle => hit,
+                    _ => self.sweep_to(needle, &mut cursor),
+                };
+                last = Some((needle, hit));
+                out.push(hit);
             }
             return out;
         }
@@ -327,6 +338,49 @@ mod tests {
             let via_batch = got.and_then(|i| m.value_at(i));
             assert_eq!(via_batch, m.lookup(*needle), "needle {needle}");
         }
+    }
+
+    #[test]
+    fn sorted_batch_with_duplicates_matches_pointwise_lookup() {
+        // Regression: the sorted fast path memoizes the last needle, so
+        // runs of duplicates (hits AND misses, including leading and
+        // trailing runs) must still agree with pointwise `lookup`.
+        let mut b = RangeMapBuilder::new();
+        b.push(ip("10.0.0.0"), ip("10.0.0.255"), "a");
+        b.push(ip("10.0.2.0"), ip("10.0.2.255"), "b");
+        b.push(ip("200.1.0.0"), ip("200.1.255.255"), "c");
+        let m = b.build().unwrap();
+        let needles: Vec<Ipv4Addr> = [
+            "0.0.0.0",
+            "0.0.0.0",
+            "10.0.0.7",
+            "10.0.0.7",
+            "10.0.0.7",
+            "10.0.1.1", // miss between ranges, duplicated next
+            "10.0.1.1",
+            "10.0.2.9",
+            "200.1.0.0",
+            "200.1.0.0",
+            "255.255.255.255",
+            "255.255.255.255",
+        ]
+        .iter()
+        .map(|s| ip(s))
+        .collect();
+        assert!(needles.is_sorted(), "must exercise the sorted fast path");
+        let located = m.locate_batch(&needles);
+        assert_eq!(located.len(), needles.len());
+        for (got, needle) in located.iter().zip(&needles) {
+            let via_batch = got.and_then(|i| m.value_at(i));
+            assert_eq!(via_batch, m.lookup(*needle), "needle {needle}");
+        }
+        // Same needles shuffled out of order take the sort path and must
+        // land on the identical answers once restored to input order.
+        let mut shuffled = needles.clone();
+        shuffled.reverse();
+        let mut relocated = m.locate_batch(&shuffled);
+        relocated.reverse();
+        assert_eq!(relocated, located);
     }
 
     #[test]

@@ -139,6 +139,18 @@ impl Corpus {
             entries.iter().map(|(p, r)| (*p, r)),
         )
     }
+
+    /// Serialize generation `g` in the v2.1 cache-locality format (root
+    /// table + level-order nodes) — same prefixes and payloads again.
+    pub fn image_v21(&self, generation: u32) -> Bytes {
+        let entries: Vec<(Prefix, LocationRecord)> = (0..self.records)
+            .map(|k| (self.prefix(k), self.record(generation, k)))
+            .collect();
+        rgdb2::write_v21(
+            &format!("serve-corpus-g{generation}"),
+            entries.iter().map(|(p, r)| (*p, r)),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -21,9 +21,11 @@ use crate::protocol::{self, ProtoError, Request, Response};
 use bytes::Bytes;
 use routergeo_db::rgdb::RgdbError;
 use routergeo_db::rgdb2::AnyReader;
+use routergeo_db::FileImage;
 use std::fmt;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -211,6 +213,13 @@ impl ServeDaemon {
         ServeDaemon::spawn_with(image, ServeConfig::default())
     }
 
+    /// Spawn with generation 1 loaded straight from an on-disk image
+    /// via [`FileImage`]: one allocation, no intermediate copy, and an
+    /// attributed error if the file is unreadable or invalid.
+    pub fn spawn_file(path: impl AsRef<Path>) -> Result<ServeDaemon, ServeError> {
+        ServeDaemon::spawn(FileImage::load(path)?.into_bytes())
+    }
+
     /// Validate `image`, bind `127.0.0.1:0`, and start the accept loop
     /// plus `config.workers` connection workers.
     pub fn spawn_with(image: Bytes, config: ServeConfig) -> Result<ServeDaemon, ServeError> {
@@ -314,6 +323,14 @@ impl ServeDaemon {
             drained: Arc::strong_count(&old) == 1,
             drain_polls: polls,
         })
+    }
+
+    /// [`ServeDaemon::hot_swap`] from an on-disk image via
+    /// [`FileImage`]. The file is read and validated before the flip,
+    /// so an unreadable path or corrupt file leaves the current
+    /// generation serving untouched.
+    pub fn hot_swap_file(&self, path: impl AsRef<Path>) -> Result<SwapReport, ServeError> {
+        self.hot_swap(FileImage::load(path)?.into_bytes())
     }
 
     /// Stop accepting, join workers, and report connections still active

@@ -141,3 +141,52 @@ fn v2_images_hot_swap_over_v1_generations_and_back() {
     assert_eq!(stats.errors, 0);
     drop(daemon);
 }
+
+#[test]
+fn heap_generation_hot_swaps_to_a_file_backed_v21_image() {
+    // Generations are source-agnostic too: a daemon booted from a heap
+    // image must accept a v2.1 image loaded from disk via FileImage,
+    // and a bad path must leave the live generation untouched.
+    let corpus = Corpus::new(64);
+    let daemon = ServeDaemon::spawn(corpus.image(1)).expect("daemon spawns on a heap v1 image");
+    let mut client = ServeClient::connect(daemon.addr()).expect("client connects");
+
+    let probe = |client: &mut ServeClient, expect_gen: u32| {
+        for k in [0usize, 5, 31, 63] {
+            match client.request(&Request::Lookup(corpus.hit_addr(k))) {
+                Ok(Response::Hit { generation, record }) => {
+                    assert_eq!(generation, expect_gen);
+                    let city = record.city.as_deref().unwrap_or("");
+                    assert!(
+                        Corpus::city_matches(expect_gen, city),
+                        "generation {expect_gen} served city {city:?}"
+                    );
+                }
+                other => panic!("hit address must hit on generation {expect_gen}, got {other:?}"),
+            }
+        }
+    };
+    probe(&mut client, 1);
+
+    let path = std::env::temp_dir().join(format!(
+        "routergeo-serve-swap-{}-g2.rgdb",
+        std::process::id()
+    ));
+    std::fs::write(&path, corpus.image_v21(2)).expect("image written to disk");
+    let report = daemon.hot_swap_file(&path).expect("file-backed v2.1 swap");
+    assert_eq!(report.old_generation, 1);
+    assert_eq!(report.new_generation, 2);
+    assert!(report.drained);
+    probe(&mut client, 2);
+
+    // A missing file is an attributed error and no generation flip.
+    let missing = std::env::temp_dir().join("routergeo-serve-swap-does-not-exist.rgdb");
+    assert!(daemon.hot_swap_file(&missing).is_err());
+    probe(&mut client, 2);
+
+    let stats = daemon.stats();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.errors, 0);
+    std::fs::remove_file(&path).ok();
+    drop(daemon);
+}

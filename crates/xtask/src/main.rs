@@ -25,16 +25,21 @@ commands:\n  \
                         whois protocol abuse, three-way lookup agreement); the trial plan\n  \
                         is a pure function of the budget, so output is byte-identical\n  \
                         across runs (default budget 30000 ms)\n  \
-  serve-check [--budget-ms N]\n  \
+  serve-check [--budget-ms N] [--vendor-images]\n  \
                         run the serve loadgen (virtual-time sim, hot swap under load,\n  \
                         abuse, wall-clock ratio gates) and write the deterministic\n  \
                         report to target/ci-artifacts/serve_ci.json (default budget\n  \
-                        8000 ms)\n  \
-  resolve-check [--budget-ms N]\n  \
-                        run the paper-scale resolve smoke (four synthetic vendor RGDB v2\n  \
-                        images, 1.5 M batched lookups through ResolvedView) and write\n  \
-                        the report to target/ci-artifacts/resolve_ci.json; non-zero exit\n  \
-                        when the resolve stage exceeds the budget (default 45000 ms)\n";
+                        8000 ms); --vendor-images additionally sweeps the daemon over\n  \
+                        real tenth-scale vendor v2.1 images served from disk\n  \
+  resolve-check [--budget-ms N] [--bless]\n  \
+                        run the paper-scale resolve smoke (four synthetic vendor RGDB\n  \
+                        v2.1 images, 1.5 M batched lookups through ResolvedView) and\n  \
+                        write the report to target/ci-artifacts/resolve_ci.json;\n  \
+                        non-zero exit when the resolve stage exceeds the budget\n  \
+                        (default 20000 ms), when a stage regresses beyond 2x against\n  \
+                        BENCH_resolve.json, or when lookup_ns_per_addr regresses\n  \
+                        beyond 2x (both median-normalised); --bless refreshes the\n  \
+                        baseline\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -107,9 +112,11 @@ fn main() -> ExitCode {
         }
         Some("serve-check") => {
             let mut budget_ms: u64 = 8_000;
+            let mut vendor_images = false;
             let mut rest = args[1..].iter();
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
+                    "--vendor-images" => vendor_images = true,
                     "--budget-ms" => match rest.next().and_then(|v| v.parse().ok()) {
                         Some(v) => budget_ms = v,
                         None => {
@@ -125,13 +132,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            run_serve_check(&root, budget_ms)
+            run_serve_check(&root, budget_ms, vendor_images)
         }
         Some("resolve-check") => {
-            let mut budget_ms: u64 = 45_000;
+            let mut budget_ms: u64 = 20_000;
+            let mut bless = false;
             let mut rest = args[1..].iter();
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
+                    "--bless" => bless = true,
                     "--budget-ms" => match rest.next().and_then(|v| v.parse().ok()) {
                         Some(v) => budget_ms = v,
                         None => {
@@ -147,7 +156,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            run_resolve_check(&root, budget_ms)
+            run_resolve_check(&root, budget_ms, bless)
         }
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
@@ -471,7 +480,7 @@ fn run_fuzz(budget_ms: u64, as_json: bool) -> ExitCode {
 /// `(budget, seed)`, so the artifact diffs cleanly between runs.
 const CI_SEED: &str = "20170301";
 
-fn run_serve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
+fn run_serve_check(root: &PathBuf, budget_ms: u64, vendor_images: bool) -> ExitCode {
     let art_dir = root.join("target").join("ci-artifacts");
     if let Err(err) = std::fs::create_dir_all(&art_dir) {
         eprintln!(
@@ -513,29 +522,67 @@ fn run_serve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
     match status {
         Ok(s) if s.success() => {
             eprintln!("xtask serve-check: wrote {}", artifact.display());
-            ExitCode::SUCCESS
         }
         Ok(s) => {
             eprintln!(
                 "xtask serve-check: loadgen exited with {s} (report at {})",
                 artifact.display()
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         Err(err) => {
             eprintln!("xtask serve-check: cannot run loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !vendor_images {
+        return ExitCode::SUCCESS;
+    }
+
+    // Opt-in: sweep the daemon over real tenth-scale lab vendors encoded
+    // as file-backed v2.1 images (the `#[ignore]`d half of the
+    // vendor_serve suite). Not part of the budgeted CI gate.
+    eprintln!("xtask serve-check: tenth-scale vendor v2.1 image sweep (release)…");
+    let status = std::process::Command::new("cargo")
+        .current_dir(root)
+        .args([
+            "test",
+            "--release",
+            "-q",
+            "-p",
+            "routergeo-bench",
+            "--test",
+            "vendor_serve",
+            "--",
+            "--ignored",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            eprintln!("xtask serve-check: vendor image sweep clean");
+            ExitCode::SUCCESS
+        }
+        Ok(s) => {
+            eprintln!("xtask serve-check: vendor image sweep exited with {s}");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask serve-check: cannot run vendor image sweep: {err}");
             ExitCode::FAILURE
         }
     }
 }
 
 /// The resolve smoke gate: the paper-scale batched-lookup workload
-/// (four synthetic vendor databases as RGDB v2 images, 1.5 M interface
-/// addresses through `ResolvedView`) under a wall budget on the resolve
-/// stage alone. Synthesis and probes are a pure function of the pinned
-/// seed, so everything in the artifact except the wall-clock fields is
-/// byte-stable.
-fn run_resolve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
+/// (four synthetic vendor databases as RGDB v2.1 images, 1.5 M
+/// interface addresses through `ResolvedView`) under a wall budget on
+/// the resolve stage alone, plus a regression gate against the blessed
+/// `BENCH_resolve.json`: per-stage wall clock AND per-lookup
+/// `lookup_ns_per_addr`, both smoothed and median-normalised exactly
+/// like bench-check so a uniformly slower machine passes. Synthesis and
+/// probes are a pure function of the pinned seed, so everything in the
+/// artifact except the wall-clock fields is byte-stable.
+fn run_resolve_check(root: &PathBuf, budget_ms: u64, bless: bool) -> ExitCode {
     let art_dir = root.join("target").join("ci-artifacts");
     if let Err(err) = std::fs::create_dir_all(&art_dir) {
         eprintln!(
@@ -578,20 +625,129 @@ fn run_resolve_check(root: &PathBuf, budget_ms: u64) -> ExitCode {
     match status {
         Ok(s) if s.success() => {
             eprintln!("xtask resolve-check: wrote {}", artifact.display());
-            ExitCode::SUCCESS
         }
         Ok(s) => {
             eprintln!(
                 "xtask resolve-check: resolve_smoke exited with {s} (report at {})",
                 artifact.display()
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         Err(err) => {
             eprintln!("xtask resolve-check: cannot run resolve_smoke: {err}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+
+    let baseline_path = root.join("BENCH_resolve.json");
+    if bless {
+        return match std::fs::copy(&artifact, &baseline_path) {
+            Ok(_) => {
+                eprintln!(
+                    "xtask resolve-check: blessed {} from this run",
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!(
+                    "xtask resolve-check: cannot write {}: {err}",
+                    baseline_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let read = |p: &std::path::Path| -> Result<(bench::Report, f64), String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let report = bench::parse_report(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        let per_lookup = lookup_ns_per_addr(&text)
+            .ok_or_else(|| format!("{}: no lookup_ns_per_addr field", p.display()))?;
+        Ok((report, per_lookup))
+    };
+    let ((base, base_ns), (fresh, fresh_ns)) = match (read(&baseline_path), read(&artifact)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!(
+                "xtask resolve-check: {e}\n(run `cargo xtask resolve-check --bless` to create the baseline)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmp = match bench::compare(&base, &fresh, bench::THRESHOLD) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask resolve-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>8}",
+        "stage", "base ms", "fresh ms", "ratio", "norm"
+    );
+    for c in &cmp {
+        println!("{c}");
+    }
+    let mut failed = cmp.iter().filter(|c| c.failed).count();
+
+    // Per-lookup cost gate: normalise the fresh/base ratio by the run's
+    // median stage ratio (the machine-speed factor bench::compare
+    // already derived) so only a *relative* regression fails. The
+    // median is recoverable from any unfailed comparison as
+    // `ratio / normalized`.
+    let machine = cmp.first().map_or(1.0, |c| {
+        if c.normalized > 0.0 {
+            c.ratio / c.normalized
+        } else {
+            1.0
+        }
+    });
+    let per_lookup_ratio = if base_ns > 0.0 {
+        fresh_ns / base_ns
+    } else {
+        1.0
+    };
+    let per_lookup_norm = if machine > 0.0 {
+        per_lookup_ratio / machine
+    } else {
+        per_lookup_ratio
+    };
+    let lookup_failed = !per_lookup_norm.is_finite() || per_lookup_norm > bench::THRESHOLD;
+    println!(
+        "{:<14} {:>8.1}ns {:>8.1}ns {:>7.2}x {:>7.2}x  {}",
+        "per-lookup",
+        base_ns,
+        fresh_ns,
+        per_lookup_ratio,
+        per_lookup_norm,
+        if lookup_failed { "FAIL" } else { "ok" }
+    );
+    if lookup_failed {
+        failed += 1;
+    }
+    eprintln!(
+        "xtask resolve-check: {} stage(s) + per-lookup gate, {} regression(s) beyond {:.1}x",
+        cmp.len(),
+        failed,
+        bench::THRESHOLD
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Pull `lookup_ns_per_addr` out of a resolve_ci.json text.
+fn lookup_ns_per_addr(text: &str) -> Option<f64> {
+    let pat = "\"lookup_ns_per_addr\":";
+    let rest = &text[text.find(pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn run_deps(root: &PathBuf) -> ExitCode {
